@@ -1,0 +1,235 @@
+//! Launch helpers: place one application endpoint per pod across a
+//! cluster (§3: "ideally placing each application endpoint in a separate
+//! pod" for maximum migration flexibility), register program loaders, and
+//! wait for results.
+
+use crate::bratu::{Bratu, BratuConfig, BRATU_TYPE};
+use crate::bt::{Bt, BtConfig, BT_TYPE};
+use crate::cpi::{Cpi, CpiConfig, CPI_TYPE};
+use crate::povray::{PovConfig, PovMaster, PovWorker, POV_MASTER_TYPE, POV_WORKER_TYPE};
+use crate::udpapps;
+use std::sync::Arc;
+use std::time::Duration;
+use zapc::Cluster;
+use zapc_pod::Pod;
+use zapc_sim::{ProgramRegistry, SysResult};
+
+/// Which workload to launch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// Parallel π (computation-bound).
+    Cpi,
+    /// Block-tridiagonal 3-D solver (communication-heavy).
+    Bt,
+    /// PETSc Bratu / SFI (moderate communication).
+    Bratu,
+    /// Ray tracer (CPU-heavy task farm, constant footprint).
+    Povray,
+}
+
+impl AppKind {
+    /// All four §6 workloads.
+    pub const ALL: [AppKind; 4] = [AppKind::Cpi, AppKind::Bt, AppKind::Bratu, AppKind::Povray];
+
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::Cpi => "CPI",
+            AppKind::Bt => "BT/NAS",
+            AppKind::Bratu => "PETSc",
+            AppKind::Povray => "POV-Ray",
+        }
+    }
+}
+
+/// Launch parameters.
+#[derive(Debug, Clone)]
+pub struct AppParams {
+    /// Workload.
+    pub kind: AppKind,
+    /// Number of application endpoints (pods). BT conventionally uses
+    /// square counts (1, 4, 9, 16), as in the paper.
+    pub ranks: usize,
+    /// Problem-size multiplier: 1.0 ≈ one tenth of the paper's sizes
+    /// (documented in DESIGN.md); tests use much smaller values.
+    pub scale: f64,
+    /// Work-granularity multiplier (amount of compute per scheduler step).
+    pub work: f64,
+}
+
+impl AppParams {
+    /// Defaults for quick runs.
+    pub fn new(kind: AppKind, ranks: usize) -> AppParams {
+        AppParams { kind, ranks, scale: 0.05, work: 1.0 }
+    }
+
+    /// Bench-scale parameters (≈ paper ÷ 10).
+    pub fn bench(kind: AppKind, ranks: usize) -> AppParams {
+        AppParams { kind, ranks, scale: 1.0, work: 1.0 }
+    }
+}
+
+/// A launched application.
+#[derive(Debug, Clone)]
+pub struct Launched {
+    /// Pod names, rank order.
+    pub pods: Vec<String>,
+    /// Workload.
+    pub kind: AppKind,
+}
+
+impl Launched {
+    /// Waits for every rank and returns their exit codes in rank order.
+    pub fn wait(&self, cluster: &Cluster, timeout: Duration) -> SysResult<Vec<i32>> {
+        let mut codes = Vec::with_capacity(self.pods.len());
+        for name in &self.pods {
+            let pod = cluster.pod(name).ok_or(zapc_sim::Errno::ESRCH)?;
+            let mut pod_codes = pod.wait_all(timeout)?;
+            codes.append(&mut pod_codes);
+        }
+        Ok(codes)
+    }
+
+    /// The application's result code (rank 0's exit code).
+    pub fn result(&self, cluster: &Cluster, timeout: Duration) -> SysResult<i32> {
+        Ok(self.wait(cluster, timeout)?[0])
+    }
+
+    /// Destroys every pod.
+    pub fn destroy(&self, cluster: &Cluster) {
+        for name in &self.pods {
+            cluster.destroy_pod(name);
+        }
+    }
+
+    /// True when every rank has exited.
+    pub fn all_exited(&self, cluster: &Cluster) -> bool {
+        self.pods
+            .iter()
+            .all(|n| cluster.pod(n).map(|p| p.all_exited()).unwrap_or(true))
+    }
+}
+
+/// Registers every workload loader (call before any restart).
+pub fn register_all(reg: &mut ProgramRegistry) {
+    reg.register(CPI_TYPE, crate::cpi::load);
+    reg.register(BT_TYPE, crate::bt::load);
+    reg.register(BRATU_TYPE, crate::bratu::load);
+    reg.register(POV_MASTER_TYPE, crate::povray::load_master);
+    reg.register(POV_WORKER_TYPE, crate::povray::load_worker);
+    reg.register(udpapps::HB_SENDER_TYPE, udpapps::load_hb_sender);
+    reg.register(udpapps::HB_MONITOR_TYPE, udpapps::load_hb_monitor);
+    reg.register(udpapps::RUDP_SENDER_TYPE, udpapps::load_rudp_sender);
+    reg.register(udpapps::RUDP_RECEIVER_TYPE, udpapps::load_rudp_receiver);
+}
+
+/// A registry with every workload pre-registered.
+pub fn full_registry() -> ProgramRegistry {
+    let mut reg = ProgramRegistry::new();
+    register_all(&mut reg);
+    reg
+}
+
+/// CPI sizing: fixed + `1/N` footprint (paper: 16 MB → 7 MB across
+/// 1 → 16 nodes; ÷10 at `scale = 1`).
+pub fn cpi_config(p: &AppParams) -> CpiConfig {
+    CpiConfig {
+        n_steps: (400_000.0 * p.work) as u64,
+        chunk: 8_000,
+        mem_fixed: (640.0 * 1024.0 * p.scale) as usize,
+        mem_scaled: (960.0 * 1024.0 * p.scale) as usize,
+    }
+}
+
+/// BT sizing: `G³` grid (paper: 340 MB at 1 node; ÷10 at `scale = 1` →
+/// G ≈ 75).
+pub fn bt_config(p: &AppParams) -> BtConfig {
+    let g = ((75.0f64.powi(3) * p.scale).cbrt().round() as usize).max(8);
+    BtConfig { grid: g, iters: (6.0 * p.work).max(1.0) as u32, lines_per_step: 256 }
+}
+
+/// Bratu sizing: two `n²` arrays (paper: 145 MB at 1 node; ÷10 at
+/// `scale = 1` → n ≈ 300).
+pub fn bratu_config(p: &AppParams) -> BratuConfig {
+    let n = ((300.0f64.powi(2) * p.scale).sqrt().round() as usize).max(8);
+    BratuConfig { n, lambda: 5.0, sweeps: (8.0 * p.work).max(1.0) as u32, rows_per_step: 64 }
+}
+
+/// POV-Ray sizing: constant per-worker footprint (paper: ~10 MB; ÷10 at
+/// `scale = 1`).
+pub fn pov_config(p: &AppParams) -> PovConfig {
+    let px = ((96.0 * p.work.sqrt()).round() as u32).max(16);
+    PovConfig { width: px, height: px, tile: 16, mem_bytes: (1024.0 * 1024.0 * p.scale) as usize }
+}
+
+/// Launches an application with one endpoint per pod, round-robin across
+/// the cluster's nodes. Pod names are `{prefix}-{rank}`.
+pub fn launch_app(cluster: &Cluster, prefix: &str, p: &AppParams) -> Launched {
+    let n = p.ranks.max(1);
+    let pods: Vec<Arc<Pod>> = (0..n)
+        .map(|i| cluster.create_pod(&format!("{prefix}-{i}"), i % cluster.node_count()))
+        .collect();
+    let vips: Vec<u32> = pods.iter().map(|pd| pd.vip()).collect();
+
+    match p.kind {
+        AppKind::Cpi => {
+            let cfg = cpi_config(p);
+            for (i, pod) in pods.iter().enumerate() {
+                pod.spawn("cpi", Box::new(Cpi::new(cfg.clone(), i as u32, vips.clone())));
+            }
+        }
+        AppKind::Bt => {
+            let cfg = bt_config(p);
+            for (i, pod) in pods.iter().enumerate() {
+                pod.spawn("bt", Box::new(Bt::new(cfg.clone(), i as u32, vips.clone())));
+            }
+        }
+        AppKind::Bratu => {
+            let cfg = bratu_config(p);
+            for (i, pod) in pods.iter().enumerate() {
+                pod.spawn("bratu", Box::new(Bratu::new(cfg.clone(), i as u32, vips.clone())));
+            }
+        }
+        AppKind::Povray => {
+            let cfg = pov_config(p);
+            let workers = (n - 1) as u32;
+            pods[0].spawn("pov-master", Box::new(PovMaster::new(cfg.clone(), workers)));
+            for pod in pods.iter().skip(1) {
+                pod.spawn("pov-worker", Box::new(PovWorker::new(cfg.clone(), vips[0])));
+            }
+        }
+    }
+    Launched { pods: (0..n).map(|i| format!("{prefix}-{i}")).collect(), kind: p.kind }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_scale_sanely() {
+        let small = AppParams { kind: AppKind::Bt, ranks: 4, scale: 0.01, work: 1.0 };
+        let big = AppParams { kind: AppKind::Bt, ranks: 4, scale: 1.0, work: 1.0 };
+        assert!(bt_config(&small).grid < bt_config(&big).grid);
+        assert_eq!(bt_config(&big).grid, 75);
+        assert_eq!(bratu_config(&big).n, 300);
+        let c = cpi_config(&big);
+        assert_eq!(c.mem_fixed + c.mem_scaled, (640 + 960) * 1024);
+    }
+
+    #[test]
+    fn registry_knows_all_types() {
+        let reg = full_registry();
+        for t in [
+            CPI_TYPE,
+            BT_TYPE,
+            BRATU_TYPE,
+            POV_MASTER_TYPE,
+            POV_WORKER_TYPE,
+            udpapps::HB_SENDER_TYPE,
+            udpapps::RUDP_RECEIVER_TYPE,
+        ] {
+            assert!(reg.knows(t), "{t} missing");
+        }
+    }
+}

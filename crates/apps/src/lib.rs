@@ -1,0 +1,48 @@
+//! # zapc-apps — the evaluation workloads (paper §6)
+//!
+//! Four distributed applications "representing a range of different
+//! communication and computational requirements typical of scientific
+//! applications", plus the middleware they run on:
+//!
+//! * [`comm`] — **minimpi**: rank-mesh message passing over pod sockets
+//!   (connect-to-lower/accept-from-higher wiring, framed messages, posted
+//!   sends, linear reduce/bcast/allreduce/barrier collectives), standing in
+//!   for MPICH-2. Fully serializable, so ranks checkpoint mid-collective.
+//! * [`pvm`] — **minipvm**: a master/worker task-farming layer standing in
+//!   for PVM 3.4 (the POV-Ray port uses PVM in the paper).
+//! * [`cpi`] — parallel calculation of π (mostly computation-bound; basic
+//!   collectives only).
+//! * [`bt`] — a Block-Tridiagonal-flavoured 3-D solver with per-iteration
+//!   slab halo exchange ("substantial network communication along the
+//!   computation").
+//! * [`bratu`] — the PETSc SFI (solid-fuel-ignition) Bratu problem:
+//!   Newton outer iterations over a 2-D distributed array with moderate
+//!   halo communication.
+//! * [`povray`] — a CPU-intensive ray tracer farming tiles master→workers
+//!   (PVM-style), with an essentially constant per-worker footprint.
+//! * [`udpapps`] — UDP workloads: a heartbeat monitor exercising the §5
+//!   application-timeout/time-virtualization story, and a stop-and-wait
+//!   reliable protocol built over UDP.
+//! * [`launch`] — helpers to place one rank per pod across a cluster and
+//!   register every program loader.
+//!
+//! Every program is an explicitly serializable state machine
+//! ([`zapc_sim::Program`]): it can be suspended, checkpointed, migrated to
+//! a different set of nodes, and resumed mid-collective, and each
+//! workload's final result is deterministic so tests can compare disturbed
+//! and undisturbed runs bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bratu;
+pub mod bt;
+pub mod comm;
+pub mod cpi;
+pub mod launch;
+pub mod povray;
+pub mod pvm;
+pub mod udpapps;
+
+pub use comm::MpiComm;
+pub use launch::{launch_app, register_all, AppKind, AppParams, Launched};

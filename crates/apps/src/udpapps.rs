@@ -1,0 +1,421 @@
+//! UDP workloads.
+//!
+//! * [`HeartbeatSender`] / [`HeartbeatMonitor`] — the §5 scenario of an
+//!   application-level timeout mechanism over UDP: the monitor flags a
+//!   *false alarm* whenever the gap between observed heartbeats exceeds a
+//!   threshold measured with the (possibly virtualized) system clock.
+//!   With time virtualization on, a checkpoint/restart gap is invisible;
+//!   with it off, the monitor reports the spurious expiry the paper warns
+//!   about.
+//! * [`RudpSender`] / [`RudpReceiver`] — a stop-and-wait reliable protocol
+//!   implemented *above* UDP (another pattern §5 cites), exercising UDP
+//!   queue checkpointing with application-level acks and retransmission
+//!   timers.
+
+use zapc_proto::{DecodeResult, Endpoint, RecordReader, RecordWriter, Transport};
+use zapc_sim::{Errno, ProcessCtx, Program, StepOutcome};
+
+/// Registry keys.
+pub const HB_SENDER_TYPE: &str = "apps.hb.sender";
+/// Heartbeat monitor registry key.
+pub const HB_MONITOR_TYPE: &str = "apps.hb.monitor";
+/// Reliable-over-UDP sender registry key.
+pub const RUDP_SENDER_TYPE: &str = "apps.rudp.sender";
+/// Reliable-over-UDP receiver registry key.
+pub const RUDP_RECEIVER_TYPE: &str = "apps.rudp.receiver";
+
+/// Heartbeat port.
+pub const HB_PORT: u16 = 6400;
+/// RUDP port.
+pub const RUDP_PORT: u16 = 6500;
+
+// ---- heartbeat --------------------------------------------------------------
+
+/// Emits one numbered heartbeat every `period_ms`.
+pub struct HeartbeatSender {
+    peer_vip: u32,
+    period_ms: u64,
+    beats: u64,
+    sent: u64,
+    fd: u32,
+    timer: u64,
+    started: bool,
+}
+
+impl HeartbeatSender {
+    /// A sender that emits `beats` heartbeats to the monitor at `peer_vip`.
+    pub fn new(peer_vip: u32, period_ms: u64, beats: u64) -> Self {
+        HeartbeatSender { peer_vip, period_ms, beats, sent: 0, fd: 0, timer: 0, started: false }
+    }
+}
+
+impl Program for HeartbeatSender {
+    fn type_name(&self) -> &'static str {
+        HB_SENDER_TYPE
+    }
+
+    fn step(&mut self, ctx: &mut ProcessCtx<'_>) -> StepOutcome {
+        if !self.started {
+            self.fd = ctx.socket(Transport::Udp).expect("socket");
+            ctx.bind(self.fd, Endpoint { ip: 0, port: HB_PORT }).expect("bind");
+            self.timer = ctx.timer_arm(self.period_ms, Some(self.period_ms));
+            self.started = true;
+            return StepOutcome::Ready;
+        }
+        if self.sent >= self.beats {
+            return StepOutcome::Exited(0);
+        }
+        if ctx.timer_poll(self.timer) {
+            let mut payload = Vec::with_capacity(16);
+            payload.extend(self.sent.to_le_bytes());
+            payload.extend(ctx.now_ms().to_le_bytes());
+            let _ = ctx.sendto(self.fd, Endpoint { ip: self.peer_vip, port: HB_PORT }, &payload);
+            self.sent += 1;
+            StepOutcome::Ready
+        } else {
+            StepOutcome::Blocked
+        }
+    }
+
+    fn save(&self, w: &mut RecordWriter) {
+        w.put_u32(self.peer_vip);
+        w.put_u64(self.period_ms);
+        w.put_u64(self.beats);
+        w.put_u64(self.sent);
+        w.put_u32(self.fd);
+        w.put_u64(self.timer);
+        w.put_bool(self.started);
+    }
+}
+
+/// Heartbeat sender loader.
+pub fn load_hb_sender(r: &mut RecordReader<'_>) -> DecodeResult<Box<dyn Program>> {
+    Ok(Box::new(HeartbeatSender {
+        peer_vip: r.get_u32()?,
+        period_ms: r.get_u64()?,
+        beats: r.get_u64()?,
+        sent: r.get_u64()?,
+        fd: r.get_u32()?,
+        timer: r.get_u64()?,
+        started: r.get_bool()?,
+    }))
+}
+
+/// Watches heartbeats; counts false alarms (gap > threshold on the clock
+/// the application sees).
+pub struct HeartbeatMonitor {
+    threshold_ms: u64,
+    expect: u64,
+    fd: u32,
+    started: bool,
+    last_seen_ms: u64,
+    received: u64,
+    false_alarms: u64,
+}
+
+impl HeartbeatMonitor {
+    /// A monitor expecting `expect` heartbeats, alarming after
+    /// `threshold_ms` of silence.
+    pub fn new(threshold_ms: u64, expect: u64) -> Self {
+        HeartbeatMonitor {
+            threshold_ms,
+            expect,
+            fd: 0,
+            started: false,
+            last_seen_ms: 0,
+            received: 0,
+            false_alarms: 0,
+        }
+    }
+}
+
+impl Program for HeartbeatMonitor {
+    fn type_name(&self) -> &'static str {
+        HB_MONITOR_TYPE
+    }
+
+    fn step(&mut self, ctx: &mut ProcessCtx<'_>) -> StepOutcome {
+        if !self.started {
+            self.fd = ctx.socket(Transport::Udp).expect("socket");
+            ctx.bind(self.fd, Endpoint { ip: 0, port: HB_PORT }).expect("bind");
+            self.last_seen_ms = ctx.now_ms();
+            self.started = true;
+            return StepOutcome::Ready;
+        }
+        let now = ctx.now_ms();
+        let mut got = false;
+        loop {
+            match ctx.recvfrom(self.fd, 64, zapc_net::RecvFlags::default()) {
+                Ok((_d, _src)) => {
+                    // A gap check against the clock the application sees:
+                    // the §5 timeout pattern.
+                    if now.saturating_sub(self.last_seen_ms) > self.threshold_ms {
+                        self.false_alarms += 1;
+                    }
+                    self.last_seen_ms = now;
+                    self.received += 1;
+                    got = true;
+                }
+                Err(Errno::EAGAIN) => break,
+                Err(e) => panic!("monitor recv: {e}"),
+            }
+        }
+        if self.received >= self.expect {
+            return StepOutcome::Exited(self.false_alarms.min(250) as i32);
+        }
+        if got {
+            StepOutcome::Ready
+        } else {
+            StepOutcome::Blocked
+        }
+    }
+
+    fn save(&self, w: &mut RecordWriter) {
+        w.put_u64(self.threshold_ms);
+        w.put_u64(self.expect);
+        w.put_u32(self.fd);
+        w.put_bool(self.started);
+        w.put_u64(self.last_seen_ms);
+        w.put_u64(self.received);
+        w.put_u64(self.false_alarms);
+    }
+}
+
+/// Heartbeat monitor loader.
+pub fn load_hb_monitor(r: &mut RecordReader<'_>) -> DecodeResult<Box<dyn Program>> {
+    Ok(Box::new(HeartbeatMonitor {
+        threshold_ms: r.get_u64()?,
+        expect: r.get_u64()?,
+        fd: r.get_u32()?,
+        started: r.get_bool()?,
+        last_seen_ms: r.get_u64()?,
+        received: r.get_u64()?,
+        false_alarms: r.get_u64()?,
+    }))
+}
+
+// ---- reliable-over-UDP -------------------------------------------------------
+
+/// Stop-and-wait sender: transmits `chunks` numbered chunks, retransmitting
+/// on an application timer until each is acknowledged.
+pub struct RudpSender {
+    peer_vip: u32,
+    chunks: u64,
+    chunk_len: usize,
+    next: u64,
+    fd: u32,
+    started: bool,
+    inflight: bool,
+    timer: u64,
+    retransmissions: u64,
+}
+
+impl RudpSender {
+    /// A sender pushing `chunks` chunks of `chunk_len` bytes each.
+    pub fn new(peer_vip: u32, chunks: u64, chunk_len: usize) -> Self {
+        RudpSender {
+            peer_vip,
+            chunks,
+            chunk_len,
+            next: 0,
+            fd: 0,
+            started: false,
+            inflight: false,
+            timer: 0,
+            retransmissions: 0,
+        }
+    }
+
+    fn chunk_payload(&self, seq: u64) -> Vec<u8> {
+        let mut p = Vec::with_capacity(8 + self.chunk_len);
+        p.extend(seq.to_le_bytes());
+        p.extend((0..self.chunk_len).map(|i| ((seq as usize * 131 + i) % 251) as u8));
+        p
+    }
+}
+
+impl Program for RudpSender {
+    fn type_name(&self) -> &'static str {
+        RUDP_SENDER_TYPE
+    }
+
+    fn step(&mut self, ctx: &mut ProcessCtx<'_>) -> StepOutcome {
+        if !self.started {
+            self.fd = ctx.socket(Transport::Udp).expect("socket");
+            ctx.bind(self.fd, Endpoint { ip: 0, port: RUDP_PORT }).expect("bind");
+            self.started = true;
+            return StepOutcome::Ready;
+        }
+        if self.next >= self.chunks {
+            return StepOutcome::Exited((self.retransmissions % 251) as i32);
+        }
+        let dst = Endpoint { ip: self.peer_vip, port: RUDP_PORT };
+        if !self.inflight {
+            let _ = ctx.sendto(self.fd, dst, &self.chunk_payload(self.next));
+            self.timer = ctx.timer_arm(30, None);
+            self.inflight = true;
+            return StepOutcome::Ready;
+        }
+        // Await the ack.
+        loop {
+            match ctx.recvfrom(self.fd, 16, zapc_net::RecvFlags::default()) {
+                Ok((d, _)) if d.len() >= 8 => {
+                    let ack = u64::from_le_bytes(d[0..8].try_into().expect("8"));
+                    if ack == self.next {
+                        ctx.timer_disarm(self.timer);
+                        self.next += 1;
+                        self.inflight = false;
+                        return StepOutcome::Ready;
+                    }
+                }
+                Ok(_) => {}
+                Err(Errno::EAGAIN) => break,
+                Err(e) => panic!("rudp sender recv: {e}"),
+            }
+        }
+        if ctx.timer_poll(self.timer) {
+            let _ = ctx.sendto(self.fd, dst, &self.chunk_payload(self.next));
+            self.timer = ctx.timer_arm(30, None);
+            self.retransmissions += 1;
+            return StepOutcome::Ready;
+        }
+        StepOutcome::Blocked
+    }
+
+    fn save(&self, w: &mut RecordWriter) {
+        w.put_u32(self.peer_vip);
+        w.put_u64(self.chunks);
+        w.put_u64(self.chunk_len as u64);
+        w.put_u64(self.next);
+        w.put_u32(self.fd);
+        w.put_bool(self.started);
+        w.put_bool(self.inflight);
+        w.put_u64(self.timer);
+        w.put_u64(self.retransmissions);
+    }
+}
+
+/// RUDP sender loader.
+pub fn load_rudp_sender(r: &mut RecordReader<'_>) -> DecodeResult<Box<dyn Program>> {
+    Ok(Box::new(RudpSender {
+        peer_vip: r.get_u32()?,
+        chunks: r.get_u64()?,
+        chunk_len: r.get_u64()? as usize,
+        next: r.get_u64()?,
+        fd: r.get_u32()?,
+        started: r.get_bool()?,
+        inflight: r.get_bool()?,
+        timer: r.get_u64()?,
+        retransmissions: r.get_u64()?,
+    }))
+}
+
+/// Stop-and-wait receiver: acks chunks, folds a checksum, exits when all
+/// chunks arrived.
+pub struct RudpReceiver {
+    chunks: u64,
+    expected_next: u64,
+    fd: u32,
+    started: bool,
+    checksum: u64,
+}
+
+impl RudpReceiver {
+    /// A receiver expecting `chunks` chunks.
+    pub fn new(chunks: u64) -> Self {
+        RudpReceiver { chunks, expected_next: 0, fd: 0, started: false, checksum: 0 }
+    }
+
+    /// The checksum an undisturbed transfer produces.
+    pub fn expected_checksum(chunks: u64, chunk_len: usize) -> u64 {
+        let mut c: u64 = 0;
+        for seq in 0..chunks {
+            for i in 0..chunk_len {
+                c = c
+                    .wrapping_mul(31)
+                    .wrapping_add(((seq as usize * 131 + i) % 251) as u64);
+            }
+        }
+        c
+    }
+
+    /// Exit code derived from a checksum.
+    pub fn exit_code_for(checksum: u64) -> i32 {
+        (checksum % 251) as i32
+    }
+}
+
+impl Program for RudpReceiver {
+    fn type_name(&self) -> &'static str {
+        RUDP_RECEIVER_TYPE
+    }
+
+    fn step(&mut self, ctx: &mut ProcessCtx<'_>) -> StepOutcome {
+        if !self.started {
+            self.fd = ctx.socket(Transport::Udp).expect("socket");
+            ctx.bind(self.fd, Endpoint { ip: 0, port: RUDP_PORT }).expect("bind");
+            self.started = true;
+            return StepOutcome::Ready;
+        }
+        let mut got = false;
+        loop {
+            match ctx.recvfrom(self.fd, 64 * 1024, zapc_net::RecvFlags::default()) {
+                Ok((d, src)) if d.len() >= 8 => {
+                    got = true;
+                    let seq = u64::from_le_bytes(d[0..8].try_into().expect("8"));
+                    // Always (re-)ack; fold the payload only once.
+                    let _ = ctx.sendto(self.fd, src, &seq.to_le_bytes());
+                    if seq == self.expected_next {
+                        for &b in &d[8..] {
+                            self.checksum = self.checksum.wrapping_mul(31).wrapping_add(b as u64);
+                        }
+                        self.expected_next += 1;
+                    }
+                }
+                Ok(_) => {}
+                Err(Errno::EAGAIN) => break,
+                Err(e) => panic!("rudp receiver recv: {e}"),
+            }
+        }
+        if self.expected_next >= self.chunks {
+            return StepOutcome::Exited(Self::exit_code_for(self.checksum));
+        }
+        if got {
+            StepOutcome::Ready
+        } else {
+            StepOutcome::Blocked
+        }
+    }
+
+    fn save(&self, w: &mut RecordWriter) {
+        w.put_u64(self.chunks);
+        w.put_u64(self.expected_next);
+        w.put_u32(self.fd);
+        w.put_bool(self.started);
+        w.put_u64(self.checksum);
+    }
+}
+
+/// RUDP receiver loader.
+pub fn load_rudp_receiver(r: &mut RecordReader<'_>) -> DecodeResult<Box<dyn Program>> {
+    Ok(Box::new(RudpReceiver {
+        chunks: r.get_u64()?,
+        expected_next: r.get_u64()?,
+        fd: r.get_u32()?,
+        started: r.get_bool()?,
+        checksum: r.get_u64()?,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expected_checksum_is_stable() {
+        let a = RudpReceiver::expected_checksum(10, 100);
+        let b = RudpReceiver::expected_checksum(10, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, RudpReceiver::expected_checksum(11, 100));
+    }
+}

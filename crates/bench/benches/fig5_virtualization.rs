@@ -1,0 +1,93 @@
+//! Figure 5 (virtualization overhead), micro level.
+//!
+//! The paper's claim is that pod virtualization adds negligible overhead.
+//! Our ZapC timing model charges [`ZAPC_OVERHEAD_NS`] virtual-time
+//! nanoseconds per system call; this bench *measures* the real mechanical
+//! costs that number models:
+//!
+//! * `recv` through the default dispatch vector vs the interposed one
+//!   (the §5 claim that interposition is removed after the alternate
+//!   queue drains, so steady-state cost is zero), and
+//! * the interposition reference-count churn of the syscall path.
+//!
+//! The application-level Base-vs-ZapC completion comparison is produced by
+//! `reproduce fig5`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use zapc_bench::figures::ZAPC_OVERHEAD_NS;
+use zapc_net::{NetStack, Network, NetworkConfig, RecvFlags, Socket};
+use zapc_proto::{Endpoint, Transport};
+
+struct Rig {
+    _net: Network,
+    client: Arc<Socket>,
+    server: Arc<Socket>,
+}
+
+fn rig() -> Rig {
+    let net = Network::new(NetworkConfig {
+        latency: Duration::from_micros(10),
+        jitter: Duration::ZERO,
+        ..Default::default()
+    });
+    let s1 = NetStack::new(1, net.handle());
+    let s2 = NetStack::new(2, net.handle());
+    let a = Endpoint::new(10, 10, 0, 1, 0);
+    let b = Endpoint::new(10, 10, 0, 2, 7000);
+    net.set_route(a.ip, &s1);
+    net.set_route(b.ip, &s2);
+    let listener = s2.socket(Transport::Tcp, b.ip, 6);
+    listener.bind(b).unwrap();
+    listener.listen(4).unwrap();
+    let client = s1.socket(Transport::Tcp, a.ip, 6);
+    client.connect(b).unwrap();
+    client.connect_wait(Duration::from_secs(5)).unwrap();
+    let server = listener.accept_wait(Duration::from_secs(5)).unwrap();
+    Rig { _net: net, client, server }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_virtualization");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+
+    // Steady-state recv through the DEFAULT dispatch vector.
+    let r = rig();
+    r.client.write_all_wait(&[7u8; 32 * 1024], Duration::from_secs(5)).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    g.bench_function("recvmsg_default_vtable_64B", |b| {
+        b.iter_batched(
+            || {
+                // Keep the queue topped up.
+                let _ = r.client.send(&[7u8; 256]);
+            },
+            |_| {
+                let _ = r.server.recv(64, RecvFlags { peek: true, oob: false });
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // recv through the INTERPOSED vector serving an alternate queue.
+    let r2 = rig();
+    r2.server.install_alt_queue(vec![9u8; 1 << 20]);
+    assert!(r2.server.is_interposed());
+    g.bench_function("recvmsg_interposed_vtable_64B", |b| {
+        b.iter(|| {
+            let _ = r2.server.recv(64, RecvFlags { peek: true, oob: false });
+        })
+    });
+
+    // Reference: what the ZapC virtual-time model charges per syscall.
+    g.bench_function("model_charge_reference", |b| {
+        b.iter(|| std::hint::black_box(ZAPC_OVERHEAD_NS))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

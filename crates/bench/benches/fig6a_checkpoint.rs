@@ -1,0 +1,46 @@
+//! Figure 6a: coordinated checkpoint latency.
+//!
+//! One Criterion benchmark per workload: a long-running app is launched
+//! once; each iteration takes a full coordinated snapshot (Figure 1) of
+//! all pods — the same operation whose average the paper plots. Absolute
+//! values depend on the miniature problem sizes; `reproduce fig6a`
+//! produces the across-node-counts table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use zapc::manager::CheckpointTarget;
+use zapc::{checkpoint, Cluster};
+use zapc_apps::launch::{launch_app, AppKind, AppParams, Launched};
+use zapc_bench::figures::cluster_for;
+
+fn launch_long(kind: AppKind, ranks: usize) -> (Cluster, Launched, Vec<CheckpointTarget>) {
+    let cluster = cluster_for(ranks, 150);
+    let app = launch_app(
+        &cluster,
+        "bench",
+        &AppParams { kind, ranks, scale: 0.1, work: 1000.0 }, // effectively endless
+    );
+    std::thread::sleep(Duration::from_millis(50)); // connections up
+    let targets = app.pods.iter().map(|p| CheckpointTarget::snapshot(p)).collect();
+    (cluster, app, targets)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6a_checkpoint");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    for kind in AppKind::ALL {
+        let ranks = 4usize;
+        let (cluster, app, targets) = launch_long(kind, ranks);
+        g.bench_function(format!("{}_4pods_snapshot", kind.name()), |b| {
+            b.iter(|| checkpoint(&cluster, &targets).expect("snapshot"))
+        });
+        app.destroy(&cluster);
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Figure 6b: coordinated restart latency from a memory-preloaded image.
+//!
+//! Each timed iteration restarts the application from mid-run images
+//! (Figure 3): pod creation, two-thread reconnection, network-state
+//! restore, standalone restore, resume. The preceding checkpoint is
+//! excluded from the timing (the paper preloads images into memory).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::{Duration, Instant};
+use zapc::agent::Finalize;
+use zapc::manager::{CheckpointTarget, RestartTarget};
+use zapc::{checkpoint, restart};
+use zapc_apps::launch::{launch_app, AppKind, AppParams};
+use zapc_bench::figures::cluster_for;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6b_restart");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    for kind in AppKind::ALL {
+        let ranks = 4usize;
+        g.bench_function(format!("{}_4pods_restart", kind.name()), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    let cluster = cluster_for(ranks, 150);
+                    let app = launch_app(
+                        &cluster,
+                        "bench",
+                        &AppParams { kind, ranks, scale: 0.1, work: 1000.0 },
+                    );
+                    std::thread::sleep(Duration::from_millis(50));
+                    let targets: Vec<CheckpointTarget> = app
+                        .pods
+                        .iter()
+                        .map(|p| CheckpointTarget {
+                            pod: p.clone(),
+                            uri: zapc::Uri::mem(format!("6b/{p}")),
+                            finalize: Finalize::Destroy,
+                        })
+                        .collect();
+                    checkpoint(&cluster, &targets).expect("checkpoint");
+                    let rts: Vec<RestartTarget> = app
+                        .pods
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| RestartTarget {
+                            pod: p.clone(),
+                            uri: zapc::Uri::mem(format!("6b/{p}")),
+                            node: i % cluster.node_count(),
+                        })
+                        .collect();
+                    let t = Instant::now();
+                    restart(&cluster, &rts).expect("restart");
+                    total += t.elapsed();
+                    app.destroy(&cluster);
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Figure 6c: checkpoint image composition and serialization throughput.
+//!
+//! Image *sizes* are byte-accurate facts printed by `reproduce fig6c`;
+//! what Criterion measures here is how fast the intermediate-format
+//! serialization handles the memory-dominated images the figure is made
+//! of (MB-scale address spaces vs KB-scale network state).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::time::Duration;
+use zapc_ckpt::checkpoint_standalone;
+use zapc_net::{Network, NetworkConfig};
+use zapc_pod::{pod_vip, Pod, PodConfig};
+use zapc_proto::image::Header;
+use zapc_proto::ImageWriter;
+use zapc_sim::{ClusterClock, Node, NodeConfig, ProcessCtx, Program, SimFs, StepOutcome};
+
+/// A program holding `mb` megabytes of grid state.
+struct MemHog {
+    mb: usize,
+    grid: u64,
+    init: bool,
+}
+
+impl Program for MemHog {
+    fn type_name(&self) -> &'static str {
+        "bench.memhog"
+    }
+    fn step(&mut self, ctx: &mut ProcessCtx<'_>) -> StepOutcome {
+        if !self.init {
+            self.grid = ctx.mem.map_f64("hog", self.mb * 1024 * 1024 / 8);
+            let g = ctx.mem.f64_mut(self.grid).unwrap();
+            for (i, x) in g.iter_mut().enumerate() {
+                *x = i as f64 * 0.5;
+            }
+            self.init = true;
+        }
+        StepOutcome::Blocked
+    }
+    fn save(&self, w: &mut zapc_proto::RecordWriter) {
+        w.put_u64(self.mb as u64);
+        w.put_u64(self.grid);
+        w.put_bool(self.init);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6c_imagesize");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    for mb in [1usize, 4, 16] {
+        let net = Network::new(NetworkConfig::default());
+        let node = Node::new(NodeConfig { id: 0, cpus: 1 }, net.handle(), SimFs::new());
+        let clock = ClusterClock::new();
+        let pod = Pod::create(PodConfig::new("hog", pod_vip(200 + mb as u16)), &node, &clock);
+        pod.spawn("hog", Box::new(MemHog { mb, grid: 0, init: false }));
+        std::thread::sleep(Duration::from_millis(100)); // init the region
+        pod.suspend().unwrap();
+
+        g.throughput(Throughput::Bytes((mb * 1024 * 1024) as u64));
+        g.bench_function(format!("serialize_pod_{mb}MB"), |b| {
+            b.iter(|| {
+                let header =
+                    Header { pod: pod.name(), host: "bench".into(), wall_ms: 0, flags: 0 };
+                let mut w = ImageWriter::new(&header);
+                checkpoint_standalone(&pod, &mut w).expect("checkpoint");
+                std::hint::black_box(w.finish().len())
+            })
+        });
+        pod.destroy();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

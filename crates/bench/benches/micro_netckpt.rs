@@ -1,0 +1,75 @@
+//! Micro: the network-state checkpoint itself (§6.2: "for all checkpoints,
+//! the time due to checkpointing the network state … was less than 10 ms").
+//!
+//! Benchmarks `checkpoint_network` over a frozen pod whose sockets carry
+//! loaded send/receive queues, urgent data, and unacknowledged bytes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use std::time::Duration;
+use zapc_net::{Network, NetworkConfig, Socket};
+use zapc_netckpt::checkpoint_network;
+use zapc_pod::{pod_vip, Pod, PodConfig};
+use zapc_sim::{ClusterClock, Node, NodeConfig, SimFs};
+
+fn rig(conns: usize, queue_bytes: usize) -> (Network, Arc<Pod>, Arc<Pod>, Vec<Arc<Socket>>) {
+    let net = Network::new(NetworkConfig {
+        latency: Duration::from_micros(20),
+        jitter: Duration::ZERO,
+        rto: Duration::from_millis(5),
+        ..Default::default()
+    });
+    let fs = SimFs::new();
+    let clock = ClusterClock::new();
+    let n1 = Node::new(NodeConfig { id: 1, cpus: 1 }, net.handle(), Arc::clone(&fs));
+    let n2 = Node::new(NodeConfig { id: 2, cpus: 1 }, net.handle(), fs);
+    let a = Pod::create(PodConfig::new("a", pod_vip(301)), &n1, &clock);
+    let b = Pod::create(PodConfig::new("b", pod_vip(302)), &n2, &clock);
+    net.set_route(a.vip(), &n1.stack);
+    net.set_route(b.vip(), &n2.stack);
+
+    let listener = n2.stack.socket(zapc_proto::Transport::Tcp, b.vip(), 6);
+    listener.bind(zapc_proto::Endpoint { ip: b.vip(), port: 5000 }).unwrap();
+    listener.listen(conns + 1).unwrap();
+    let mut keep = vec![listener.clone()];
+    for _ in 0..conns {
+        let c = n1.stack.socket(zapc_proto::Transport::Tcp, a.vip(), 6);
+        c.connect(zapc_proto::Endpoint { ip: b.vip(), port: 5000 }).unwrap();
+        c.connect_wait(Duration::from_secs(5)).unwrap();
+        let s = listener.accept_wait(Duration::from_secs(5)).unwrap();
+        // Load the queues: delivered-but-unread data + urgent byte +
+        // unacknowledged data at the sender.
+        c.write_all_wait(&vec![7u8; queue_bytes], Duration::from_secs(5)).unwrap();
+        c.send_oob(b"!").unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        keep.push(c);
+        keep.push(s);
+    }
+    // Freeze both pods as the Agents would.
+    net.filter().block_ip(a.vip());
+    net.filter().block_ip(b.vip());
+    (net, a, b, keep)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro_netckpt");
+    g.sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+
+    for (conns, qb) in [(1usize, 4 * 1024usize), (8, 4 * 1024), (8, 32 * 1024)] {
+        let (_net, a, b, _keep) = rig(conns, qb);
+        g.bench_function(format!("checkpoint_network_{conns}conns_{}KBqueues", qb / 1024), |bch| {
+            bch.iter(|| {
+                let (meta, recs) = checkpoint_network(&b);
+                std::hint::black_box((meta.entries.len(), recs.len()))
+            })
+        });
+        a.destroy();
+        b.destroy();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

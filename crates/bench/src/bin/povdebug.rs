@@ -1,0 +1,63 @@
+//! Diagnostic repro for the POV-Ray snapshot hang (developer tool).
+
+use std::time::Duration;
+use zapc::manager::CheckpointTarget;
+use zapc::checkpoint;
+use zapc_apps::launch::{launch_app, AppKind, AppParams};
+use zapc_bench::figures::cluster_for;
+
+fn main() {
+    for round in 0..50 {
+        let cluster = cluster_for(4, 150);
+        let p = AppParams { kind: AppKind::Povray, ranks: 4, scale: 0.05, work: 0.5 };
+        let app = launch_app(&cluster, "povd", &p);
+        let targets: Vec<CheckpointTarget> =
+            app.pods.iter().map(|q| CheckpointTarget::snapshot(q)).collect();
+        for i in 0..10 {
+            if i > 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            if i > 0 && app.all_exited(&cluster) {
+                break;
+            }
+            checkpoint(&cluster, &targets).unwrap();
+        }
+        match app.wait(&cluster, Duration::from_secs(10)) {
+            Ok(codes) => println!("round {round}: ok {codes:?}"),
+            Err(e) => {
+                println!("round {round}: HANG ({e})");
+                for name in &app.pods {
+                    let pod = cluster.pod(name).unwrap();
+                    for (vpid, pid) in pod.vpid_pids() {
+                        if let Some(pr) = pod.node().process(pid) {
+                            let g = pr.lock();
+                            println!(
+                                "  {name} vpid={vpid} state={:?} steps={} name={}",
+                                g.state, g.steps, g.name
+                            );
+                        }
+                    }
+                    for s in pod.sockets() {
+                        s.with_inner(|i| {
+                            println!(
+                                "    sock#{} {:?} local={:?} peer={:?} state={:?} alt={} pending={:?} vt={:?} tcb={:?}",
+                                s.id,
+                                i.transport,
+                                i.local,
+                                i.peer(),
+                                i.state(),
+                                i.alt_recv.len(),
+                                i.listen.as_ref().map(|l| l.pending.len()),
+                                format!("{:?}", i.vtable),
+                                i.tcb.as_ref().map(|t| (t.state, t.send.unacked(), t.send.unsent(), t.recv.readable(), t.recv.backlog_bytes()))
+                            );
+                        });
+                    }
+                }
+                std::process::exit(1);
+            }
+        }
+        app.destroy(&cluster);
+    }
+    println!("no hang in 50 rounds");
+}

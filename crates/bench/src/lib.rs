@@ -1,0 +1,12 @@
+//! # zapc-bench — harness regenerating every table and figure of §6
+//!
+//! * [`figures`] — shared measurement machinery: Base-vs-ZapC completion
+//!   runs (Figure 5, wall-clock and virtual time), the 10-checkpoint
+//!   methodology (Figure 6a), mid-run restarts from memory-preloaded
+//!   images (Figure 6b), and byte-accurate image accounting (Figure 6c).
+//!
+//! Criterion benches under `benches/` and the `reproduce` binary both
+//! drive this module; `reproduce` prints the paper-style tables recorded
+//! in EXPERIMENTS.md.
+
+pub mod figures;

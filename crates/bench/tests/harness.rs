@@ -1,0 +1,56 @@
+//! The figure harness itself must be reliable: exercise each measurement
+//! path at miniature scale (this is also where harness hangs are caught).
+
+use zapc_apps::launch::AppKind;
+use zapc_bench::figures::{run_checkpoints, run_completion, run_restart, RunCfg, ZAPC_OVERHEAD_NS};
+
+fn tiny() -> RunCfg {
+    RunCfg { scale: 0.05, work: 0.5, trials: 1 }
+}
+
+#[test]
+fn completion_harness_all_apps() {
+    for kind in AppKind::ALL {
+        let c = run_completion(kind, 2, &tiny(), ZAPC_OVERHEAD_NS);
+        assert!(c.wall_ms > 0.0, "{kind:?}");
+        assert!(c.vtime_ms > 0.0, "{kind:?}");
+    }
+}
+
+#[test]
+fn checkpoint_harness_all_apps() {
+    for kind in AppKind::ALL {
+        let s = run_checkpoints(kind, 4, &tiny(), 5);
+        assert!(s.count > 0, "{kind:?} took no snapshots");
+        assert!(s.image_bytes_max_pod > 0.0);
+    }
+}
+
+#[test]
+fn restart_harness_all_apps() {
+    for kind in AppKind::ALL {
+        let s = run_restart(kind, 4, &tiny());
+        assert!(s.restart_ms > 0.0, "{kind:?}");
+    }
+}
+
+#[test]
+fn restart_harness_sixteen_endpoints() {
+    // Regression: 16 endpoints (8 dual-CPU nodes) exercises mid-handshake
+    // children and enrollment ghosts in the restart path — POV-Ray and
+    // CPI both crossed bugs here historically.
+    for kind in [AppKind::Povray, AppKind::Cpi] {
+        let s = run_restart(kind, 16, &tiny());
+        assert!(s.restart_ms > 0.0, "{kind:?}");
+    }
+}
+
+#[test]
+fn povray_checkpoint_harness_repeated() {
+    // Regression probe for a harness hang first seen at this exact
+    // configuration (POV-Ray, 4 endpoints, quick scale).
+    for round in 0..10 {
+        let s = run_checkpoints(AppKind::Povray, 4, &tiny(), 10);
+        assert!(s.count > 0, "round {round}");
+    }
+}

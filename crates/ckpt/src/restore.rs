@@ -1,0 +1,185 @@
+//! Standalone restart: image sections → processes in a fresh pod.
+
+use crate::records::{ClockRecord, FdRecord, PipeTable, ProcRecord, ProcStateRecord};
+use crate::{CkptError, CkptResult};
+use std::collections::HashMap;
+use std::sync::Arc;
+use zapc_net::Socket;
+use zapc_pod::{Namespace, Pod};
+use zapc_proto::image::Section;
+use zapc_proto::{Decode, RecordReader, SectionTag};
+use zapc_sim::fdtable::{FdKind, FileDesc};
+use zapc_sim::memory::AddressSpace;
+use zapc_sim::pipe::Pipe;
+use zapc_sim::{ProcState, Process, ProgramRegistry};
+
+/// The reconnected sockets the network restore produced, indexed by
+/// checkpoint ordinal.
+#[derive(Debug, Default)]
+pub struct RestoredSockets {
+    /// `by_ordinal[i]` is the socket whose checkpoint ordinal was `i`.
+    pub by_ordinal: Vec<Option<Arc<Socket>>>,
+}
+
+impl RestoredSockets {
+    /// Looks up a socket by ordinal.
+    pub fn get(&self, ordinal: u32) -> Option<&Arc<Socket>> {
+        self.by_ordinal.get(ordinal as usize).and_then(|o| o.as_ref())
+    }
+}
+
+/// Outcome of a standalone restore.
+#[derive(Debug)]
+pub struct RestoredPod {
+    /// Clock record from the image (already applied to the pod's clock).
+    pub clock: ClockRecord,
+    /// Number of processes reinstated.
+    pub processes: usize,
+}
+
+/// Decodes the `Namespace` section payload (the caller needs it *before*
+/// building the destination pod).
+pub fn decode_namespace(payload: &[u8]) -> CkptResult<Namespace> {
+    let mut r = RecordReader::new(payload);
+    let ns = Namespace::decode(&mut r)?;
+    Ok(ns)
+}
+
+/// Reinstates the standalone state carried by `sections` into `pod`
+/// (created beforehand from the image's namespace). Network sections are
+/// ignored here — `zapc-netckpt` consumes them. Restored processes are
+/// left `Stopped`; the Agent resumes the pod once the whole restart
+/// concludes (Figure 3).
+pub fn restore_standalone(
+    sections: &[Section<'_>],
+    pod: &Arc<Pod>,
+    registry: &ProgramRegistry,
+    sockets: &RestoredSockets,
+) -> CkptResult<RestoredPod> {
+    let mut clock: Option<ClockRecord> = None;
+    let mut pipes: HashMap<u64, Arc<Pipe>> = HashMap::new();
+    let mut procs: Vec<ProcRecord> = Vec::new();
+    let mut mems: HashMap<u32, AddressSpace> = HashMap::new();
+
+    for s in sections {
+        match s.tag {
+            SectionTag::Timers => {
+                let mut r = RecordReader::new(s.payload);
+                clock = Some(ClockRecord::decode(&mut r)?);
+            }
+            SectionTag::FdTable => {
+                let mut r = RecordReader::new(s.payload);
+                let table = PipeTable::decode(&mut r)?;
+                for (id, data, rc, wc) in table.pipes {
+                    let p = Pipe::new();
+                    p.restore(data, rc, wc);
+                    pipes.insert(id, p);
+                }
+            }
+            SectionTag::Process => {
+                let mut r = RecordReader::new(s.payload);
+                procs.push(ProcRecord::decode(&mut r)?);
+            }
+            SectionTag::Memory => {
+                let mut r = RecordReader::new(s.payload);
+                let vpid = r.get_u32()?;
+                mems.insert(vpid, AddressSpace::decode(&mut r)?);
+            }
+            _ => {} // namespace handled by the caller; network by netckpt
+        }
+    }
+
+    let clock = clock.ok_or(CkptError::Inconsistent("missing clock section"))?;
+
+    // Apply the restart time delta (§5): bias the virtual clock by the
+    // downtime so virtualized pods never observe the gap…
+    let now_real = pod.env.clock.now_ms();
+    pod.env.vclock.apply_restart_delta(clock.bias_ms, clock.real_ms, now_real);
+    // …and shift raw timer expiries for pods without time virtualization.
+    let timer_shift_ms = if pod.env.vclock.is_virtualized() {
+        0
+    } else {
+        now_real as i64 - clock.real_ms as i64
+    };
+
+    let count = procs.len();
+    for rec in procs {
+        let mem = mems
+            .remove(&rec.vpid)
+            .ok_or(CkptError::Inconsistent("process without memory section"))?;
+
+        // Rebuild the program from the registry.
+        let (program, state): (Option<Box<dyn zapc_sim::Program>>, _) = match rec.state {
+            ProcStateRecord::Exited(code) => (None, ProcState::Exited(code)),
+            ProcStateRecord::Live => {
+                let mut pr = RecordReader::new(&rec.program_state);
+                let prog = registry
+                    .load(&rec.program_type, &mut pr)
+                    .map_err(|_| CkptError::UnknownProgram(rec.program_type.clone()))?;
+                (Some(prog), ProcState::Stopped)
+            }
+        };
+
+        let mut proc = match program {
+            Some(p) => Process::new(rec.name.clone(), rec.vpid, p, Arc::clone(&pod.env)),
+            None => {
+                // Exited stub: preserve the exit code in the table.
+                let mut p = Process::new(
+                    rec.name.clone(),
+                    rec.vpid,
+                    Box::new(ExitedStub),
+                    Arc::clone(&pod.env),
+                );
+                p.program = None;
+                p
+            }
+        };
+        proc.state = state;
+        proc.signals = rec.signals;
+        proc.timers = rec.timers;
+        if timer_shift_ms != 0 {
+            proc.timers.shift(timer_shift_ms);
+        }
+        proc.vtime_ns = rec.vtime_ns;
+        proc.mem = mem;
+
+        // Re-link descriptors at their exact numbers.
+        for (fd, frec) in &rec.fds {
+            let kind = match frec {
+                FdRecord::File { path, offset, append } => FdKind::File(FileDesc {
+                    path: path.clone(),
+                    offset: *offset,
+                    append: *append,
+                }),
+                FdRecord::PipeRead { pipe } => FdKind::PipeRead(Arc::clone(
+                    pipes.get(pipe).ok_or(CkptError::MissingPipe(*pipe))?,
+                )),
+                FdRecord::PipeWrite { pipe } => FdKind::PipeWrite(Arc::clone(
+                    pipes.get(pipe).ok_or(CkptError::MissingPipe(*pipe))?,
+                )),
+                FdRecord::Socket { ordinal } => FdKind::Socket(Arc::clone(
+                    sockets.get(*ordinal).ok_or(CkptError::MissingSocket(*ordinal))?,
+                )),
+            };
+            proc.fds.insert_at(*fd, kind);
+        }
+
+        pod.adopt(rec.vpid, proc);
+    }
+
+    Ok(RestoredPod { clock, processes: count })
+}
+
+/// Placeholder program for processes that had exited before the
+/// checkpoint; never stepped.
+struct ExitedStub;
+
+impl zapc_sim::Program for ExitedStub {
+    fn type_name(&self) -> &'static str {
+        "ckpt.exited-stub"
+    }
+    fn step(&mut self, _ctx: &mut zapc_sim::ProcessCtx<'_>) -> zapc_sim::StepOutcome {
+        zapc_sim::StepOutcome::Blocked
+    }
+    fn save(&self, _w: &mut zapc_proto::RecordWriter) {}
+}

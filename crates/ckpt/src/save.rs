@@ -1,0 +1,131 @@
+//! Standalone checkpoint: pod → image sections.
+
+use crate::records::{ClockRecord, FdRecord, PipeTable, ProcRecord, ProcStateRecord};
+use crate::{CkptError, CkptResult};
+use std::collections::HashMap;
+use zapc_pod::Pod;
+use zapc_proto::{Encode, ImageWriter, RecordWriter, SectionTag};
+use zapc_sim::fdtable::FdKind;
+use zapc_sim::ProcState;
+
+/// Serializes a pod's non-network state into `w`.
+///
+/// Preconditions (enforced): the pod is suspended — every live process is
+/// `Stopped` — and quiescent (no in-flight system call). This is Agent step
+/// 3 of Figure 1; the caller has already written the network sections.
+///
+/// Returns the socket-ordinal map (socket id → ordinal) so the network
+/// checkpoint and the descriptor records agree on ordinals when the caller
+/// runs the two phases in the paper's order (network first): in that case
+/// call [`socket_ordinals`] up front and pass the same enumeration to both.
+pub fn checkpoint_standalone(pod: &Pod, w: &mut ImageWriter) -> CkptResult<()> {
+    let ordinals = socket_ordinals(pod);
+
+    // Namespace.
+    let ns = pod.namespace();
+    w.section(SectionTag::Namespace, |r| ns.encode(r));
+
+    // Clock state (Timers section): bias + real checkpoint time.
+    let clock = ClockRecord {
+        bias_ms: pod.env.vclock.bias_ms(),
+        real_ms: pod.env.clock.now_ms(),
+    };
+    w.section(SectionTag::Timers, |r| clock.encode(r));
+
+    // Gather processes (locked one at a time; all are suspended, so locks
+    // are uncontended) and the pod-wide pipe table.
+    let mut pipe_table = PipeTable::default();
+    let mut seen_pipes: HashMap<u64, ()> = HashMap::new();
+    let mut proc_payloads: Vec<(RecordWriter, RecordWriter)> = Vec::new();
+
+    for (vpid, pid) in pod.vpid_pids() {
+        let parc = pod
+            .node()
+            .process(pid)
+            .ok_or(CkptError::Inconsistent("process vanished during checkpoint"))?;
+        let proc = parc.lock();
+        let state = match proc.state {
+            ProcState::Stopped => ProcStateRecord::Live,
+            ProcState::Exited(code) => ProcStateRecord::Exited(code),
+            ProcState::Runnable => return Err(CkptError::NotSuspended(pid)),
+        };
+
+        // Program control state.
+        let (program_type, program_state) = match &proc.program {
+            Some(prog) => {
+                let mut pw = RecordWriter::new();
+                prog.save(&mut pw);
+                (prog.type_name().to_owned(), pw.into_bytes())
+            }
+            None => (String::new(), Vec::new()),
+        };
+
+        // Descriptor records; pipes go to the shared table exactly once.
+        let mut fds = Vec::new();
+        for (fd, entry) in proc.fds.iter() {
+            let rec = match &entry.kind {
+                FdKind::File(f) => {
+                    FdRecord::File { path: f.path.clone(), offset: f.offset, append: f.append }
+                }
+                FdKind::PipeRead(p) => {
+                    record_pipe(&mut pipe_table, &mut seen_pipes, p);
+                    FdRecord::PipeRead { pipe: p.id }
+                }
+                FdKind::PipeWrite(p) => {
+                    record_pipe(&mut pipe_table, &mut seen_pipes, p);
+                    FdRecord::PipeWrite { pipe: p.id }
+                }
+                FdKind::Socket(s) => {
+                    let ordinal = *ordinals
+                        .get(&s.id)
+                        .ok_or(CkptError::Inconsistent("socket not in pod enumeration"))?;
+                    FdRecord::Socket { ordinal }
+                }
+            };
+            fds.push((fd, rec));
+        }
+
+        let rec = ProcRecord {
+            vpid,
+            name: proc.name.clone(),
+            state,
+            signals: proc.signals.clone(),
+            timers: proc.timers.clone(),
+            vtime_ns: proc.vtime_ns,
+            program_type,
+            program_state,
+            fds,
+        };
+        let mut pw = RecordWriter::new();
+        rec.encode(&mut pw);
+        let mut mw = RecordWriter::with_capacity(proc.mem.total_bytes() + 64);
+        mw.put_u32(vpid);
+        proc.mem.encode(&mut mw);
+        proc_payloads.push((pw, mw));
+    }
+
+    // Pipe table before the processes that reference it.
+    w.section(SectionTag::FdTable, |r| pipe_table.encode(r));
+    for (pw, mw) in proc_payloads {
+        w.section_bytes(SectionTag::Process, pw.bytes());
+        w.section_bytes(SectionTag::Memory, mw.bytes());
+    }
+    Ok(())
+}
+
+/// The pod's stable socket enumeration: socket id → checkpoint ordinal.
+/// Both the network checkpoint and the descriptor records use this order.
+pub fn socket_ordinals(pod: &Pod) -> HashMap<zapc_net::SocketId, u32> {
+    pod.sockets().iter().enumerate().map(|(i, s)| (s.id, i as u32)).collect()
+}
+
+fn record_pipe(
+    table: &mut PipeTable,
+    seen: &mut HashMap<u64, ()>,
+    pipe: &std::sync::Arc<zapc_sim::pipe::Pipe>,
+) {
+    if seen.insert(pipe.id, ()).is_none() {
+        let (data, rc, wc) = pipe.snapshot();
+        table.pipes.push((pipe.id, data, rc, wc));
+    }
+}

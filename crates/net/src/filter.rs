@@ -1,0 +1,130 @@
+//! Netfilter-like packet filter.
+//!
+//! During checkpoint, each Agent "disables all network activity to and from
+//! the pod … by leveraging a standard network filtering service" (§4). The
+//! [`Netfilter`] holds block rules keyed by virtual pod address (or by an
+//! individual link); the wire consults it at delivery time, so in-flight
+//! segments destined to or originating from a frozen pod are dropped —
+//! precisely the behaviour §5 relies on ("in-flight data can be safely
+//! ignored … dropped for incoming packets or blocked for outgoing packets").
+//! Reliable transports recover the dropped bytes by retransmission once the
+//! pod is unblocked.
+
+use parking_lot::RwLock;
+use std::collections::HashSet;
+
+/// Packet filter shared by the whole cluster wire.
+#[derive(Debug, Default)]
+pub struct Netfilter {
+    inner: RwLock<FilterRules>,
+}
+
+#[derive(Debug, Default)]
+struct FilterRules {
+    /// Virtual IPs whose traffic is fully blocked (both directions).
+    blocked_ips: HashSet<u32>,
+    /// Individually blocked directed links `(src_ip, dst_ip)`.
+    blocked_links: HashSet<(u32, u32)>,
+    /// Counters for observability/tests.
+    dropped: u64,
+}
+
+impl Netfilter {
+    /// Creates an empty filter (all traffic allowed).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks all traffic to and from the given virtual IP (pod freeze).
+    pub fn block_ip(&self, ip: u32) {
+        self.inner.write().blocked_ips.insert(ip);
+    }
+
+    /// Unblocks a previously blocked virtual IP.
+    pub fn unblock_ip(&self, ip: u32) {
+        self.inner.write().blocked_ips.remove(&ip);
+    }
+
+    /// Blocks one directed link.
+    pub fn block_link(&self, src_ip: u32, dst_ip: u32) {
+        self.inner.write().blocked_links.insert((src_ip, dst_ip));
+    }
+
+    /// Unblocks one directed link.
+    pub fn unblock_link(&self, src_ip: u32, dst_ip: u32) {
+        self.inner.write().blocked_links.remove(&(src_ip, dst_ip));
+    }
+
+    /// Whether a segment from `src_ip` to `dst_ip` must be dropped.
+    /// Increments the drop counter when it is.
+    pub fn check_drop(&self, src_ip: u32, dst_ip: u32) -> bool {
+        // Fast path: read lock only when no rule matches.
+        {
+            let r = self.inner.read();
+            if !r.blocked_ips.contains(&src_ip)
+                && !r.blocked_ips.contains(&dst_ip)
+                && !r.blocked_links.contains(&(src_ip, dst_ip))
+            {
+                return false;
+            }
+        }
+        self.inner.write().dropped += 1;
+        true
+    }
+
+    /// Whether the given IP is currently blocked.
+    pub fn is_blocked(&self, ip: u32) -> bool {
+        self.inner.read().blocked_ips.contains(&ip)
+    }
+
+    /// Total segments dropped by the filter so far.
+    pub fn dropped(&self) -> u64 {
+        self.inner.read().dropped
+    }
+
+    /// Removes every rule.
+    pub fn clear(&self) {
+        let mut w = self.inner.write();
+        w.blocked_ips.clear();
+        w.blocked_links.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_unblock_ip() {
+        let f = Netfilter::new();
+        assert!(!f.check_drop(1, 2));
+        f.block_ip(2);
+        assert!(f.is_blocked(2));
+        assert!(f.check_drop(1, 2), "incoming to blocked ip dropped");
+        assert!(f.check_drop(2, 1), "outgoing from blocked ip dropped");
+        assert!(!f.check_drop(1, 3));
+        f.unblock_ip(2);
+        assert!(!f.check_drop(1, 2));
+        assert_eq!(f.dropped(), 2);
+    }
+
+    #[test]
+    fn link_rules_are_directional() {
+        let f = Netfilter::new();
+        f.block_link(1, 2);
+        assert!(f.check_drop(1, 2));
+        assert!(!f.check_drop(2, 1));
+        f.unblock_link(1, 2);
+        assert!(!f.check_drop(1, 2));
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let f = Netfilter::new();
+        f.block_ip(5);
+        f.block_link(1, 2);
+        f.clear();
+        assert!(!f.check_drop(5, 9));
+        assert!(!f.check_drop(1, 2));
+    }
+}

@@ -1,0 +1,161 @@
+//! Wire segments: the packets moved by the cluster interconnect.
+
+use zapc_proto::{Endpoint, Transport};
+
+/// TCP-style control flags carried by a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SegFlags {
+    /// Connection-open request / half of the three-way handshake.
+    pub syn: bool,
+    /// Acknowledgment field is valid.
+    pub ack: bool,
+    /// Sender has finished sending.
+    pub fin: bool,
+    /// Hard reset (connection refused / aborted).
+    pub rst: bool,
+    /// Payload carries urgent (out-of-band) data.
+    pub urg: bool,
+}
+
+impl SegFlags {
+    /// A pure ACK segment.
+    pub fn ack() -> Self {
+        SegFlags { ack: true, ..Default::default() }
+    }
+
+    /// A SYN segment.
+    pub fn syn() -> Self {
+        SegFlags { syn: true, ..Default::default() }
+    }
+
+    /// A SYN+ACK segment.
+    pub fn syn_ack() -> Self {
+        SegFlags { syn: true, ack: true, ..Default::default() }
+    }
+
+    /// An RST segment.
+    pub fn rst() -> Self {
+        SegFlags { rst: true, ..Default::default() }
+    }
+}
+
+/// One packet on the wire.
+///
+/// Sequence and acknowledgment numbers count bytes; SYN and FIN each occupy
+/// one unit of sequence space, as in real TCP. The `vt` field carries the
+/// sender's virtual (Lamport) clock for the Figure 5 timing model; a real
+/// network has no such field, and nothing in the protocol logic depends on
+/// it.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Source endpoint (virtual address).
+    pub src: Endpoint,
+    /// Destination endpoint (virtual address).
+    pub dst: Endpoint,
+    /// Transport protocol.
+    pub transport: Transport,
+    /// Control flags (TCP only; zeroed for UDP/raw).
+    pub flags: SegFlags,
+    /// Sequence number of the first payload byte (TCP only).
+    pub seq: u64,
+    /// Cumulative acknowledgment (TCP only, valid when `flags.ack`).
+    pub ack: u64,
+    /// Advertised receive window in bytes (TCP only).
+    pub window: u32,
+    /// Payload bytes.
+    pub payload: Vec<u8>,
+    /// For raw IP: the protocol number the application selected.
+    pub ip_proto: u8,
+    /// Sender's virtual clock in nanoseconds (timing model only).
+    pub vt: u64,
+}
+
+impl Segment {
+    /// Builds a TCP segment.
+    pub fn tcp(src: Endpoint, dst: Endpoint, flags: SegFlags, seq: u64, ack: u64) -> Self {
+        Segment {
+            src,
+            dst,
+            transport: Transport::Tcp,
+            flags,
+            seq,
+            ack,
+            window: 0,
+            payload: Vec::new(),
+            ip_proto: 6,
+            vt: 0,
+        }
+    }
+
+    /// Builds a UDP datagram.
+    pub fn udp(src: Endpoint, dst: Endpoint, payload: Vec<u8>) -> Self {
+        Segment {
+            src,
+            dst,
+            transport: Transport::Udp,
+            flags: SegFlags::default(),
+            seq: 0,
+            ack: 0,
+            window: 0,
+            payload,
+            ip_proto: 17,
+            vt: 0,
+        }
+    }
+
+    /// Builds a raw IP datagram with protocol number `proto`.
+    pub fn raw(src: Endpoint, dst: Endpoint, proto: u8, payload: Vec<u8>) -> Self {
+        Segment {
+            src,
+            dst,
+            transport: Transport::RawIp,
+            flags: SegFlags::default(),
+            seq: 0,
+            ack: 0,
+            window: 0,
+            payload,
+            ip_proto: proto,
+            vt: 0,
+        }
+    }
+
+    /// Sequence space consumed by this segment (payload + SYN/FIN units).
+    pub fn seq_len(&self) -> u64 {
+        self.payload.len() as u64
+            + if self.flags.syn { 1 } else { 0 }
+            + if self.flags.fin { 1 } else { 0 }
+    }
+
+    /// End of this segment in sequence space.
+    pub fn seq_end(&self) -> u64 {
+        self.seq + self.seq_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(host: u8, port: u16) -> Endpoint {
+        Endpoint::new(10, 10, 0, host, port)
+    }
+
+    #[test]
+    fn seq_len_counts_syn_and_fin() {
+        let mut s = Segment::tcp(ep(1, 1), ep(2, 2), SegFlags::syn(), 100, 0);
+        assert_eq!(s.seq_len(), 1);
+        s.flags = SegFlags::default();
+        s.payload = vec![0; 10];
+        assert_eq!(s.seq_len(), 10);
+        assert_eq!(s.seq_end(), 110);
+        s.flags.fin = true;
+        assert_eq!(s.seq_len(), 11);
+    }
+
+    #[test]
+    fn constructors_set_transport() {
+        assert_eq!(Segment::udp(ep(1, 1), ep(2, 2), vec![1]).transport, Transport::Udp);
+        assert_eq!(Segment::raw(ep(1, 1), ep(2, 2), 89, vec![]).ip_proto, 89);
+        assert_eq!(Segment::tcp(ep(1, 1), ep(2, 2), SegFlags::ack(), 0, 5).ack, 5);
+    }
+}

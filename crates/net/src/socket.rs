@@ -1,0 +1,1072 @@
+//! The socket layer: the application-visible abstraction of a communication
+//! endpoint (§5: "the primary abstraction of a communication endpoint is a
+//! socket").
+//!
+//! A [`Socket`] bundles the three state components the paper enumerates —
+//! socket parameters ([`crate::opts::SockOpts`]), data queues
+//! ([`crate::buf`], [`crate::udp`]), and protocol-specific state
+//! ([`crate::tcp::Tcb`]) — behind `bind`/`listen`/`connect`/`accept`/
+//! `send`/`recv`/`shutdown`/`close`.
+//!
+//! Every socket carries a **dispatch vector** ([`SockVtable`]): function
+//! pointers for the operations that may touch the receive queue (`recvmsg`,
+//! `poll`, `release`). The network-state restore interposes on this vector
+//! so that an *alternate receive queue* holding restored data is consumed
+//! before any new network data; when the alternate queue drains, the
+//! original methods are reinstalled so regular operation pays no overhead
+//! (§5).
+
+use crate::opts::{OptValue, SockOpt, SockOpts};
+use crate::seg::Segment;
+use crate::stack::NetStack;
+use crate::tcp::{Tcb, TcpState};
+use crate::udp::{Datagram, RawState, UdpState};
+use crate::wire::NetShared;
+use crate::{NetError, NetResult};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+use zapc_proto::{ConnState, Endpoint, Transport};
+
+/// Globally unique socket identifier.
+pub type SocketId = u64;
+
+static NEXT_SOCKET_ID: AtomicU64 = AtomicU64::new(1);
+static ISN_COUNTER: AtomicU64 = AtomicU64::new(0x1000);
+
+pub(crate) fn fresh_isn() -> u64 {
+    // Spread initial sequence numbers; determinism helps debugging.
+    ISN_COUNTER.fetch_add(0x1_0001, Ordering::Relaxed)
+}
+
+/// Lifecycle phase of a socket as seen by the application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SocketState {
+    /// Created but not bound.
+    Unbound,
+    /// Bound to a local endpoint.
+    Bound,
+    /// TCP listener.
+    Listening,
+    /// TCP handshake in progress.
+    Connecting,
+    /// Connected (TCP established, or UDP with a default peer).
+    Connected,
+    /// Closed.
+    Closed,
+}
+
+/// Flags for `recv`-family calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecvFlags {
+    /// `MSG_PEEK`: examine without consuming.
+    pub peek: bool,
+    /// `MSG_OOB`: read urgent (out-of-band) data.
+    pub oob: bool,
+}
+
+/// Directions for [`Socket::shutdown`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shutdown {
+    /// Disallow further receives.
+    Read,
+    /// Disallow further sends (emits FIN on TCP).
+    Write,
+    /// Both directions.
+    Both,
+}
+
+/// Result of a `poll` on one socket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PollMask {
+    /// Data (or a pending accept) is available.
+    pub readable: bool,
+    /// A write would accept at least one byte.
+    pub writable: bool,
+    /// Urgent data is pending.
+    pub oob: bool,
+    /// Peer finished sending (EOF after queued data).
+    pub hup: bool,
+    /// An asynchronous error is pending.
+    pub err: bool,
+}
+
+/// `recvmsg` entry of the dispatch vector.
+pub type RecvMsgFn = fn(&mut SocketInner, usize, RecvFlags) -> NetResult<(Vec<u8>, Option<Endpoint>)>;
+/// `poll` entry of the dispatch vector.
+pub type PollFn = fn(&SocketInner) -> PollMask;
+/// `release` entry of the dispatch vector.
+pub type ReleaseFn = fn(&mut SocketInner);
+
+/// The per-socket dispatch vector (§5). Restore swaps it for
+/// [`interposed_vtable`]; draining the alternate queue swaps it back.
+#[derive(Clone, Copy)]
+pub struct SockVtable {
+    /// Reads data from the socket.
+    pub recvmsg: RecvMsgFn,
+    /// Queries readiness.
+    pub poll: PollFn,
+    /// Cleans up on close.
+    pub release: ReleaseFn,
+}
+
+impl std::fmt::Debug for SockVtable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = if std::ptr::fn_addr_eq(self.recvmsg, interposed_recvmsg as RecvMsgFn) {
+            "interposed"
+        } else {
+            "default"
+        };
+        write!(f, "SockVtable({kind})")
+    }
+}
+
+/// The original (non-interposed) dispatch vector.
+pub fn default_vtable() -> SockVtable {
+    SockVtable { recvmsg: default_recvmsg, poll: default_poll, release: default_release }
+}
+
+/// The restore-time dispatch vector serving the alternate receive queue.
+pub fn interposed_vtable() -> SockVtable {
+    SockVtable { recvmsg: interposed_recvmsg, poll: interposed_poll, release: interposed_release }
+}
+
+/// TCP listener state.
+#[derive(Debug, Default)]
+pub struct ListenState {
+    /// Maximum completed-but-unaccepted connections.
+    pub backlog: usize,
+    /// Completed connections awaiting `accept`.
+    pub pending: VecDeque<Arc<Socket>>,
+}
+
+/// The lock-protected interior of a socket. Fields are public so the
+/// checkpoint-restart crates can extract and reinstate state the way a
+/// kernel module reaches into `struct sock`.
+pub struct SocketInner {
+    /// Transport protocol fixed at creation.
+    pub transport: Transport,
+    /// Socket parameters.
+    pub opts: SockOpts,
+    /// Local endpoint once bound.
+    pub local: Option<Endpoint>,
+    /// Default source IP for auto-binding (the owning pod's virtual IP).
+    pub default_ip: u32,
+    /// TCP connection state.
+    pub tcb: Option<Tcb>,
+    /// UDP state.
+    pub udp: Option<UdpState>,
+    /// Raw-IP state.
+    pub raw: Option<RawState>,
+    /// Listener state.
+    pub listen: Option<ListenState>,
+    /// Listener that spawned this socket (accept notification).
+    pub parent: Option<Weak<Socket>>,
+    /// The dispatch vector.
+    pub vtable: SockVtable,
+    /// Alternate receive queue installed by network-state restore.
+    pub alt_recv: VecDeque<u8>,
+    /// Pending asynchronous error (connection refused/reset).
+    pub err: Option<NetError>,
+    /// `shutdown(Read)` was called.
+    pub rd_shutdown: bool,
+    /// `close()` was called: no descriptor references this socket any
+    /// more; it is reaped from the stack once the TCB reaches `Closed`
+    /// (the kernel-`sock`-freeing analogue).
+    pub detached: bool,
+    /// Lifecycle for non-TCB phases.
+    pub phase: SocketState,
+    /// A retransmission timer event is outstanding.
+    pub rtx_scheduled: bool,
+    /// Virtual clock stamped on outgoing segments (timing model).
+    pub tx_vt: u64,
+    /// Merged virtual clock of received data (timing model).
+    pub rx_vt: u64,
+}
+
+impl std::fmt::Debug for SocketInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketInner")
+            .field("transport", &self.transport)
+            .field("local", &self.local)
+            .field("phase", &self.phase)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SocketInner {
+    /// Effective lifecycle state, consulting the TCB when present.
+    pub fn state(&self) -> SocketState {
+        if let Some(tcb) = &self.tcb {
+            return match tcb.state {
+                TcpState::SynSent | TcpState::SynRcvd => SocketState::Connecting,
+                TcpState::Established => SocketState::Connected,
+                TcpState::Closed => SocketState::Closed,
+            };
+        }
+        self.phase
+    }
+
+    /// Remote endpoint, if connected.
+    pub fn peer(&self) -> Option<Endpoint> {
+        if let Some(tcb) = &self.tcb {
+            return Some(tcb.remote);
+        }
+        self.udp.as_ref().and_then(|u| u.peer)
+    }
+
+    /// Meta-data connection state for the checkpoint table.
+    pub fn conn_state(&self) -> ConnState {
+        match &self.tcb {
+            Some(tcb) => tcb.conn_state(),
+            None => ConnState::FullDuplex,
+        }
+    }
+}
+
+fn default_recvmsg(
+    inner: &mut SocketInner,
+    n: usize,
+    flags: RecvFlags,
+) -> NetResult<(Vec<u8>, Option<Endpoint>)> {
+    if let Some(e) = inner.err.take() {
+        return Err(e);
+    }
+    match inner.transport {
+        Transport::Tcp => {
+            let tcb = inner.tcb.as_mut().ok_or(NetError::NotConnected)?;
+            if flags.oob {
+                let d = if flags.peek {
+                    // OOB peek: look without consuming.
+                    let snap = tcb.recv.snapshot().urgent;
+                    snap.into_iter().take(n).collect()
+                } else {
+                    tcb.recv.read_urgent(n)
+                };
+                if d.is_empty() {
+                    return Err(NetError::WouldBlock);
+                }
+                return Ok((d, None));
+            }
+            if inner.rd_shutdown {
+                return Ok((Vec::new(), None));
+            }
+            let d = if flags.peek { tcb.recv.peek(n) } else { tcb.recv.read(n) };
+            if d.is_empty() {
+                if tcb.recv.fin_reached() || tcb.state == TcpState::Closed {
+                    return Ok((Vec::new(), None)); // EOF
+                }
+                return Err(NetError::WouldBlock);
+            }
+            Ok((d, None))
+        }
+        Transport::Udp => {
+            let u = inner.udp.as_mut().ok_or(NetError::Invalid)?;
+            let dg = if flags.peek {
+                u.queue.peek().cloned()
+            } else {
+                u.queue.pop()
+            };
+            match dg {
+                Some(d) => Ok((d.data.into_iter().take(n.max(1)).collect(), Some(d.src))),
+                None => Err(NetError::WouldBlock),
+            }
+        }
+        Transport::RawIp => {
+            let r = inner.raw.as_mut().ok_or(NetError::Invalid)?;
+            let dg = if flags.peek { r.queue.peek().cloned() } else { r.queue.pop() };
+            match dg {
+                Some(d) => Ok((d.data, Some(d.src))),
+                None => Err(NetError::WouldBlock),
+            }
+        }
+    }
+}
+
+fn default_poll(inner: &SocketInner) -> PollMask {
+    let mut m = PollMask { err: inner.err.is_some(), ..Default::default() };
+    match inner.transport {
+        Transport::Tcp => {
+            if let Some(l) = &inner.listen {
+                m.readable = !l.pending.is_empty();
+                return m;
+            }
+            if let Some(tcb) = &inner.tcb {
+                m.readable = tcb.recv.readable() > 0 || tcb.recv.at_eof();
+                m.oob = tcb.recv.urgent_len() > 0;
+                m.hup = tcb.recv.fin_reached();
+                m.writable = tcb.state == TcpState::Established
+                    && tcb.send.room() > 0
+                    && tcb.fin_seq.is_none()
+                    && !tcb.fin_pending;
+            }
+        }
+        Transport::Udp => {
+            if let Some(u) = &inner.udp {
+                m.readable = !u.queue.is_empty();
+                m.writable = true;
+            }
+        }
+        Transport::RawIp => {
+            if let Some(r) = &inner.raw {
+                m.readable = !r.queue.is_empty();
+                m.writable = true;
+            }
+        }
+    }
+    m
+}
+
+fn default_release(inner: &mut SocketInner) {
+    inner.alt_recv.clear();
+}
+
+fn interposed_recvmsg(
+    inner: &mut SocketInner,
+    n: usize,
+    flags: RecvFlags,
+) -> NetResult<(Vec<u8>, Option<Endpoint>)> {
+    // Urgent reads bypass the alternate queue (it holds stream data only).
+    if !flags.oob && !inner.alt_recv.is_empty() {
+        let take = n.min(inner.alt_recv.len());
+        let data: Vec<u8> = if flags.peek {
+            inner.alt_recv.iter().take(take).copied().collect()
+        } else {
+            inner.alt_recv.drain(..take).collect()
+        };
+        if inner.alt_recv.is_empty() && !flags.peek {
+            // Queue depleted: reinstall the original methods so regular
+            // operation incurs no further overhead (§5).
+            inner.vtable = default_vtable();
+        }
+        return Ok((data, None));
+    }
+    if !flags.oob && flags.peek {
+        // Alternate queue is empty only transiently here; fall through.
+    }
+    default_recvmsg(inner, n, flags)
+}
+
+fn interposed_poll(inner: &SocketInner) -> PollMask {
+    let mut m = default_poll(inner);
+    if !inner.alt_recv.is_empty() {
+        m.readable = true;
+    }
+    m
+}
+
+fn interposed_release(inner: &mut SocketInner) {
+    // Restored-but-unconsumed data is dropped with the socket.
+    inner.alt_recv.clear();
+    default_release(inner);
+}
+
+/// A communication endpoint. Shared (`Arc`) between the owning process's
+/// descriptor table, the node's stack maps, and in-flight timer events.
+pub struct Socket {
+    /// Unique id.
+    pub id: SocketId,
+    pub(crate) net: Arc<NetShared>,
+    pub(crate) stack: Weak<NetStack>,
+    pub(crate) inner: Mutex<SocketInner>,
+}
+
+impl std::fmt::Debug for Socket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Socket#{}", self.id)
+    }
+}
+
+impl Socket {
+    pub(crate) fn new(
+        net: Arc<NetShared>,
+        stack: Weak<NetStack>,
+        transport: Transport,
+        default_ip: u32,
+        ip_proto: u8,
+    ) -> Arc<Socket> {
+        let opts = SockOpts::default();
+        let udp = (transport == Transport::Udp).then(|| UdpState::new(opts.rcv_buf as usize));
+        let raw = (transport == Transport::RawIp)
+            .then(|| RawState::new(ip_proto, opts.rcv_buf as usize));
+        Arc::new(Socket {
+            id: NEXT_SOCKET_ID.fetch_add(1, Ordering::Relaxed),
+            net,
+            stack,
+            inner: Mutex::new(SocketInner {
+                transport,
+                opts,
+                local: None,
+                default_ip,
+                tcb: None,
+                udp,
+                raw,
+                listen: None,
+                parent: None,
+                vtable: default_vtable(),
+                alt_recv: VecDeque::new(),
+                err: None,
+                rd_shutdown: false,
+                detached: false,
+                phase: SocketState::Unbound,
+                rtx_scheduled: false,
+                tx_vt: 0,
+                rx_vt: 0,
+            }),
+        })
+    }
+
+    fn stack(&self) -> NetResult<Arc<NetStack>> {
+        self.stack.upgrade().ok_or(NetError::Closed)
+    }
+
+    /// Runs `f` with the locked interior (checkpoint extraction path).
+    pub fn with_inner<R>(&self, f: impl FnOnce(&mut SocketInner) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+
+    /// Transport protocol.
+    pub fn transport(&self) -> Transport {
+        self.inner.lock().transport
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SocketState {
+        self.inner.lock().state()
+    }
+
+    /// Local endpoint, if bound.
+    pub fn local_addr(&self) -> Option<Endpoint> {
+        self.inner.lock().local
+    }
+
+    /// Remote endpoint, if connected.
+    pub fn peer_addr(&self) -> Option<Endpoint> {
+        self.inner.lock().peer()
+    }
+
+    /// Takes a pending asynchronous error, if any.
+    pub fn take_error(&self) -> Option<NetError> {
+        self.inner.lock().err.take()
+    }
+
+    /// True once a TCP connection is established (or UDP has a peer).
+    pub fn is_connected(&self) -> bool {
+        self.state() == SocketState::Connected
+    }
+
+    /// Sets the virtual clock attached to subsequent sends (timing model).
+    pub fn set_tx_vt(&self, vt: u64) {
+        let mut inner = self.inner.lock();
+        inner.tx_vt = vt;
+        if let Some(tcb) = &mut inner.tcb {
+            tcb.tx_vt = vt;
+        }
+    }
+
+    /// Merged virtual clock of data received so far (timing model).
+    pub fn rx_vt(&self) -> u64 {
+        self.inner.lock().rx_vt
+    }
+
+    /// `getsockopt`.
+    pub fn getsockopt(&self, opt: SockOpt) -> OptValue {
+        self.inner.lock().opts.get(opt)
+    }
+
+    /// `setsockopt`, with live side effects where applicable.
+    pub fn setsockopt(&self, opt: SockOpt, value: OptValue) -> NetResult<()> {
+        let mut inner = self.inner.lock();
+        if !inner.opts.set(opt, value) {
+            return Err(NetError::Invalid);
+        }
+        if opt == SockOpt::OobInline {
+            if let (Some(tcb), OptValue::Bool(v)) = (&mut inner.tcb, value) {
+                tcb.set_oob_inline(v);
+            }
+        }
+        Ok(())
+    }
+
+    /// Binds to a local endpoint. Port 0 selects an ephemeral port.
+    pub fn bind(&self, addr: Endpoint) -> NetResult<Endpoint> {
+        let stack = self.stack()?;
+        let mut inner = self.inner.lock();
+        if inner.local.is_some() {
+            return Err(NetError::Invalid);
+        }
+        let transport = inner.transport;
+        let reuse = inner.opts.reuse_addr;
+        let ip_proto = inner.raw.as_ref().map(|r| r.ip_proto);
+        let bound = stack.bind_port(self.id, addr, transport, reuse, ip_proto)?;
+        inner.local = Some(bound);
+        inner.phase = SocketState::Bound;
+        Ok(bound)
+    }
+
+    /// Marks a bound TCP socket as listening.
+    pub fn listen(&self, backlog: usize) -> NetResult<()> {
+        let mut inner = self.inner.lock();
+        if inner.transport != Transport::Tcp || inner.local.is_none() {
+            return Err(NetError::Invalid);
+        }
+        if inner.listen.is_some() {
+            return Ok(());
+        }
+        inner.listen = Some(ListenState { backlog: backlog.max(1), pending: VecDeque::new() });
+        inner.phase = SocketState::Listening;
+        Ok(())
+    }
+
+    /// Accepts one pending connection; `WouldBlock` when none is ready.
+    pub fn accept(&self) -> NetResult<Arc<Socket>> {
+        let mut inner = self.inner.lock();
+        let l = inner.listen.as_mut().ok_or(NetError::Invalid)?;
+        l.pending.pop_front().ok_or(NetError::WouldBlock)
+    }
+
+    /// Initiates a connection (non-blocking). For TCP the handshake
+    /// completes asynchronously; poll [`Socket::is_connected`]. For UDP this
+    /// sets the default peer.
+    pub fn connect(self: &Arc<Self>, dst: Endpoint) -> NetResult<()> {
+        let stack = self.stack()?;
+        let mut inner = self.inner.lock();
+        match inner.transport {
+            Transport::Udp => {
+                let u = inner.udp.as_mut().ok_or(NetError::Invalid)?;
+                u.peer = Some(dst);
+                if inner.local.is_none() {
+                    let ip = inner.default_ip;
+                    drop(inner);
+                    self.bind(Endpoint { ip, port: 0 })?;
+                    self.inner.lock().phase = SocketState::Connected;
+                } else {
+                    inner.phase = SocketState::Connected;
+                }
+                Ok(())
+            }
+            Transport::RawIp => Err(NetError::Unsupported),
+            Transport::Tcp => {
+                if inner.tcb.is_some() {
+                    return Err(NetError::AlreadyConnected);
+                }
+                if inner.local.is_none() {
+                    let ip = inner.default_ip;
+                    let transport = inner.transport;
+                    let reuse = inner.opts.reuse_addr;
+                    let bound =
+                        stack.bind_port(self.id, Endpoint { ip, port: 0 }, transport, reuse, None)?;
+                    inner.local = Some(bound);
+                }
+                let local = inner.local.expect("bound above");
+                let tcb = Tcb::connect(
+                    local,
+                    dst,
+                    fresh_isn(),
+                    inner.opts.snd_buf as usize,
+                    inner.opts.rcv_buf as usize,
+                    inner.opts.tcp_max_seg as usize,
+                    inner.opts.oob_inline,
+                );
+                let mut syn = tcb.make_syn();
+                syn.vt = inner.tx_vt;
+                inner.tcb = Some(tcb);
+                inner.phase = SocketState::Connecting;
+                drop(inner);
+                stack.register_connection(local, dst, self);
+                self.net.send(syn);
+                self.ensure_rtx();
+                Ok(())
+            }
+        }
+    }
+
+    /// Sends stream data; returns bytes queued, or `WouldBlock` when the
+    /// send buffer is full.
+    pub fn send(self: &Arc<Self>, data: &[u8]) -> NetResult<usize> {
+        self.send_impl(data, false)
+    }
+
+    /// Sends urgent (out-of-band) data.
+    pub fn send_oob(self: &Arc<Self>, data: &[u8]) -> NetResult<usize> {
+        self.send_impl(data, true)
+    }
+
+    fn send_impl(self: &Arc<Self>, data: &[u8], urgent: bool) -> NetResult<usize> {
+        let mut inner = self.inner.lock();
+        if let Some(e) = inner.err.take() {
+            return Err(e);
+        }
+        match inner.transport {
+            Transport::Tcp => {
+                let vt = inner.tx_vt;
+                let tcb = inner.tcb.as_mut().ok_or(NetError::NotConnected)?;
+                tcb.tx_vt = vt;
+                let mut out = Vec::new();
+                let n = tcb.write(data, urgent, &mut out)?;
+                drop(inner);
+                for s in out {
+                    self.net.send(s);
+                }
+                self.ensure_rtx();
+                Ok(n)
+            }
+            Transport::Udp => {
+                let peer = inner.udp.as_ref().and_then(|u| u.peer).ok_or(NetError::NotConnected)?;
+                drop(inner);
+                self.sendto(peer, data)
+            }
+            Transport::RawIp => Err(NetError::NotConnected),
+        }
+    }
+
+    /// Sends a datagram to `dst` (UDP / raw IP).
+    pub fn sendto(self: &Arc<Self>, dst: Endpoint, data: &[u8]) -> NetResult<usize> {
+        let mut inner = self.inner.lock();
+        if inner.local.is_none() {
+            let ip = inner.default_ip;
+            let transport = inner.transport;
+            let reuse = inner.opts.reuse_addr;
+            let ip_proto = inner.raw.as_ref().map(|r| r.ip_proto);
+            let stack = self.stack()?;
+            let bound =
+                stack.bind_port(self.id, Endpoint { ip, port: 0 }, transport, reuse, ip_proto)?;
+            inner.local = Some(bound);
+        }
+        let local = inner.local.expect("bound above");
+        let seg = match inner.transport {
+            Transport::Udp => {
+                let mut s = Segment::udp(local, dst, data.to_vec());
+                s.vt = inner.tx_vt;
+                s
+            }
+            Transport::RawIp => {
+                let proto = inner.raw.as_ref().map(|r| r.ip_proto).unwrap_or(255);
+                let mut s = Segment::raw(local, dst, proto, data.to_vec());
+                s.vt = inner.tx_vt;
+                s
+            }
+            Transport::Tcp => return Err(NetError::Unsupported),
+        };
+        drop(inner);
+        self.net.send(seg);
+        Ok(data.len())
+    }
+
+    /// Receives via the dispatch vector; returns the data read. An empty
+    /// vector means EOF (TCP). `WouldBlock` means no data yet.
+    pub fn recv(&self, n: usize, flags: RecvFlags) -> NetResult<Vec<u8>> {
+        let mut inner = self.inner.lock();
+        let f = inner.vtable.recvmsg;
+        f(&mut inner, n, flags).map(|(d, _)| d)
+    }
+
+    /// Receives one datagram with its source address (UDP / raw IP).
+    pub fn recvfrom(&self, n: usize, flags: RecvFlags) -> NetResult<(Vec<u8>, Endpoint)> {
+        let mut inner = self.inner.lock();
+        let f = inner.vtable.recvmsg;
+        let (d, src) = f(&mut inner, n, flags)?;
+        Ok((d, src.unwrap_or(Endpoint::ANY)))
+    }
+
+    /// Polls readiness via the dispatch vector.
+    pub fn poll(&self) -> PollMask {
+        let inner = self.inner.lock();
+        (inner.vtable.poll)(&inner)
+    }
+
+    /// Shuts down one or both directions.
+    pub fn shutdown(self: &Arc<Self>, how: Shutdown) -> NetResult<()> {
+        let mut inner = self.inner.lock();
+        let mut out = Vec::new();
+        if matches!(how, Shutdown::Read | Shutdown::Both) {
+            inner.rd_shutdown = true;
+        }
+        if matches!(how, Shutdown::Write | Shutdown::Both) {
+            if let Some(tcb) = &mut inner.tcb {
+                tcb.close_send(&mut out);
+            }
+        }
+        drop(inner);
+        for s in out {
+            self.net.send(s);
+        }
+        self.ensure_rtx();
+        Ok(())
+    }
+
+    /// Graceful close: releases via the dispatch vector, emits FIN on TCP,
+    /// and deregisters listener/bind entries. The socket is detached: once
+    /// its TCB (if any) finishes closing, the stack reaps it.
+    pub fn close(self: &Arc<Self>) {
+        let mut inner = self.inner.lock();
+        let f = inner.vtable.release;
+        f(&mut inner);
+        inner.detached = true;
+        let mut out = Vec::new();
+        let mut pending = None;
+        if let Some(tcb) = &mut inner.tcb {
+            tcb.close_send(&mut out);
+        }
+        if let Some(l) = inner.listen.take() {
+            pending = Some(l.pending);
+        }
+        let local = inner.local;
+        let transport = inner.transport;
+        if inner.tcb.is_none() {
+            inner.phase = SocketState::Closed;
+        }
+        let reap = inner.tcb.as_ref().map(|t| t.state == TcpState::Closed).unwrap_or(true);
+        drop(inner);
+        for s in out {
+            self.net.send(s);
+        }
+        self.ensure_rtx();
+        // Refuse connections that were pending on a closed listener.
+        if let Some(pending) = pending {
+            for child in pending {
+                child.abort();
+            }
+        }
+        if let (Some(stack), Some(local)) = (self.stack.upgrade(), local) {
+            stack.unbind_port(self.id, local, transport);
+        }
+        if reap {
+            if let Some(stack) = self.stack.upgrade() {
+                stack.remove_socket(self.id);
+            }
+        }
+    }
+
+    /// Hard abort: RST and immediate teardown.
+    pub fn abort(self: &Arc<Self>) {
+        let mut inner = self.inner.lock();
+        let mut out = Vec::new();
+        if let Some(tcb) = &mut inner.tcb {
+            tcb.abort(&mut out);
+        }
+        inner.phase = SocketState::Closed;
+        drop(inner);
+        for s in out {
+            self.net.send(s);
+        }
+    }
+
+    /// Installs the alternate receive queue with restored stream data and
+    /// swaps in the interposed dispatch vector (§5 restore path). May be
+    /// called with more data appended later (send-queue merge optimization).
+    pub fn install_alt_queue(&self, data: Vec<u8>) {
+        if data.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.alt_recv.extend(data);
+        inner.vtable = interposed_vtable();
+    }
+
+    /// Restore path: reinstates urgent (out-of-band) data into the receive
+    /// side's urgent queue (it is a separate channel from the alternate
+    /// stream queue).
+    pub fn restore_urgent(&self, data: &[u8]) {
+        if data.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        if let Some(tcb) = &mut inner.tcb {
+            tcb.recv.restore_urgent(data);
+        }
+    }
+
+    /// Restore path: marks the receive queue as having been peeked at
+    /// (observable application state, §5).
+    pub fn set_recv_peeked(&self) {
+        let mut inner = self.inner.lock();
+        match inner.transport {
+            Transport::Tcp => {
+                if let Some(tcb) = &mut inner.tcb {
+                    tcb.recv.peek(0);
+                }
+            }
+            Transport::Udp => {
+                if let Some(u) = &mut inner.udp {
+                    u.queue.restore(Vec::new(), true);
+                }
+            }
+            Transport::RawIp => {
+                if let Some(r) = &mut inner.raw {
+                    r.queue.restore(Vec::new(), true);
+                }
+            }
+        }
+    }
+
+    /// Restore path: puts an accepted child back on this listener's pending
+    /// queue (the original connection had not been `accept`ed by the
+    /// application when the checkpoint was taken).
+    pub fn return_to_pending(&self, child: Arc<Socket>) -> NetResult<()> {
+        let mut inner = self.inner.lock();
+        let l = inner.listen.as_mut().ok_or(NetError::Invalid)?;
+        l.pending.push_back(child);
+        Ok(())
+    }
+
+    /// Restore path: refills a datagram receive queue (UDP / raw IP).
+    pub fn restore_datagrams(&self, dgrams: Vec<crate::udp::Datagram>, peeked: bool) {
+        let mut inner = self.inner.lock();
+        match inner.transport {
+            Transport::Udp => {
+                if let Some(u) = &mut inner.udp {
+                    u.queue.restore(dgrams, peeked);
+                }
+            }
+            Transport::RawIp => {
+                if let Some(r) = &mut inner.raw {
+                    r.queue.restore(dgrams, peeked);
+                }
+            }
+            Transport::Tcp => {}
+        }
+    }
+
+    /// Bytes pending in the alternate receive queue.
+    pub fn alt_queue_len(&self) -> usize {
+        self.inner.lock().alt_recv.len()
+    }
+
+    /// Whether the interposed dispatch vector is currently installed.
+    pub fn is_interposed(&self) -> bool {
+        std::ptr::fn_addr_eq(self.inner.lock().vtable.recvmsg, interposed_recvmsg as RecvMsgFn)
+    }
+
+    /// Arms the retransmission timer if the TCB needs one (stack-internal).
+    pub(crate) fn kick_rtx(self: &Arc<Self>) {
+        self.ensure_rtx();
+    }
+
+    fn ensure_rtx(self: &Arc<Self>) {
+        let mut inner = self.inner.lock();
+        let needs = inner.tcb.as_ref().map(|t| t.needs_rtx()).unwrap_or(false);
+        if needs && !inner.rtx_scheduled {
+            inner.rtx_scheduled = true;
+            let backoff = inner.tcb.as_ref().map(|t| t.rtx_backoff).unwrap_or(0);
+            drop(inner);
+            self.net.schedule_rtx(self, backoff);
+        }
+    }
+
+    /// Retransmission timer callback (pump-thread context).
+    pub(crate) fn on_rtx_timer(self: &Arc<Self>) {
+        let mut inner = self.inner.lock();
+        inner.rtx_scheduled = false;
+        let Some(tcb) = &mut inner.tcb else { return };
+        // Abandon handshakes that never complete.
+        if matches!(tcb.state, TcpState::SynSent) && tcb.rtx_backoff > 10 {
+            tcb.state = TcpState::Closed;
+            inner.err = Some(NetError::TimedOut);
+            return;
+        }
+        let mut out = Vec::new();
+        tcb.on_rtx_timer(&mut out);
+        let needs = tcb.needs_rtx();
+        let backoff = tcb.rtx_backoff;
+        if needs {
+            inner.rtx_scheduled = true;
+        }
+        drop(inner);
+        for s in out {
+            self.net.send(s);
+        }
+        if needs {
+            self.net.schedule_rtx(self, backoff);
+        }
+    }
+
+    /// Handles one incoming TCP segment (pump-thread context, via the
+    /// stack's demultiplexer).
+    pub(crate) fn handle_segment(self: &Arc<Self>, seg: Segment) {
+        let mut inner = self.inner.lock();
+        let vt_lat = self.net.cfg.vt_latency_ns;
+        inner.rx_vt = inner.rx_vt.max(seg.vt + vt_lat);
+        let Some(tcb) = &mut inner.tcb else { return };
+        tcb.rx_vt = tcb.rx_vt.max(seg.vt + vt_lat);
+        let mut out = Vec::new();
+        let ev = tcb.input(&seg, &mut out);
+        if ev.reset {
+            inner.err = Some(if inner.phase == SocketState::Connecting {
+                NetError::ConnRefused
+            } else {
+                NetError::ConnReset
+            });
+        }
+        if ev.established {
+            inner.phase = SocketState::Connected;
+        }
+        let parent = if ev.established { inner.parent.take() } else { None };
+        let reap = inner.detached
+            && inner.tcb.as_ref().map(|t| t.state == TcpState::Closed).unwrap_or(true);
+        drop(inner);
+        for s in out {
+            self.net.send(s);
+        }
+        self.ensure_rtx();
+        if reap {
+            if let Some(stack) = self.stack.upgrade() {
+                stack.remove_socket(self.id);
+            }
+        }
+        // Completed child handshake: hand ourselves to the listener.
+        if let Some(parent) = parent.and_then(|w| w.upgrade()) {
+            let mut p = parent.inner.lock();
+            if let Some(l) = &mut p.listen {
+                if l.pending.len() < l.backlog {
+                    l.pending.push_back(Arc::clone(self));
+                } else {
+                    drop(p);
+                    self.abort();
+                }
+            } else {
+                drop(p);
+                self.abort();
+            }
+        }
+    }
+
+    /// Delivers a datagram (UDP / raw) into the receive queue.
+    pub(crate) fn handle_datagram(self: &Arc<Self>, seg: Segment) {
+        let mut inner = self.inner.lock();
+        let vt_lat = self.net.cfg.vt_latency_ns;
+        inner.rx_vt = inner.rx_vt.max(seg.vt + vt_lat);
+        match seg.transport {
+            Transport::Udp => {
+                if let Some(u) = &mut inner.udp {
+                    if u.accepts_from(seg.src) {
+                        u.rx_vt = u.rx_vt.max(seg.vt + vt_lat);
+                        u.queue.push(Datagram { src: seg.src, data: seg.payload });
+                    }
+                }
+            }
+            Transport::RawIp => {
+                if let Some(r) = &mut inner.raw {
+                    if r.ip_proto == seg.ip_proto {
+                        r.rx_vt = r.rx_vt.max(seg.vt + vt_lat);
+                        r.queue.push(Datagram { src: seg.src, data: seg.payload });
+                    }
+                }
+            }
+            Transport::Tcp => {}
+        }
+    }
+
+    // ---- Blocking conveniences (agent/restore threads, tests) ----------
+
+    /// Spins until the connection is established, an error surfaces, or
+    /// `timeout` elapses.
+    pub fn connect_wait(&self, timeout: Duration) -> NetResult<()> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.state() {
+                SocketState::Connected => return Ok(()),
+                SocketState::Closed => {
+                    return Err(self.take_error().unwrap_or(NetError::ConnRefused))
+                }
+                _ => {}
+            }
+            if let Some(e) = self.take_error() {
+                return Err(e);
+            }
+            if Instant::now() >= deadline {
+                return Err(NetError::TimedOut);
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+
+    /// Blocking accept with a timeout.
+    pub fn accept_wait(&self, timeout: Duration) -> NetResult<Arc<Socket>> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.accept() {
+                Err(NetError::WouldBlock) => {}
+                other => return other,
+            }
+            if Instant::now() >= deadline {
+                return Err(NetError::TimedOut);
+            }
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+
+    /// Writes all of `data`, blocking while the send buffer is full.
+    pub fn write_all_wait(self: &Arc<Self>, data: &[u8], timeout: Duration) -> NetResult<()> {
+        let deadline = Instant::now() + timeout;
+        let mut off = 0;
+        while off < data.len() {
+            match self.send(&data[off..]) {
+                Ok(n) => off += n,
+                Err(NetError::WouldBlock) => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::TimedOut);
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Blocking datagram receive with a timeout (UDP / raw IP).
+    pub fn read_datagram_wait(&self, timeout: Duration) -> NetResult<(Vec<u8>, Endpoint)> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match self.recvfrom(usize::MAX, RecvFlags::default()) {
+                Err(NetError::WouldBlock) => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::TimedOut);
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Reads exactly `n` bytes, blocking as needed.
+    pub fn read_exact_wait(&self, n: usize, timeout: Duration) -> NetResult<Vec<u8>> {
+        let deadline = Instant::now() + timeout;
+        let mut buf = Vec::with_capacity(n);
+        while buf.len() < n {
+            match self.recv(n - buf.len(), RecvFlags::default()) {
+                Ok(d) if d.is_empty() => return Err(NetError::Closed), // EOF mid-read
+                Ok(d) => buf.extend(d),
+                Err(NetError::WouldBlock) => {
+                    if Instant::now() >= deadline {
+                        return Err(NetError::TimedOut);
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vtable_debug_distinguishes() {
+        assert_eq!(format!("{:?}", default_vtable()), "SockVtable(default)");
+        assert_eq!(format!("{:?}", interposed_vtable()), "SockVtable(interposed)");
+    }
+
+    #[test]
+    fn recv_flags_default_is_plain_read() {
+        let f = RecvFlags::default();
+        assert!(!f.peek && !f.oob);
+    }
+}

@@ -1,0 +1,376 @@
+//! Per-node network stack: socket tables, port allocation, and segment
+//! demultiplexing.
+//!
+//! Each simulated cluster node runs one `NetStack` — the node's kernel
+//! network layer. The wire delivers segments here; the stack demultiplexes
+//! to established connections, listeners (spawning handshake children that
+//! inherit the listening port — the source-port inheritance §4's restart
+//! schedule must respect), UDP binds, or raw-IP binds.
+
+use crate::seg::Segment;
+use crate::socket::{Socket, SocketId};
+use crate::tcp::Tcb;
+use crate::wire::NetShared;
+use crate::{NetError, NetResult};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use zapc_proto::{Endpoint, Transport};
+
+/// Lowest ephemeral port.
+const EPHEMERAL_BASE: u16 = 49152;
+
+#[derive(Debug, Default)]
+struct StackInner {
+    sockets: HashMap<SocketId, Arc<Socket>>,
+    /// Bound ports: `(ip, port, transport) → socket`.
+    ports: HashMap<(u32, u16, Transport), SocketId>,
+    /// Established (and in-handshake) connections: `(local, remote) → socket`.
+    est: HashMap<(Endpoint, Endpoint), SocketId>,
+    /// Raw-IP binds: `(ip, protocol) → socket`.
+    raw_binds: HashMap<(u32, u8), SocketId>,
+    next_ephemeral: u16,
+}
+
+/// One node's network stack.
+pub struct NetStack {
+    /// Node identifier (diagnostics only; routing is by virtual IP).
+    pub node: u32,
+    net: Arc<NetShared>,
+    inner: RwLock<StackInner>,
+    weak_self: std::sync::Weak<NetStack>,
+}
+
+impl std::fmt::Debug for NetStack {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "NetStack(node={})", self.node)
+    }
+}
+
+impl NetStack {
+    /// Creates the stack for node `node`, attached to the wire `net`.
+    pub fn new(node: u32, net: Arc<NetShared>) -> Arc<NetStack> {
+        Arc::new_cyclic(|weak| NetStack {
+            node,
+            net,
+            inner: RwLock::new(StackInner {
+                next_ephemeral: EPHEMERAL_BASE,
+                ..Default::default()
+            }),
+            weak_self: weak.clone(),
+        })
+    }
+
+    /// Creates a socket on this node. `default_ip` is the owning pod's
+    /// virtual IP (used for auto-binding); `ip_proto` selects the protocol
+    /// for raw sockets.
+    pub fn socket(&self, transport: Transport, default_ip: u32, ip_proto: u8) -> Arc<Socket> {
+        let s = Socket::new(
+            Arc::clone(&self.net),
+            self.weak_self.clone(),
+            transport,
+            default_ip,
+            ip_proto,
+        );
+        self.inner.write().sockets.insert(s.id, Arc::clone(&s));
+        s
+    }
+
+    /// Number of sockets registered on this stack.
+    pub fn socket_count(&self) -> usize {
+        self.inner.read().sockets.len()
+    }
+
+    /// Looks a socket up by id.
+    pub fn socket_by_id(&self, id: SocketId) -> Option<Arc<Socket>> {
+        self.inner.read().sockets.get(&id).cloned()
+    }
+
+    /// All sockets whose local address (or default IP) is `vip` — the set a
+    /// pod's network checkpoint must cover.
+    pub fn sockets_for_ip(&self, vip: u32) -> Vec<Arc<Socket>> {
+        let inner = self.inner.read();
+        let mut out: Vec<Arc<Socket>> = inner
+            .sockets
+            .values()
+            .filter(|s| {
+                s.with_inner(|i| i.local.map(|l| l.ip == vip).unwrap_or(i.default_ip == vip))
+            })
+            .cloned()
+            .collect();
+        out.sort_by_key(|s| s.id);
+        out
+    }
+
+    /// Claims a port binding. Port 0 selects an ephemeral port. For raw
+    /// sockets, registers the `(ip, protocol)` capture instead.
+    pub(crate) fn bind_port(
+        &self,
+        sock: SocketId,
+        addr: Endpoint,
+        transport: Transport,
+        _reuse: bool,
+        ip_proto: Option<u8>,
+    ) -> NetResult<Endpoint> {
+        let mut inner = self.inner.write();
+        if transport == Transport::RawIp {
+            let proto = ip_proto.ok_or(NetError::Invalid)?;
+            if inner.raw_binds.contains_key(&(addr.ip, proto)) {
+                return Err(NetError::AddrInUse);
+            }
+            inner.raw_binds.insert((addr.ip, proto), sock);
+            return Ok(addr);
+        }
+        let port = if addr.port == 0 {
+            let mut candidate = inner.next_ephemeral;
+            let mut found = None;
+            for _ in 0..=(u16::MAX - EPHEMERAL_BASE) {
+                if !inner.ports.contains_key(&(addr.ip, candidate, transport)) {
+                    found = Some(candidate);
+                    break;
+                }
+                candidate = if candidate == u16::MAX { EPHEMERAL_BASE } else { candidate + 1 };
+            }
+            let p = found.ok_or(NetError::AddrInUse)?;
+            inner.next_ephemeral = if p == u16::MAX { EPHEMERAL_BASE } else { p + 1 };
+            p
+        } else {
+            if inner.ports.contains_key(&(addr.ip, addr.port, transport)) {
+                return Err(NetError::AddrInUse);
+            }
+            addr.port
+        };
+        let bound = Endpoint { ip: addr.ip, port };
+        inner.ports.insert((bound.ip, bound.port, transport), sock);
+        Ok(bound)
+    }
+
+    /// Releases a port binding (only if still owned by `sock`).
+    pub(crate) fn unbind_port(&self, sock: SocketId, addr: Endpoint, transport: Transport) {
+        let mut inner = self.inner.write();
+        if transport == Transport::RawIp {
+            inner.raw_binds.retain(|_, &mut v| v != sock);
+            return;
+        }
+        if inner.ports.get(&(addr.ip, addr.port, transport)) == Some(&sock) {
+            inner.ports.remove(&(addr.ip, addr.port, transport));
+        }
+    }
+
+    /// Registers a connection four-tuple for demultiplexing.
+    pub(crate) fn register_connection(&self, local: Endpoint, remote: Endpoint, sock: &Arc<Socket>) {
+        self.inner.write().est.insert((local, remote), sock.id);
+    }
+
+    /// Fully removes a socket from every table (pod teardown).
+    pub fn remove_socket(&self, id: SocketId) {
+        let mut inner = self.inner.write();
+        inner.sockets.remove(&id);
+        inner.ports.retain(|_, &mut v| v != id);
+        inner.est.retain(|_, &mut v| v != id);
+        inner.raw_binds.retain(|_, &mut v| v != id);
+    }
+
+    /// Removes every socket bound to `vip` (pod destroyed or migrated away).
+    pub fn remove_sockets_for_ip(&self, vip: u32) {
+        let doomed: Vec<SocketId> = self.sockets_for_ip(vip).iter().map(|s| s.id).collect();
+        for id in doomed {
+            self.remove_socket(id);
+        }
+    }
+
+    /// Demultiplexes one segment from the wire (pump-thread context).
+    pub fn deliver(self: &Arc<Self>, seg: Segment) {
+        match seg.transport {
+            Transport::Tcp => self.deliver_tcp(seg),
+            Transport::Udp => {
+                let sock = {
+                    let inner = self.inner.read();
+                    inner
+                        .ports
+                        .get(&(seg.dst.ip, seg.dst.port, Transport::Udp))
+                        .or_else(|| inner.ports.get(&(0, seg.dst.port, Transport::Udp)))
+                        .and_then(|id| inner.sockets.get(id))
+                        .cloned()
+                };
+                if let Some(s) = sock {
+                    s.handle_datagram(seg);
+                }
+            }
+            Transport::RawIp => {
+                let sock = {
+                    let inner = self.inner.read();
+                    inner
+                        .raw_binds
+                        .get(&(seg.dst.ip, seg.ip_proto))
+                        .or_else(|| inner.raw_binds.get(&(0, seg.ip_proto)))
+                        .and_then(|id| inner.sockets.get(id))
+                        .cloned()
+                };
+                if let Some(s) = sock {
+                    s.handle_datagram(seg);
+                }
+            }
+        }
+    }
+
+    fn deliver_tcp(self: &Arc<Self>, seg: Segment) {
+        // Established / in-handshake connection?
+        let est = {
+            let inner = self.inner.read();
+            inner.est.get(&(seg.dst, seg.src)).and_then(|id| inner.sockets.get(id)).cloned()
+        };
+        if let Some(sock) = est {
+            sock.handle_segment(seg);
+            return;
+        }
+        // Listener?
+        let listener = {
+            let inner = self.inner.read();
+            inner
+                .ports
+                .get(&(seg.dst.ip, seg.dst.port, Transport::Tcp))
+                .or_else(|| inner.ports.get(&(0, seg.dst.port, Transport::Tcp)))
+                .and_then(|id| inner.sockets.get(id))
+                .cloned()
+        };
+        if let Some(listener) = listener {
+            if seg.flags.syn && !seg.flags.ack {
+                self.spawn_child(&listener, &seg);
+                return;
+            }
+            // Non-SYN to a listener port without a connection: reset.
+            if !seg.flags.rst {
+                self.net.send(Tcb::make_rst_for(&seg));
+            }
+            return;
+        }
+        // Nothing there: connection refused.
+        if !seg.flags.rst {
+            self.net.send(Tcb::make_rst_for(&seg));
+        }
+    }
+
+    /// Creates the passive-open child for a SYN arriving at a listener. The
+    /// child's local endpoint is the listener's — it *inherits the source
+    /// port* of the listening socket (§4).
+    fn spawn_child(self: &Arc<Self>, listener: &Arc<Socket>, seg: &Segment) {
+        // Snapshot what we need from the listener, then release its lock.
+        let (listening, opts) = listener.with_inner(|i| (i.listen.is_some(), i.opts.clone()));
+        if !listening {
+            self.net.send(Tcb::make_rst_for(seg));
+            return;
+        }
+        let child = Socket::new(
+            Arc::clone(&self.net),
+            self.weak_self.clone(),
+            Transport::Tcp,
+            seg.dst.ip,
+            6,
+        );
+        let synack = child.with_inner(|i| {
+            i.opts = opts.clone();
+            i.local = Some(seg.dst);
+            i.parent = Some(Arc::downgrade(listener));
+            i.phase = crate::socket::SocketState::Connecting;
+            let tcb = Tcb::accept(
+                seg.dst,
+                seg.src,
+                crate::socket::fresh_isn(),
+                seg.seq,
+                opts.snd_buf as usize,
+                opts.rcv_buf as usize,
+                opts.tcp_max_seg as usize,
+                opts.oob_inline,
+            );
+            let sa = tcb.make_syn_ack();
+            i.tcb = Some(tcb);
+            sa
+        });
+        // Register, guarding against a duplicate SYN racing us.
+        {
+            let mut inner = self.inner.write();
+            if inner.est.contains_key(&(seg.dst, seg.src)) {
+                // A child already exists; it will re-answer on its own
+                // retransmission timer. Drop ours.
+                return;
+            }
+            inner.est.insert((seg.dst, seg.src), child.id);
+            inner.sockets.insert(child.id, Arc::clone(&child));
+        }
+        self.net.send(synack);
+        child.kick_rtx();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{Network, NetworkConfig};
+    use std::time::Duration;
+
+    fn quiet_net() -> Network {
+        Network::new(NetworkConfig {
+            latency: Duration::from_micros(10),
+            jitter: Duration::ZERO,
+            ..Default::default()
+        })
+    }
+
+    fn ep(h: u8, p: u16) -> Endpoint {
+        Endpoint::new(10, 10, 0, h, p)
+    }
+
+    #[test]
+    fn bind_explicit_and_conflict() {
+        let net = quiet_net();
+        let stack = NetStack::new(1, net.handle());
+        let a = stack.socket(Transport::Udp, ep(1, 0).ip, 0);
+        let b = stack.socket(Transport::Udp, ep(1, 0).ip, 0);
+        assert_eq!(a.bind(ep(1, 7000)).unwrap(), ep(1, 7000));
+        assert_eq!(b.bind(ep(1, 7000)), Err(NetError::AddrInUse));
+        // Same port, different transport is fine.
+        let c = stack.socket(Transport::Tcp, ep(1, 0).ip, 6);
+        assert!(c.bind(ep(1, 7000)).is_ok());
+    }
+
+    #[test]
+    fn ephemeral_ports_unique() {
+        let net = quiet_net();
+        let stack = NetStack::new(1, net.handle());
+        let a = stack.socket(Transport::Udp, ep(1, 0).ip, 0);
+        let b = stack.socket(Transport::Udp, ep(1, 0).ip, 0);
+        let pa = a.bind(ep(1, 0)).unwrap().port;
+        let pb = b.bind(ep(1, 0)).unwrap().port;
+        assert_ne!(pa, pb);
+        assert!(pa >= EPHEMERAL_BASE && pb >= EPHEMERAL_BASE);
+    }
+
+    #[test]
+    fn sockets_for_ip_filters() {
+        let net = quiet_net();
+        let stack = NetStack::new(1, net.handle());
+        let a = stack.socket(Transport::Udp, ep(1, 0).ip, 0);
+        a.bind(ep(1, 5000)).unwrap();
+        let _b = stack.socket(Transport::Udp, ep(2, 0).ip, 0);
+        let for_1 = stack.sockets_for_ip(ep(1, 0).ip);
+        assert_eq!(for_1.len(), 1);
+        assert_eq!(for_1[0].id, a.id);
+        // Unbound socket attributed by default_ip.
+        let for_2 = stack.sockets_for_ip(ep(2, 0).ip);
+        assert_eq!(for_2.len(), 1);
+    }
+
+    #[test]
+    fn remove_sockets_for_ip_cleans_tables() {
+        let net = quiet_net();
+        let stack = NetStack::new(1, net.handle());
+        let a = stack.socket(Transport::Udp, ep(1, 0).ip, 0);
+        a.bind(ep(1, 5000)).unwrap();
+        stack.remove_sockets_for_ip(ep(1, 0).ip);
+        assert_eq!(stack.socket_count(), 0);
+        // Port is free again.
+        let b = stack.socket(Transport::Udp, ep(1, 0).ip, 0);
+        assert!(b.bind(ep(1, 5000)).is_ok());
+    }
+}

@@ -1,0 +1,795 @@
+//! TCP-lite: the reliable transport engine.
+//!
+//! Implements the protocol behaviour the network checkpoint depends on:
+//! a three-way handshake, byte sequence numbers with SYN/FIN occupying one
+//! sequence unit each, cumulative acknowledgments, flow control by
+//! advertised window, urgent data, retransmission, and FIN/RST teardown.
+//!
+//! The [`Tcb`] (transmission control block) is this stack's
+//! *protocol-control-block* (PCB). Its [`Tcb::pcb_extract`] method exposes
+//! exactly the minimal per-connection protocol state §5 proves necessary and
+//! sufficient for restart: the `sent`, `recv` and `acked` sequence numbers.
+
+use crate::buf::{RecvBuf, SendBuf};
+use crate::seg::{SegFlags, Segment};
+use crate::NetError;
+use zapc_proto::{ConnState, Endpoint, Transport};
+
+/// Connection phase of a TCB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpState {
+    /// Active open: SYN sent, waiting for SYN+ACK.
+    SynSent,
+    /// Passive open: SYN received, SYN+ACK sent, waiting for ACK.
+    SynRcvd,
+    /// Data transfer.
+    Established,
+    /// Torn down (after RST, or both FINs exchanged and acknowledged).
+    Closed,
+}
+
+/// Minimal protocol state extracted at checkpoint time (paper §5):
+/// the three per-peer sequence numbers of Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PcbExtract {
+    /// `sent`: last data sequence transmitted (`snd.nxt`).
+    pub sent: u64,
+    /// `recv`: last data sequence received in order (`rcv.nxt`).
+    pub recv: u64,
+    /// `acked`: last of our data acknowledged by the peer (`snd.una`).
+    pub acked: u64,
+}
+
+/// Events a segment-processing step reports up to the socket layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TcbEvents {
+    /// Handshake completed (SynRcvd/SynSent → Established).
+    pub established: bool,
+    /// New application data became readable.
+    pub readable: bool,
+    /// The connection was reset by the peer.
+    pub reset: bool,
+    /// Remote FIN consumed (peer finished sending).
+    pub remote_fin: bool,
+    /// Our FIN has been acknowledged.
+    pub fin_acked: bool,
+}
+
+/// The transmission control block of one TCP-lite connection.
+#[derive(Debug)]
+pub struct Tcb {
+    /// Connection phase.
+    pub state: TcpState,
+    /// Local endpoint (virtual address).
+    pub local: Endpoint,
+    /// Remote endpoint (virtual address).
+    pub remote: Endpoint,
+    /// Initial send sequence number (the SYN's sequence).
+    pub iss: u64,
+    /// Initial receive sequence number.
+    pub irs: u64,
+    /// Send queue; data stream starts at `iss + 1`.
+    pub send: SendBuf,
+    /// Receive queues; data stream starts at `irs + 1`.
+    pub recv: RecvBuf,
+    /// Peer's advertised window.
+    pub peer_window: u64,
+    /// Maximum segment size for carving.
+    pub mss: usize,
+    /// `close`/`shutdown(Write)` requested but FIN not yet emitted.
+    pub fin_pending: bool,
+    /// FIN transmitted; its sequence number.
+    pub fin_seq: Option<u64>,
+    /// Our FIN acknowledged by the peer.
+    pub fin_acked: bool,
+    /// Retransmission backoff exponent.
+    pub rtx_backoff: u32,
+    /// Virtual clock attached to outgoing segments (timing model only).
+    pub tx_vt: u64,
+    /// Largest `segment.vt + wire latency` seen (timing model only).
+    pub rx_vt: u64,
+    /// Configured `SO_RCVBUF` (survives the SYN-time `RecvBuf` re-seed).
+    rcv_buf_limit: usize,
+    /// Configured `SO_OOBINLINE` (survives the re-seed).
+    oob_inline: bool,
+}
+
+impl Tcb {
+    /// Creates a TCB for an active open (`connect`): state `SynSent`.
+    /// The caller emits the initial SYN via [`Tcb::make_syn`].
+    pub fn connect(local: Endpoint, remote: Endpoint, iss: u64, snd_buf: usize, rcv_buf: usize, mss: usize, oob_inline: bool) -> Self {
+        Tcb {
+            state: TcpState::SynSent,
+            local,
+            remote,
+            iss,
+            irs: 0,
+            send: SendBuf::new(iss + 1, snd_buf),
+            recv: RecvBuf::new(0, rcv_buf, oob_inline), // re-seeded on SYN+ACK
+            peer_window: 64 * 1024,
+            mss,
+            fin_pending: false,
+            fin_seq: None,
+            fin_acked: false,
+            rtx_backoff: 0,
+            tx_vt: 0,
+            rx_vt: 0,
+            rcv_buf_limit: rcv_buf,
+            oob_inline,
+        }
+    }
+
+    /// Creates a TCB for a passive open (listener child): state `SynRcvd`.
+    /// `irs` is the peer SYN's sequence number.
+    #[allow(clippy::too_many_arguments)] // mirrors the socket-creation surface
+    pub fn accept(local: Endpoint, remote: Endpoint, iss: u64, irs: u64, snd_buf: usize, rcv_buf: usize, mss: usize, oob_inline: bool) -> Self {
+        Tcb {
+            state: TcpState::SynRcvd,
+            local,
+            remote,
+            iss,
+            irs,
+            send: SendBuf::new(iss + 1, snd_buf),
+            recv: RecvBuf::new(irs + 1, rcv_buf, oob_inline),
+            peer_window: 64 * 1024,
+            mss,
+            fin_pending: false,
+            fin_seq: None,
+            fin_acked: false,
+            rtx_backoff: 0,
+            tx_vt: 0,
+            rx_vt: 0,
+            rcv_buf_limit: rcv_buf,
+            oob_inline,
+        }
+    }
+
+    /// The initial SYN for an active open.
+    pub fn make_syn(&self) -> Segment {
+        let mut s = Segment::tcp(self.local, self.remote, SegFlags::syn(), self.iss, 0);
+        s.window = self.recv.window() as u32;
+        s.vt = self.tx_vt;
+        s
+    }
+
+    /// The SYN+ACK for a passive open.
+    pub fn make_syn_ack(&self) -> Segment {
+        let mut s =
+            Segment::tcp(self.local, self.remote, SegFlags::syn_ack(), self.iss, self.irs + 1);
+        s.window = self.recv.window() as u32;
+        s.vt = self.tx_vt;
+        s
+    }
+
+    fn make_ack(&self) -> Segment {
+        let mut s = Segment::tcp(
+            self.local,
+            self.remote,
+            SegFlags::ack(),
+            self.send.nxt(),
+            self.recv.nxt(),
+        );
+        s.window = self.recv.window() as u32;
+        s.vt = self.tx_vt;
+        s
+    }
+
+    /// Builds an RST answering `seg` (used for connection refusal and
+    /// aborts).
+    pub fn make_rst_for(seg: &Segment) -> Segment {
+        let mut s = Segment::tcp(seg.dst, seg.src, SegFlags::rst(), seg.ack, seg.seq_end());
+        s.flags.ack = true;
+        s
+    }
+
+    /// Whether this connection still has unacknowledged state that a
+    /// retransmission timer must protect (data, SYN, or FIN).
+    pub fn needs_rtx(&self) -> bool {
+        match self.state {
+            TcpState::SynSent | TcpState::SynRcvd => true,
+            TcpState::Established => {
+                self.send.unacked() > 0
+                    || self.send.unsent() > 0
+                    || (self.fin_seq.is_some() && !self.fin_acked)
+                    || self.fin_pending
+            }
+            TcpState::Closed => false,
+        }
+    }
+
+    /// Application write. Returns bytes accepted or `WouldBlock` when the
+    /// send buffer is full.
+    pub fn write(&mut self, data: &[u8], urgent: bool, out: &mut Vec<Segment>) -> Result<usize, NetError> {
+        match self.state {
+            TcpState::Established => {}
+            TcpState::SynSent | TcpState::SynRcvd => return Err(NetError::WouldBlock),
+            TcpState::Closed => return Err(NetError::Pipe),
+        }
+        if self.fin_pending || self.fin_seq.is_some() {
+            return Err(NetError::Pipe); // send direction shut down
+        }
+        let n = if urgent { self.send.write_urgent(data) } else { self.send.write(data) };
+        if n == 0 {
+            return Err(NetError::WouldBlock);
+        }
+        self.output(out);
+        Ok(n)
+    }
+
+    /// Carves and emits as much pending data as window allows; emits the
+    /// FIN when the send queue drains and a close was requested.
+    pub fn output(&mut self, out: &mut Vec<Segment>) {
+        if self.state != TcpState::Established {
+            return;
+        }
+        while let Some((seq, data, urg)) = self.send.next_segment(self.mss, self.peer_window.max(1)) {
+            if data.is_empty() {
+                break;
+            }
+            let mut s = Segment::tcp(self.local, self.remote, SegFlags::ack(), seq, self.recv.nxt());
+            s.flags.urg = urg;
+            s.payload = data;
+            s.window = self.recv.window() as u32;
+            s.vt = self.tx_vt;
+            out.push(s);
+        }
+        if self.fin_pending && self.send.unsent() == 0 {
+            self.fin_pending = false;
+            let fin_seq = self.send.end();
+            self.fin_seq = Some(fin_seq);
+            let mut s = Segment::tcp(self.local, self.remote, SegFlags::ack(), fin_seq, self.recv.nxt());
+            s.flags.fin = true;
+            s.window = self.recv.window() as u32;
+            s.vt = self.tx_vt;
+            out.push(s);
+        }
+    }
+
+    /// Requests connection shutdown of the send direction (FIN after the
+    /// send queue drains).
+    pub fn close_send(&mut self, out: &mut Vec<Segment>) {
+        if self.state == TcpState::Closed || self.fin_pending || self.fin_seq.is_some() {
+            return;
+        }
+        match self.state {
+            TcpState::Established => {
+                self.fin_pending = true;
+                self.output(out);
+            }
+            // Closing before the handshake finishes tears the socket down.
+            _ => self.state = TcpState::Closed,
+        }
+    }
+
+    /// Hard abort: emits RST and closes.
+    pub fn abort(&mut self, out: &mut Vec<Segment>) {
+        if self.state != TcpState::Closed {
+            let mut s = Segment::tcp(self.local, self.remote, SegFlags::rst(), self.send.nxt(), self.recv.nxt());
+            s.flags.ack = true;
+            out.push(s);
+            self.state = TcpState::Closed;
+        }
+    }
+
+    /// Processes one incoming segment; pushes any responses to `out`.
+    pub fn input(&mut self, seg: &Segment, out: &mut Vec<Segment>) -> TcbEvents {
+        let mut ev = TcbEvents::default();
+        debug_assert_eq!(seg.transport, Transport::Tcp);
+        if seg.flags.rst {
+            // Sequence-validate resets so a stale RST from a previous
+            // incarnation of this 4-tuple (e.g. teardown segments of a
+            // migrated-away pod still in flight) cannot kill the restored
+            // connection — mirroring RFC 793's window check.
+            let valid = match self.state {
+                TcpState::SynSent => seg.flags.ack && seg.ack == self.iss + 1,
+                TcpState::Closed => false,
+                _ => {
+                    let lo = self.recv.nxt().saturating_sub(1);
+                    let hi = self.recv.nxt() + self.recv.window().max(1);
+                    (lo..=hi).contains(&seg.seq)
+                }
+            };
+            if valid && self.state != TcpState::Closed {
+                self.state = TcpState::Closed;
+                ev.reset = true;
+            }
+            return ev;
+        }
+        match self.state {
+            TcpState::SynSent => {
+                if seg.flags.syn && seg.flags.ack && seg.ack == self.iss + 1 {
+                    self.irs = seg.seq;
+                    self.recv = RecvBuf::new(seg.seq + 1, self.rcv_buf_limit, self.oob_inline);
+                    self.send.on_ack(seg.ack);
+                    self.peer_window = seg.window.max(1) as u64;
+                    self.state = TcpState::Established;
+                    self.rtx_backoff = 0;
+                    ev.established = true;
+                    out.push(self.make_ack());
+                    self.output(out);
+                }
+                ev
+            }
+            TcpState::SynRcvd => {
+                if seg.flags.syn && !seg.flags.ack {
+                    // Retransmitted SYN: re-answer.
+                    out.push(self.make_syn_ack());
+                    return ev;
+                }
+                if seg.flags.ack && seg.ack > self.iss {
+                    self.send.on_ack(seg.ack.min(self.send.end()));
+                    self.peer_window = seg.window.max(1) as u64;
+                    self.state = TcpState::Established;
+                    self.rtx_backoff = 0;
+                    ev.established = true;
+                    // The handshake ACK may already carry data.
+                    if !seg.payload.is_empty() || seg.flags.fin {
+                        let mut ev2 = self.input_established(seg, out);
+                        ev2.established = true;
+                        return ev2;
+                    }
+                }
+                ev
+            }
+            TcpState::Established => self.input_established(seg, out),
+            TcpState::Closed => {
+                // Anything but RST to a closed TCB is answered with RST.
+                if !seg.flags.rst {
+                    out.push(Tcb::make_rst_for(seg));
+                }
+                ev
+            }
+        }
+    }
+
+    fn input_established(&mut self, seg: &Segment, out: &mut Vec<Segment>) -> TcbEvents {
+        let mut ev = TcbEvents::default();
+        if seg.flags.syn && seg.flags.ack {
+            // Duplicate SYN+ACK (our handshake ACK was lost): re-ack.
+            out.push(self.make_ack());
+            return ev;
+        }
+        // Reject acknowledgments beyond anything we ever sent (+1 for a
+        // FIN): they can only come from a stale incarnation of the
+        // 4-tuple and must not silently "ack" unsent data.
+        if seg.flags.ack && seg.ack > self.send.end() + 1 {
+            out.push(self.make_ack());
+            return ev;
+        }
+        if seg.flags.ack {
+            let acked = self.send.on_ack(seg.ack.min(self.send.end()));
+            self.peer_window = seg.window.max(1) as u64;
+            if acked > 0 {
+                self.rtx_backoff = 0;
+            }
+            if let Some(fs) = self.fin_seq {
+                if !self.fin_acked && seg.ack > fs {
+                    self.fin_acked = true;
+                    ev.fin_acked = true;
+                }
+            }
+        }
+        let had_fin = self.recv.fin_reached();
+        if !seg.payload.is_empty() || seg.flags.fin {
+            let r = self.recv.input(seg.seq, &seg.payload, seg.flags.urg, seg.flags.fin);
+            if r.newly_readable > 0 || r.newly_urgent > 0 {
+                ev.readable = true;
+            }
+            if r.ack_needed {
+                out.push(self.make_ack());
+            }
+            if !had_fin && self.recv.fin_reached() {
+                ev.remote_fin = true;
+            }
+        }
+        // An ACK may have opened the window; try to transmit more.
+        self.output(out);
+        if self.fin_acked && self.recv.fin_reached() {
+            self.state = TcpState::Closed;
+        }
+        ev
+    }
+
+    /// Retransmission timer fired: re-emits the oldest outstanding unit
+    /// (SYN, data segment, or FIN). Returns `true` if anything was sent.
+    pub fn on_rtx_timer(&mut self, out: &mut Vec<Segment>) -> bool {
+        match self.state {
+            TcpState::SynSent => {
+                out.push(self.make_syn());
+                self.rtx_backoff += 1;
+                true
+            }
+            TcpState::SynRcvd => {
+                out.push(self.make_syn_ack());
+                self.rtx_backoff += 1;
+                true
+            }
+            TcpState::Established => {
+                let mut sent = false;
+                if let Some((seq, data, urg)) = self.send.retransmit_segment(self.mss) {
+                    let mut s = Segment::tcp(self.local, self.remote, SegFlags::ack(), seq, self.recv.nxt());
+                    s.flags.urg = urg;
+                    s.payload = data;
+                    s.window = self.recv.window() as u32;
+                    s.vt = self.tx_vt;
+                    out.push(s);
+                    sent = true;
+                } else if self.send.unsent() > 0 {
+                    // Window was zero; probe by (re)carving.
+                    self.output(out);
+                    sent = !out.is_empty();
+                } else if let Some(fs) = self.fin_seq {
+                    if !self.fin_acked {
+                        let mut s = Segment::tcp(self.local, self.remote, SegFlags::ack(), fs, self.recv.nxt());
+                        s.flags.fin = true;
+                        s.window = self.recv.window() as u32;
+                        out.push(s);
+                        sent = true;
+                    }
+                } else if self.fin_pending {
+                    self.output(out);
+                    sent = !out.is_empty();
+                }
+                if sent {
+                    self.rtx_backoff += 1;
+                }
+                sent
+            }
+            TcpState::Closed => false,
+        }
+    }
+
+    /// The minimal protocol state extracted at checkpoint (paper §5).
+    pub fn pcb_extract(&self) -> PcbExtract {
+        PcbExtract { sent: self.send.nxt(), recv: self.recv.nxt(), acked: self.send.una() }
+    }
+
+    /// Maps this connection onto the meta-data [`ConnState`] vocabulary.
+    pub fn conn_state(&self) -> ConnState {
+        match self.state {
+            TcpState::SynSent | TcpState::SynRcvd => ConnState::Connecting,
+            TcpState::Closed => ConnState::Closed,
+            TcpState::Established => {
+                let local_closed = self.fin_pending || self.fin_seq.is_some();
+                let remote_closed = self.recv.fin_reached();
+                match (local_closed, remote_closed) {
+                    (false, false) => ConnState::FullDuplex,
+                    (true, false) => ConnState::HalfDuplexLocal,
+                    (false, true) => ConnState::HalfDuplexRemote,
+                    (true, true) => ConnState::Closed,
+                }
+            }
+        }
+    }
+
+    /// Updates `SO_OOBINLINE` on a live connection.
+    pub fn set_oob_inline(&mut self, inline: bool) {
+        self.oob_inline = inline;
+        self.recv.set_oob_inline(inline);
+    }
+}
+
+/// Drives two TCBs against each other in memory (no wire); used by unit
+/// tests here and by higher-level property tests.
+#[cfg(test)]
+pub(crate) struct Pair {
+    pub a: Tcb,
+    pub b: Tcb,
+}
+
+#[cfg(test)]
+impl Pair {
+    /// Performs a full handshake between two fresh TCBs.
+    pub fn established() -> Pair {
+        let ea = Endpoint::new(10, 10, 0, 1, 1000);
+        let eb = Endpoint::new(10, 10, 0, 2, 2000);
+        let mut a = Tcb::connect(ea, eb, 100, 1 << 16, 1 << 16, 1460, false);
+        let mut b = Tcb::accept(eb, ea, 900, 100, 1 << 16, 1 << 16, 1460, false);
+        let mut out = Vec::new();
+        // a's SYN is implicit (b was built from it); b answers SYN+ACK.
+        let synack = b.make_syn_ack();
+        let ev = a.input(&synack, &mut out);
+        assert!(ev.established);
+        let ack = out.remove(0);
+        let ev = b.input(&ack, &mut out);
+        assert!(ev.established);
+        assert!(out.is_empty());
+        Pair { a, b }
+    }
+
+    /// Delivers every segment in `segs` to `to`, collecting its responses.
+    pub fn deliver(to: &mut Tcb, segs: Vec<Segment>) -> Vec<Segment> {
+        let mut out = Vec::new();
+        for s in segs {
+            to.input(&s, &mut out);
+        }
+        out
+    }
+
+    /// Runs segments back and forth (routing by destination endpoint)
+    /// until both sides go quiet.
+    pub fn settle(&mut self, mut pending: Vec<Segment>) {
+        let a_local = self.a.local;
+        for _ in 0..128 {
+            if pending.is_empty() {
+                return;
+            }
+            let mut next = Vec::new();
+            for s in pending {
+                if s.dst == a_local {
+                    next.extend(Pair::deliver(&mut self.a, vec![s]));
+                } else {
+                    next.extend(Pair::deliver(&mut self.b, vec![s]));
+                }
+            }
+            pending = next;
+        }
+        panic!("segment exchange did not settle");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handshake_establishes_both_sides() {
+        let p = Pair::established();
+        assert_eq!(p.a.state, TcpState::Established);
+        assert_eq!(p.b.state, TcpState::Established);
+        assert_eq!(p.a.pcb_extract().sent, 101);
+        assert_eq!(p.a.pcb_extract().acked, 101);
+        assert_eq!(p.a.recv.nxt(), 901);
+    }
+
+    #[test]
+    fn data_transfer_and_ack() {
+        let mut p = Pair::established();
+        let mut out = Vec::new();
+        assert_eq!(p.a.write(b"hello", false, &mut out).unwrap(), 5);
+        assert_eq!(out.len(), 1);
+        p.settle(out);
+        assert_eq!(p.b.recv.read(100), b"hello");
+        assert_eq!(p.a.send.unacked(), 0, "ack fully processed");
+        let pcb_a = p.a.pcb_extract();
+        let pcb_b = p.b.pcb_extract();
+        assert_eq!(pcb_a.sent, 106);
+        assert_eq!(pcb_a.acked, 106);
+        assert_eq!(pcb_b.recv, 106);
+    }
+
+    #[test]
+    fn mss_splits_large_writes() {
+        let mut p = Pair::established();
+        p.a.mss = 10;
+        let mut out = Vec::new();
+        p.a.write(&[7u8; 35], false, &mut out).unwrap();
+        assert_eq!(out.len(), 4);
+        assert!(out[..3].iter().all(|s| s.payload.len() == 10));
+        assert_eq!(out[3].payload.len(), 5);
+        p.settle(out);
+        assert_eq!(p.b.recv.read(100).len(), 35);
+    }
+
+    #[test]
+    fn reliable_invariant_recv_ge_acked() {
+        // recv₁ ≥ acked₂ — the invariant of Figure 4.
+        let mut p = Pair::established();
+        let mut out = Vec::new();
+        p.a.write(b"some data in flight", false, &mut out).unwrap();
+        // Even before delivery, the invariant holds (nothing acked yet).
+        assert!(p.b.pcb_extract().recv >= p.a.pcb_extract().acked);
+        // Deliver data but *drop the ack* (simulating freeze): b.recv
+        // advances, a.acked stays — overlap appears, invariant still holds.
+        let responses = Pair::deliver(&mut p.b, out);
+        assert!(!responses.is_empty());
+        assert!(p.b.pcb_extract().recv > p.a.pcb_extract().acked);
+        // Overlap size is exactly what the restart must discard.
+        let overlap = p.b.pcb_extract().recv - p.a.pcb_extract().acked;
+        assert_eq!(overlap, 19);
+    }
+
+    #[test]
+    fn retransmission_recovers_lost_segment() {
+        let mut p = Pair::established();
+        let mut out = Vec::new();
+        p.a.write(b"lost", false, &mut out).unwrap();
+        out.clear(); // the wire ate it
+        assert!(p.a.needs_rtx());
+        let mut rtx = Vec::new();
+        assert!(p.a.on_rtx_timer(&mut rtx));
+        p.settle(rtx);
+        assert_eq!(p.b.recv.read(100), b"lost");
+        assert!(!p.a.needs_rtx());
+    }
+
+    #[test]
+    fn urgent_data_flagged_and_routed() {
+        let mut p = Pair::established();
+        let mut out = Vec::new();
+        p.a.write(b"normal", false, &mut out).unwrap();
+        p.a.write(b"!", true, &mut out).unwrap();
+        assert!(out.iter().any(|s| s.flags.urg));
+        p.settle(out);
+        assert_eq!(p.b.recv.read(100), b"normal");
+        assert_eq!(p.b.recv.read_urgent(10), b"!");
+    }
+
+    #[test]
+    fn fin_teardown_both_ways() {
+        let mut p = Pair::established();
+        let mut out = Vec::new();
+        p.a.write(b"bye", false, &mut out).unwrap();
+        p.a.close_send(&mut out);
+        p.settle(out);
+        assert!(p.b.recv.fin_reached());
+        assert_eq!(p.b.recv.read(100), b"bye");
+        assert_eq!(p.a.conn_state(), ConnState::HalfDuplexLocal);
+        assert_eq!(p.b.conn_state(), ConnState::HalfDuplexRemote);
+        let mut out = Vec::new();
+        p.b.close_send(&mut out);
+        p.settle(out);
+        assert_eq!(p.a.state, TcpState::Closed);
+        assert_eq!(p.b.state, TcpState::Closed);
+    }
+
+    #[test]
+    fn fin_waits_for_send_queue() {
+        let mut p = Pair::established();
+        p.a.peer_window = 4; // throttle
+        let mut out = Vec::new();
+        p.a.write(b"12345678", false, &mut out).unwrap();
+        p.a.close_send(&mut out);
+        // Only 4 bytes could go; FIN must not be out yet.
+        assert!(out.iter().all(|s| !s.flags.fin));
+        assert!(p.a.fin_pending);
+        p.settle(out);
+        assert!(p.b.recv.fin_reached());
+        assert_eq!(p.b.recv.read(100), b"12345678");
+    }
+
+    #[test]
+    fn write_after_shutdown_fails() {
+        let mut p = Pair::established();
+        let mut out = Vec::new();
+        p.a.close_send(&mut out);
+        assert_eq!(p.a.write(b"x", false, &mut out), Err(NetError::Pipe));
+    }
+
+    #[test]
+    fn rst_resets() {
+        let mut p = Pair::established();
+        let mut out = Vec::new();
+        p.a.abort(&mut out);
+        assert_eq!(p.a.state, TcpState::Closed);
+        let ev = p.b.input(&out[0], &mut Vec::new());
+        assert!(ev.reset);
+        assert_eq!(p.b.state, TcpState::Closed);
+    }
+
+    #[test]
+    fn duplicate_synack_reacked() {
+        let mut p = Pair::established();
+        let synack = p.b.make_syn_ack();
+        let mut out = Vec::new();
+        let ev = p.a.input(&synack, &mut out);
+        assert!(!ev.established, "already established");
+        assert_eq!(out.len(), 1);
+        assert!(out[0].flags.ack && out[0].payload.is_empty());
+    }
+
+    #[test]
+    fn conn_state_mapping() {
+        let p = Pair::established();
+        assert_eq!(p.a.conn_state(), ConnState::FullDuplex);
+        let ea = Endpoint::new(10, 10, 0, 1, 1);
+        let eb = Endpoint::new(10, 10, 0, 2, 2);
+        let t = Tcb::connect(ea, eb, 1, 16, 16, 1460, false);
+        assert_eq!(t.conn_state(), ConnState::Connecting);
+    }
+
+    #[test]
+    fn out_of_order_delivery_reassembles() {
+        let mut p = Pair::established();
+        p.a.mss = 4;
+        let mut out = Vec::new();
+        p.a.write(b"abcdefgh", false, &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+        // Deliver in reverse order.
+        out.reverse();
+        let acks = Pair::deliver(&mut p.b, out);
+        assert_eq!(p.b.recv.read(100), b"abcdefgh");
+        // Both the dup-ack (gap signal) and the final ack exist.
+        assert!(acks.len() >= 2);
+        Pair::deliver(&mut p.a, acks);
+        assert_eq!(p.a.send.unacked(), 0);
+    }
+
+    #[test]
+    fn randomized_bidirectional_traffic_with_loss() {
+        // Deterministic pseudo-random write/lose/retransmit interleavings:
+        // both directions must deliver exact streams.
+        for seed in 0..40u64 {
+            let mut x = seed.wrapping_mul(0x9E37_79B9) | 1;
+            let mut rand = move |n: u64| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x % n
+            };
+            let mut p = Pair::established();
+            p.a.mss = 16;
+            p.b.mss = 16;
+            let mut sent_a: Vec<u8> = Vec::new();
+            let mut sent_b: Vec<u8> = Vec::new();
+            let mut got_a: Vec<u8> = Vec::new();
+            let mut got_b: Vec<u8> = Vec::new();
+            for _ in 0..30 {
+                let mut out = Vec::new();
+                match rand(4) {
+                    0 => {
+                        let len = 1 + rand(80) as usize;
+                        let data: Vec<u8> = (0..len).map(|i| (i as u64 ^ seed) as u8).collect();
+                        if p.a.write(&data, false, &mut out).is_ok() {
+                            sent_a.extend(&data);
+                        }
+                    }
+                    1 => {
+                        let len = 1 + rand(80) as usize;
+                        let data: Vec<u8> = (0..len).map(|i| (i as u64 ^ !seed) as u8).collect();
+                        if p.b.write(&data, false, &mut out).is_ok() {
+                            sent_b.extend(&data);
+                        }
+                    }
+                    2 => {
+                        // Retransmission timers on both sides.
+                        p.a.on_rtx_timer(&mut out);
+                        p.b.on_rtx_timer(&mut out);
+                    }
+                    _ => {}
+                }
+                // Lose a random subset of the segments; deliver the rest,
+                // possibly reordered.
+                let mut keep: Vec<Segment> =
+                    out.into_iter().filter(|_| rand(4) != 0).collect();
+                if keep.len() > 1 && rand(2) == 0 {
+                    keep.reverse();
+                }
+                p.settle(keep);
+                got_b.extend(p.b.recv.read(usize::MAX));
+                got_a.extend(p.a.recv.read(usize::MAX));
+            }
+            // Flush: run timers until everything is delivered.
+            for _ in 0..200 {
+                if got_b.len() == sent_a.len() && got_a.len() == sent_b.len() {
+                    break;
+                }
+                let mut out = Vec::new();
+                p.a.on_rtx_timer(&mut out);
+                p.b.on_rtx_timer(&mut out);
+                p.settle(out);
+                got_b.extend(p.b.recv.read(usize::MAX));
+                got_a.extend(p.a.recv.read(usize::MAX));
+            }
+            assert_eq!(got_b, sent_a, "seed {seed}: a to b stream");
+            assert_eq!(got_a, sent_b, "seed {seed}: b to a stream");
+        }
+    }
+
+    #[test]
+    fn zero_window_probe_via_rtx() {
+        let mut p = Pair::established();
+        p.a.peer_window = 1;
+        let mut out = Vec::new();
+        p.a.write(b"abc", false, &mut out).unwrap();
+        p.settle(out);
+        // Window opens as b reads; rtx timer pushes remaining data.
+        assert!(p.a.needs_rtx() || p.b.recv.readable() == 3);
+        for _ in 0..8 {
+            let mut rtx = Vec::new();
+            p.a.on_rtx_timer(&mut rtx);
+            p.settle(rtx);
+        }
+        assert_eq!(p.b.recv.read(100), b"abc");
+    }
+}

@@ -1,0 +1,210 @@
+//! Socket-semantics coverage: lifecycle, options, shutdown, backlog,
+//! reaping — the corners the checkpoint logic depends on.
+
+use std::sync::Arc;
+use std::time::Duration;
+use zapc_net::{
+    NetError, NetStack, Network, NetworkConfig, OptValue, RecvFlags, Shutdown, SockOpt, Socket,
+    SocketState,
+};
+use zapc_proto::{ConnState, Endpoint, Transport};
+
+const TIMEOUT: Duration = Duration::from_secs(5);
+
+fn ep(h: u8, p: u16) -> Endpoint {
+    Endpoint::new(10, 10, 0, h, p)
+}
+
+struct Rig {
+    net: Network,
+    s1: Arc<NetStack>,
+    s2: Arc<NetStack>,
+}
+
+fn rig() -> Rig {
+    let net = Network::new(NetworkConfig {
+        latency: Duration::from_micros(20),
+        jitter: Duration::ZERO,
+        rto: Duration::from_millis(5),
+        ..Default::default()
+    });
+    let s1 = NetStack::new(1, net.handle());
+    let s2 = NetStack::new(2, net.handle());
+    net.set_route(ep(1, 0).ip, &s1);
+    net.set_route(ep(2, 0).ip, &s2);
+    Rig { net, s1, s2 }
+}
+
+fn pair(r: &Rig, port: u16) -> (Arc<Socket>, Arc<Socket>, Arc<Socket>) {
+    let l = r.s2.socket(Transport::Tcp, ep(2, 0).ip, 6);
+    l.bind(ep(2, port)).unwrap();
+    l.listen(2).unwrap();
+    let c = r.s1.socket(Transport::Tcp, ep(1, 0).ip, 6);
+    c.connect(ep(2, port)).unwrap();
+    c.connect_wait(TIMEOUT).unwrap();
+    let s = l.accept_wait(TIMEOUT).unwrap();
+    (c, l, s)
+}
+
+#[test]
+fn lifecycle_states() {
+    let r = rig();
+    let s = r.s1.socket(Transport::Tcp, ep(1, 0).ip, 6);
+    assert_eq!(s.state(), SocketState::Unbound);
+    s.bind(ep(1, 5100)).unwrap();
+    assert_eq!(s.state(), SocketState::Bound);
+    s.listen(1).unwrap();
+    assert_eq!(s.state(), SocketState::Listening);
+
+    let c = r.s1.socket(Transport::Tcp, ep(1, 0).ip, 6);
+    c.connect(ep(2, 9)).unwrap(); // will be refused eventually
+    assert_eq!(c.state(), SocketState::Connecting);
+}
+
+#[test]
+fn options_survive_on_live_socket() {
+    let r = rig();
+    let (c, _l, s) = pair(&r, 5101);
+    c.setsockopt(SockOpt::TcpNoDelay, OptValue::Bool(true)).unwrap();
+    assert_eq!(c.getsockopt(SockOpt::TcpNoDelay), OptValue::Bool(true));
+    // OOB inline switches urgent routing live.
+    s.setsockopt(SockOpt::OobInline, OptValue::Bool(true)).unwrap();
+    c.send_oob(b"U").unwrap();
+    let got = s.read_exact_wait(1, TIMEOUT).unwrap();
+    assert_eq!(got, b"U", "inline urgent data arrives in the stream");
+}
+
+#[test]
+fn shutdown_read_blocks_reads_but_not_writes() {
+    let r = rig();
+    let (c, _l, s) = pair(&r, 5102);
+    s.shutdown(Shutdown::Read).unwrap();
+    c.write_all_wait(b"ignored", TIMEOUT).unwrap();
+    std::thread::sleep(Duration::from_millis(5));
+    // Reads return EOF-like empty immediately.
+    assert_eq!(s.recv(16, RecvFlags::default()).unwrap(), b"");
+    // The other direction still works.
+    s.write_all_wait(b"still-works", TIMEOUT).unwrap();
+    assert_eq!(c.read_exact_wait(11, TIMEOUT).unwrap(), b"still-works");
+}
+
+#[test]
+fn backlog_overflow_aborts_excess_children() {
+    let r = rig();
+    let l = r.s2.socket(Transport::Tcp, ep(2, 0).ip, 6);
+    l.bind(ep(2, 5103)).unwrap();
+    l.listen(1).unwrap(); // room for exactly one pending child
+
+    let c1 = r.s1.socket(Transport::Tcp, ep(1, 0).ip, 6);
+    c1.connect(ep(2, 5103)).unwrap();
+    c1.connect_wait(TIMEOUT).unwrap();
+    let c2 = r.s1.socket(Transport::Tcp, ep(1, 0).ip, 6);
+    c2.connect(ep(2, 5103)).unwrap();
+    // c2 completes its handshake but the pending queue is full → aborted.
+    let _ = c2.connect_wait(Duration::from_millis(200));
+    std::thread::sleep(Duration::from_millis(20));
+    let ok1 = c1.state() == SocketState::Connected;
+    let dead2 = c2.state() == SocketState::Closed || c2.take_error().is_some();
+    assert!(ok1, "first connection survives");
+    assert!(dead2, "second connection reset by full backlog");
+}
+
+#[test]
+fn closing_listener_refuses_pending() {
+    let r = rig();
+    let l = r.s2.socket(Transport::Tcp, ep(2, 0).ip, 6);
+    l.bind(ep(2, 5104)).unwrap();
+    l.listen(4).unwrap();
+    let c = r.s1.socket(Transport::Tcp, ep(1, 0).ip, 6);
+    c.connect(ep(2, 5104)).unwrap();
+    c.connect_wait(TIMEOUT).unwrap();
+    // Never accepted; closing the listener aborts the pending child.
+    l.close();
+    std::thread::sleep(Duration::from_millis(20));
+    let err = c.send(b"x").err().or_else(|| c.take_error());
+    assert!(err.is_some(), "pending child was reset");
+}
+
+#[test]
+fn close_reaps_socket_and_frees_port() {
+    let r = rig();
+    let (c, _l, s) = pair(&r, 5105);
+    let before = r.s1.socket_count();
+    c.shutdown(Shutdown::Write).unwrap();
+    s.shutdown(Shutdown::Write).unwrap();
+    // Drain EOFs so both sides are fully closed.
+    let dl = std::time::Instant::now() + TIMEOUT;
+    while c.state() != SocketState::Closed || s.state() != SocketState::Closed {
+        assert!(std::time::Instant::now() < dl, "teardown did not finish");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    c.close();
+    std::thread::sleep(Duration::from_millis(10));
+    assert!(r.s1.socket_count() < before, "closed socket reaped from the stack");
+    assert_eq!(c.with_inner(|i| i.conn_state()), ConnState::Closed);
+}
+
+#[test]
+fn poll_reports_oob_and_hup() {
+    let r = rig();
+    let (c, _l, s) = pair(&r, 5106);
+    assert!(!s.poll().oob);
+    c.send_oob(b"!").unwrap();
+    let dl = std::time::Instant::now() + TIMEOUT;
+    while !s.poll().oob {
+        assert!(std::time::Instant::now() < dl);
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    c.shutdown(Shutdown::Write).unwrap();
+    let dl = std::time::Instant::now() + TIMEOUT;
+    while !s.poll().hup {
+        assert!(std::time::Instant::now() < dl);
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
+#[test]
+fn double_bind_rejected_and_rebind_after_close() {
+    let r = rig();
+    let a = r.s1.socket(Transport::Tcp, ep(1, 0).ip, 6);
+    a.bind(ep(1, 5107)).unwrap();
+    assert_eq!(a.bind(ep(1, 5108)).unwrap_err(), NetError::Invalid, "already bound");
+    let b = r.s1.socket(Transport::Tcp, ep(1, 0).ip, 6);
+    assert_eq!(b.bind(ep(1, 5107)).unwrap_err(), NetError::AddrInUse);
+    a.close();
+    let c = r.s1.socket(Transport::Tcp, ep(1, 0).ip, 6);
+    assert!(c.bind(ep(1, 5107)).is_ok(), "port freed by close");
+}
+
+#[test]
+fn connected_udp_filters_and_sends() {
+    let r = rig();
+    let server = r.s2.socket(Transport::Udp, ep(2, 0).ip, 0);
+    server.bind(ep(2, 5109)).unwrap();
+    let friend = r.s1.socket(Transport::Udp, ep(1, 0).ip, 0);
+    friend.bind(ep(1, 5110)).unwrap();
+    let stranger = r.s1.socket(Transport::Udp, ep(1, 0).ip, 0);
+    stranger.bind(ep(1, 5111)).unwrap();
+
+    server.connect(ep(1, 5110)).unwrap(); // only the friend may talk
+    friend.sendto(ep(2, 5109), b"hi").unwrap();
+    stranger.sendto(ep(2, 5109), b"spam").unwrap();
+    let (d, src) = server.read_datagram_wait(TIMEOUT).unwrap();
+    assert_eq!((d.as_slice(), src), (&b"hi"[..], ep(1, 5110)));
+    std::thread::sleep(Duration::from_millis(5));
+    assert!(!server.poll().readable, "stranger datagram filtered");
+    // Connected UDP can use plain send().
+    server.send(b"yo").unwrap();
+    assert_eq!(friend.read_datagram_wait(TIMEOUT).unwrap().0, b"yo");
+}
+
+#[test]
+fn stats_track_filter_drops() {
+    let r = rig();
+    let (c, _l, _s) = pair(&r, 5112);
+    r.net.filter().block_ip(ep(2, 0).ip);
+    let _ = c.send(b"into the void");
+    std::thread::sleep(Duration::from_millis(30));
+    assert!(r.net.stats().filtered.load(std::sync::atomic::Ordering::Relaxed) > 0);
+    r.net.filter().clear();
+}

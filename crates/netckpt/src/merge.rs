@@ -1,0 +1,143 @@
+//! The send-queue merge optimization (§5).
+//!
+//! "In the case of migration, a clever optimization is to redirect the
+//! contents of the send queue to the receiving pod and merge it with (or
+//! append to) the peer's stream of checkpoint data. Later during restart,
+//! the data will be concatenated to the alternate receive queue … This
+//! will eliminate the need to transmit the data twice over the network."
+//!
+//! The Manager applies this transform to the decoded per-pod socket
+//! records before handing them to the restart Agents: for every TCP
+//! connection, the post-overlap remainder of the sender's saved send queue
+//! is appended to the receiver's saved receive stream, and the sender's
+//! send queue is cleared — so the restart resends nothing over the new
+//! connection; the bytes ride inside the checkpoint stream instead.
+//!
+//! Connections with urgent data in the send queue are left untouched
+//! (urgent bytes must travel the OOB channel, not the alternate queue).
+
+use crate::records::SockRecord;
+use std::collections::HashMap;
+use zapc_net::buf::SendSnapshot;
+use zapc_proto::{Endpoint, MetaData, Transport};
+
+/// Applies the merge across all pods' records; `metas[i]` describes
+/// `records[i]`. Returns the number of payload bytes rerouted from send
+/// queues into peer receive streams.
+pub fn merge_send_queues(metas: &[MetaData], records: &mut [Vec<SockRecord>]) -> usize {
+    // Index every TCP connection record by its (src, dst) pair.
+    let mut index: HashMap<(Endpoint, Endpoint), (usize, usize)> = HashMap::new();
+    for (p, recs) in records.iter().enumerate() {
+        for (i, r) in recs.iter().enumerate() {
+            if r.transport == Transport::Tcp && !r.listening {
+                if let (Some(src), Some(dst), Some(_)) = (r.local, r.peer, r.pcb) {
+                    index.insert((src, dst), (p, i));
+                }
+            }
+        }
+    }
+
+    let mut moved = 0usize;
+    let keys: Vec<(Endpoint, Endpoint)> = index.keys().copied().collect();
+    for key in keys {
+        let (sp, si) = index[&key];
+        let Some(&(rp, ri)) = index.get(&(key.1, key.0)) else { continue };
+
+        // Compute the sender's post-overlap resend plan.
+        let (plan, had_urgent) = {
+            let s = &records[sp][si];
+            if s.send_data.is_empty() {
+                continue;
+            }
+            if !s.send_urgent_marks.is_empty() {
+                (None, true)
+            } else {
+                let pcb = s.pcb.expect("indexed with pcb");
+                let peer_recv = records[rp][ri].pcb.expect("indexed with pcb").recv;
+                let snap = SendSnapshot {
+                    una: pcb.acked,
+                    nxt: pcb.sent,
+                    data: s.send_data.clone(),
+                    urgent_marks: Vec::new(),
+                };
+                let discard = peer_recv.saturating_sub(pcb.acked);
+                (Some(snap.resend_plan(discard).0), false)
+            }
+        };
+        if had_urgent {
+            continue;
+        }
+        let Some(normal) = plan else { continue };
+
+        // Append to the receiver's stream; clear the sender's queue. The
+        // receiver's stream ends exactly at its `recv` pointer and the
+        // remainder starts there, so order is preserved.
+        moved += normal.len();
+        records[rp][ri].recv_stream.extend(normal);
+        let s = &mut records[sp][si];
+        s.send_data.clear();
+        s.send_urgent_marks.clear();
+    }
+    let _ = metas;
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zapc_net::tcp::PcbExtract;
+
+    fn ep(h: u8, p: u16) -> Endpoint {
+        Endpoint::new(10, 10, 0, h, p)
+    }
+
+    fn conn(src: Endpoint, dst: Endpoint, pcb: PcbExtract) -> SockRecord {
+        let mut r = SockRecord::empty(0, Transport::Tcp);
+        r.local = Some(src);
+        r.peer = Some(dst);
+        r.pcb = Some(pcb);
+        r
+    }
+
+    #[test]
+    fn merge_moves_post_overlap_bytes() {
+        let a_ep = ep(1, 40000);
+        let b_ep = ep(2, 5000);
+        // A sent 10 bytes from seq 0; B received 4 of them; none acked.
+        let mut a = conn(a_ep, b_ep, PcbExtract { sent: 10, recv: 100, acked: 0 });
+        a.send_data = (0u8..10).collect();
+        let mut b = conn(b_ep, a_ep, PcbExtract { sent: 100, recv: 4, acked: 100 });
+        b.recv_stream = vec![0, 1, 2, 3];
+
+        let metas = vec![MetaData::new("a"), MetaData::new("b")];
+        let mut records = vec![vec![a], vec![b]];
+        let moved = merge_send_queues(&metas, &mut records);
+        assert_eq!(moved, 6, "bytes beyond the receiver's recv pointer");
+        assert_eq!(records[1][0].recv_stream, (0u8..10).collect::<Vec<_>>());
+        assert!(records[0][0].send_data.is_empty(), "nothing left to resend");
+    }
+
+    #[test]
+    fn urgent_send_queues_left_alone() {
+        let a_ep = ep(1, 40000);
+        let b_ep = ep(2, 5000);
+        let mut a = conn(a_ep, b_ep, PcbExtract { sent: 3, recv: 0, acked: 0 });
+        a.send_data = vec![9, 9, 9];
+        a.send_urgent_marks = vec![(0, 1)];
+        let b = conn(b_ep, a_ep, PcbExtract { sent: 0, recv: 0, acked: 0 });
+        let metas = vec![MetaData::new("a"), MetaData::new("b")];
+        let mut records = vec![vec![a], vec![b]];
+        assert_eq!(merge_send_queues(&metas, &mut records), 0);
+        assert_eq!(records[0][0].send_data, vec![9, 9, 9]);
+    }
+
+    #[test]
+    fn one_sided_connection_skipped() {
+        // Peer record missing (external endpoint): nothing moves.
+        let a = conn(ep(1, 1), ep(9, 9), PcbExtract { sent: 5, recv: 0, acked: 0 });
+        let metas = vec![MetaData::new("a")];
+        let mut records = vec![vec![a]];
+        records[0][0].send_data = vec![1, 2, 3];
+        assert_eq!(merge_send_queues(&metas, &mut records), 0);
+    }
+}

@@ -1,0 +1,60 @@
+//! Ablation baseline: the *naive peek* network checkpoint.
+//!
+//! §5 (and the Cruz discussion in §2) explains why capturing a TCP receive
+//! queue by `read`ing in `MSG_PEEK` mode is incomplete: "this technique …
+//! will fail to capture all of the data in the network queues with TCP,
+//! including crucial out-of-band, urgent, and backlog queue data." This
+//! module implements exactly that broken capture so tests and benchmarks
+//! can demonstrate the data loss the real mechanism avoids.
+
+use zapc_pod::Pod;
+use zapc_proto::Transport;
+
+/// What the peek-based capture sees for one socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaiveRecord {
+    /// Checkpoint ordinal.
+    pub ordinal: u32,
+    /// The only thing a peek can observe: the in-order stream queue.
+    pub stream: Vec<u8>,
+}
+
+/// Captures receive queues using `MSG_PEEK` only — the Cruz-style
+/// technique. Compare against [`crate::checkpoint_network`], which also
+/// captures urgent/out-of-band data, backlog information, and prior
+/// alternate-queue contents.
+pub fn naive_peek_capture(pod: &Pod) -> Vec<NaiveRecord> {
+    let mut out = Vec::new();
+    for (ordinal, sock) in pod.sockets().iter().enumerate() {
+        if sock.transport() != Transport::Tcp {
+            continue;
+        }
+        let stream = sock.with_inner(|inner| {
+            // A peek observes only the in-order queue; urgent data sits in
+            // the separate OOB queue and the backlog is pre-assembly.
+            // Crucially it also misses a restore's alternate queue, which
+            // lives above the protocol receive queue.
+            inner.tcb.as_mut().map(|t| t.recv.peek(usize::MAX)).unwrap_or_default()
+        });
+        out.push(NaiveRecord { ordinal: ordinal as u32, stream });
+    }
+    out
+}
+
+/// Bytes the naive capture *missed* for one socket versus the full
+/// mechanism: `(urgent_bytes, backlog_bytes, alt_queue_bytes)`.
+pub fn naive_loss(pod: &Pod) -> (usize, usize, usize) {
+    let mut urgent = 0;
+    let mut backlog = 0;
+    let mut alt = 0;
+    for sock in pod.sockets() {
+        sock.with_inner(|inner| {
+            if let Some(t) = &inner.tcb {
+                urgent += t.recv.urgent_len();
+                backlog += t.recv.backlog_bytes();
+            }
+            alt += inner.alt_recv.len();
+        });
+    }
+    (urgent, backlog, alt)
+}

@@ -1,0 +1,311 @@
+//! Per-socket network-state records (the `NetState` image section).
+
+use zapc_proto::{Decode, DecodeError, DecodeResult, Encode, Endpoint, RecordReader, RecordWriter, Transport};
+use zapc_net::tcp::PcbExtract;
+use zapc_net::SockOpts;
+
+/// Full checkpointed state of one socket, indexed by its checkpoint
+/// ordinal (shared with the descriptor records of `zapc-ckpt`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SockRecord {
+    /// Checkpoint ordinal (position in the pod's socket enumeration).
+    pub ordinal: u32,
+    /// Transport protocol.
+    pub transport: Transport,
+    /// The complete socket-parameter block (§5: "the entire set").
+    pub opts: SockOpts,
+    /// Bound local endpoint.
+    pub local: Option<Endpoint>,
+    /// Remote endpoint (TCP peer or connected-UDP peer).
+    pub peer: Option<Endpoint>,
+    /// Listening socket.
+    pub listening: bool,
+    /// Listener backlog.
+    pub backlog: u32,
+    /// `shutdown(Read)` had been called.
+    pub rd_shutdown: bool,
+    /// Ordinal of the listener whose pending queue held this socket, when
+    /// it was a completed-but-unaccepted child.
+    pub pending_of: Option<u32>,
+    /// Minimal protocol state (TCP only).
+    pub pcb: Option<PcbExtract>,
+    /// Receive queue: in-order stream data (captured read-and-reinject),
+    /// including any prior alternate-queue remainder.
+    pub recv_stream: Vec<u8>,
+    /// Receive queue: urgent (out-of-band) data.
+    pub recv_urgent: Vec<u8>,
+    /// Out-of-order backlog byte count (accounting; provably redundant
+    /// with the peer's send queue under cumulative acks).
+    pub recv_backlog_bytes: u64,
+    /// The application had peeked at the receive queue.
+    pub recv_peeked: bool,
+    /// Send queue contents `[acked, written_end)` (direct buffer walk).
+    pub send_data: Vec<u8>,
+    /// Urgent marks within `send_data`, as offsets relative to `acked`.
+    pub send_urgent_marks: Vec<(u64, u64)>,
+    /// Datagram queue (UDP / raw IP): `(source, payload)` pairs.
+    pub dgrams: Vec<(Endpoint, Vec<u8>)>,
+    /// Raw-IP protocol number.
+    pub ip_proto: u8,
+    /// Pending asynchronous socket error (e.g. an unconsumed
+    /// `ECONNREFUSED`): observable application state that must survive.
+    pub err: Option<zapc_net::NetError>,
+}
+
+impl SockRecord {
+    /// An empty record for ordinal `ordinal`.
+    pub fn empty(ordinal: u32, transport: Transport) -> SockRecord {
+        SockRecord {
+            ordinal,
+            transport,
+            opts: SockOpts::default(),
+            local: None,
+            peer: None,
+            listening: false,
+            backlog: 0,
+            rd_shutdown: false,
+            pending_of: None,
+            pcb: None,
+            recv_stream: Vec::new(),
+            recv_urgent: Vec::new(),
+            recv_backlog_bytes: 0,
+            recv_peeked: false,
+            send_data: Vec::new(),
+            send_urgent_marks: Vec::new(),
+            dgrams: Vec::new(),
+            ip_proto: 0,
+            err: None,
+        }
+    }
+
+    /// Serialized size in bytes (the network-state footprint of Figure 6c).
+    pub fn encoded_len(&self) -> usize {
+        let mut w = RecordWriter::new();
+        self.encode(&mut w);
+        w.len()
+    }
+}
+
+fn put_opt_ep(w: &mut RecordWriter, ep: &Option<Endpoint>) {
+    match ep {
+        Some(e) => {
+            w.put_bool(true);
+            w.put(e);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn get_opt_ep(r: &mut RecordReader<'_>) -> DecodeResult<Option<Endpoint>> {
+    Ok(if r.get_bool()? { Some(r.get()?) } else { None })
+}
+
+impl Encode for SockRecord {
+    fn encode(&self, w: &mut RecordWriter) {
+        w.put_u32(self.ordinal);
+        w.put(&self.transport);
+        w.put(&self.opts);
+        put_opt_ep(w, &self.local);
+        put_opt_ep(w, &self.peer);
+        w.put_bool(self.listening);
+        w.put_u32(self.backlog);
+        w.put_bool(self.rd_shutdown);
+        match self.pending_of {
+            Some(o) => {
+                w.put_bool(true);
+                w.put_u32(o);
+            }
+            None => w.put_bool(false),
+        }
+        match &self.pcb {
+            Some(p) => {
+                w.put_bool(true);
+                w.put_u64(p.sent);
+                w.put_u64(p.recv);
+                w.put_u64(p.acked);
+            }
+            None => w.put_bool(false),
+        }
+        w.put_bytes(&self.recv_stream);
+        w.put_bytes(&self.recv_urgent);
+        w.put_u64(self.recv_backlog_bytes);
+        w.put_bool(self.recv_peeked);
+        w.put_bytes(&self.send_data);
+        w.put_u64(self.send_urgent_marks.len() as u64);
+        for (a, b) in &self.send_urgent_marks {
+            w.put_u64(*a);
+            w.put_u64(*b);
+        }
+        w.put_u64(self.dgrams.len() as u64);
+        for (src, data) in &self.dgrams {
+            w.put(src);
+            w.put_bytes(data);
+        }
+        w.put_u8(self.ip_proto);
+        match self.err {
+            Some(e) => {
+                w.put_bool(true);
+                w.put_u8(e.code());
+            }
+            None => w.put_bool(false),
+        }
+    }
+}
+
+impl Decode for SockRecord {
+    fn decode(r: &mut RecordReader<'_>) -> DecodeResult<Self> {
+        let ordinal = r.get_u32()?;
+        let transport = r.get()?;
+        let opts = r.get()?;
+        let local = get_opt_ep(r)?;
+        let peer = get_opt_ep(r)?;
+        let listening = r.get_bool()?;
+        let backlog = r.get_u32()?;
+        let rd_shutdown = r.get_bool()?;
+        let pending_of = if r.get_bool()? { Some(r.get_u32()?) } else { None };
+        let pcb = if r.get_bool()? {
+            Some(PcbExtract { sent: r.get_u64()?, recv: r.get_u64()?, acked: r.get_u64()? })
+        } else {
+            None
+        };
+        let recv_stream = r.get_bytes_owned()?;
+        let recv_urgent = r.get_bytes_owned()?;
+        let recv_backlog_bytes = r.get_u64()?;
+        let recv_peeked = r.get_bool()?;
+        let send_data = r.get_bytes_owned()?;
+        let nmarks = r.get_u64()?;
+        if nmarks > (r.remaining() as u64) {
+            return Err(DecodeError::LengthOverflow { declared: nmarks });
+        }
+        let mut send_urgent_marks = Vec::with_capacity(nmarks as usize);
+        for _ in 0..nmarks {
+            send_urgent_marks.push((r.get_u64()?, r.get_u64()?));
+        }
+        let nd = r.get_u64()?;
+        if nd > (r.remaining() as u64) {
+            return Err(DecodeError::LengthOverflow { declared: nd });
+        }
+        let mut dgrams = Vec::with_capacity(nd as usize);
+        for _ in 0..nd {
+            let src = r.get()?;
+            dgrams.push((src, r.get_bytes_owned()?));
+        }
+        let ip_proto = r.get_u8()?;
+        let err = if r.get_bool()? {
+            let c = r.get_u8()?;
+            Some(zapc_net::NetError::from_code(c).ok_or(DecodeError::InvalidEnum {
+                what: "NetError",
+                value: c as u64,
+            })?)
+        } else {
+            None
+        };
+        Ok(SockRecord {
+            ordinal,
+            transport,
+            opts,
+            local,
+            peer,
+            listening,
+            backlog,
+            rd_shutdown,
+            pending_of,
+            pcb,
+            recv_stream,
+            recv_urgent,
+            recv_backlog_bytes,
+            recv_peeked,
+            send_data,
+            send_urgent_marks,
+            dgrams,
+            ip_proto,
+            err,
+        })
+    }
+}
+
+/// Encodes a whole record list as one `NetState` section payload.
+pub fn encode_records(records: &[SockRecord]) -> RecordWriter {
+    let mut w = RecordWriter::new();
+    w.put_u64(records.len() as u64);
+    for rec in records {
+        rec.encode(&mut w);
+    }
+    w
+}
+
+/// Decodes a `NetState` section payload.
+pub fn decode_records(payload: &[u8]) -> DecodeResult<Vec<SockRecord>> {
+    let mut r = RecordReader::new(payload);
+    let n = r.get_u64()?;
+    if n > payload.len() as u64 {
+        return Err(DecodeError::LengthOverflow { declared: n });
+    }
+    let mut out = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        out.push(SockRecord::decode(&mut r)?);
+    }
+    if !r.is_empty() {
+        return Err(DecodeError::TrailingBytes { tag: 0x0011, remaining: r.remaining() });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ep(h: u8, p: u16) -> Endpoint {
+        Endpoint::new(10, 10, 0, h, p)
+    }
+
+    fn sample() -> SockRecord {
+        let mut rec = SockRecord::empty(3, Transport::Tcp);
+        rec.local = Some(ep(1, 5000));
+        rec.peer = Some(ep(2, 6000));
+        rec.pcb = Some(PcbExtract { sent: 1100, recv: 2200, acked: 1050 });
+        rec.recv_stream = b"unread".to_vec();
+        rec.recv_urgent = b"!".to_vec();
+        rec.recv_peeked = true;
+        rec.send_data = b"unacked-data".to_vec();
+        rec.send_urgent_marks = vec![(3, 5)];
+        rec.opts.oob_inline = true;
+        rec
+    }
+
+    #[test]
+    fn record_round_trip() {
+        let rec = sample();
+        let mut w = RecordWriter::new();
+        rec.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = RecordReader::new(&bytes);
+        assert_eq!(SockRecord::decode(&mut r).unwrap(), rec);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn record_list_round_trip() {
+        let mut udp = SockRecord::empty(0, Transport::Udp);
+        udp.local = Some(ep(1, 9000));
+        udp.dgrams = vec![(ep(2, 1234), b"dgram".to_vec())];
+        let records = vec![udp, sample()];
+        let w = encode_records(&records);
+        let back = decode_records(w.bytes()).unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn network_state_is_small() {
+        // §6.2: network-state data is a few KB at most for real apps.
+        let rec = sample();
+        assert!(rec.encoded_len() < 512, "record too large: {}", rec.encoded_len());
+    }
+
+    #[test]
+    fn truncated_record_list_rejected() {
+        let w = encode_records(&[sample()]);
+        let bytes = w.bytes();
+        assert!(decode_records(&bytes[..bytes.len() - 3]).is_err());
+    }
+}

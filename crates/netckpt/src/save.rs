@@ -1,0 +1,141 @@
+//! Network-state checkpoint: extracts socket parameters, data queues, and
+//! minimal protocol state from every socket of a (frozen) pod.
+//!
+//! Preconditions: the pod is suspended and its virtual IP is blocked in the
+//! netfilter (Agent steps 1–2 of Figure 1), so no socket state can change
+//! underneath the extraction.
+//!
+//! The receive queue is captured with the paper's **read-and-reinject**
+//! technique: data is drained through the normal read path and immediately
+//! deposited into the socket's alternate receive queue, leaving the
+//! application's view unchanged — crucial both for error recovery (a failed
+//! checkpoint must roll back trivially) and for snapshots, where the
+//! application keeps running afterwards (§5). Any remainder of a previous
+//! restore's alternate queue is saved first, so checkpoints compose.
+
+use crate::records::SockRecord;
+use std::collections::HashMap;
+use zapc_pod::Pod;
+use zapc_proto::{ConnEntry, ConnState, Endpoint, MetaData, RestartRole, Transport};
+
+/// Extracts the network state of `pod`: the meta-data table the Agent
+/// reports to the Manager, and the per-socket records written into the
+/// image's `NetState` section. Index `i` of both outputs describes the
+/// socket with checkpoint ordinal `i`.
+pub fn checkpoint_network(pod: &Pod) -> (MetaData, Vec<SockRecord>) {
+    let sockets = pod.sockets();
+    let mut meta = MetaData::new(pod.name());
+    let mut records = Vec::with_capacity(sockets.len());
+
+    // Ordinal lookup for pending-child attribution.
+    let ordinal_of: HashMap<zapc_net::SocketId, u32> =
+        sockets.iter().enumerate().map(|(i, s)| (s.id, i as u32)).collect();
+
+    for (ordinal, sock) in sockets.iter().enumerate() {
+        let ordinal = ordinal as u32;
+        let (rec, entry) = sock.with_inner(|inner| {
+            let mut rec = SockRecord::empty(ordinal, inner.transport);
+            rec.opts = inner.opts.clone();
+            rec.local = inner.local;
+            rec.rd_shutdown = inner.rd_shutdown;
+            rec.err = inner.err;
+
+            match inner.transport {
+                Transport::Tcp => {
+                    if let Some(l) = &inner.listen {
+                        rec.listening = true;
+                        rec.backlog = l.backlog as u32;
+                    }
+                    if let Some(tcb) = &mut inner.tcb {
+                        rec.peer = Some(tcb.remote);
+                        rec.pcb = Some(tcb.pcb_extract());
+                        rec.recv_peeked = tcb.recv.was_peeked();
+                        rec.recv_backlog_bytes = tcb.recv.backlog_bytes() as u64;
+
+                        // Read-and-reinject: previous alternate-queue
+                        // remainder first (§5), then the kernel queue via
+                        // the standard read path.
+                        let mut stream: Vec<u8> = inner.alt_recv.drain(..).collect();
+                        loop {
+                            let chunk = tcb.recv.read(usize::MAX);
+                            if chunk.is_empty() {
+                                break;
+                            }
+                            stream.extend(chunk);
+                        }
+                        let urgent = tcb.recv.read_urgent(usize::MAX);
+                        rec.recv_stream = stream;
+                        rec.recv_urgent = urgent;
+
+                        // Reinject so the socket is externally unchanged.
+                        if !rec.recv_stream.is_empty() {
+                            inner.alt_recv.extend(rec.recv_stream.iter().copied());
+                            inner.vtable = zapc_net::socket::interposed_vtable();
+                        }
+                        if !rec.recv_urgent.is_empty() {
+                            tcb.recv.restore_urgent(&rec.recv_urgent);
+                        }
+
+                        // Send queue: direct in-kernel buffer walk.
+                        let snap = tcb.send.snapshot();
+                        rec.send_data = snap.data;
+                        rec.send_urgent_marks = snap
+                            .urgent_marks
+                            .iter()
+                            .map(|&(a, b)| (a - snap.una, b - snap.una))
+                            .collect();
+                    }
+                }
+                Transport::Udp => {
+                    if let Some(u) = &inner.udp {
+                        rec.peer = u.peer;
+                        let (dgrams, peeked) = u.queue.snapshot();
+                        rec.dgrams = dgrams.into_iter().map(|d| (d.src, d.data)).collect();
+                        rec.recv_peeked = peeked;
+                    }
+                }
+                Transport::RawIp => {
+                    if let Some(rr) = &inner.raw {
+                        rec.ip_proto = rr.ip_proto;
+                        let (dgrams, peeked) = rr.queue.snapshot();
+                        rec.dgrams = dgrams.into_iter().map(|d| (d.src, d.data)).collect();
+                        rec.recv_peeked = peeked;
+                    }
+                }
+            }
+
+            let entry = ConnEntry {
+                transport: inner.transport,
+                src: rec.local.unwrap_or(Endpoint { ip: inner.default_ip, port: 0 }),
+                dst: rec.peer,
+                state: if rec.pcb.is_some() { inner.conn_state() } else { ConnState::FullDuplex },
+                role: RestartRole::Unassigned,
+                listening: rec.listening,
+                pcb_recv: rec.pcb.map(|p| p.recv).unwrap_or(0),
+                pcb_acked: rec.pcb.map(|p| p.acked).unwrap_or(0),
+            };
+            (rec, entry)
+        });
+        records.push(rec);
+        meta.entries.push(entry);
+    }
+
+    // Second pass: attribute completed-but-unaccepted children to their
+    // listener's pending queue.
+    for (lord, sock) in sockets.iter().enumerate() {
+        let pending_ids: Vec<zapc_net::SocketId> = sock.with_inner(|inner| {
+            inner
+                .listen
+                .as_ref()
+                .map(|l| l.pending.iter().map(|c| c.id).collect())
+                .unwrap_or_default()
+        });
+        for id in pending_ids {
+            if let Some(&child_ord) = ordinal_of.get(&id) {
+                records[child_ord as usize].pending_of = Some(lord as u32);
+            }
+        }
+    }
+
+    (meta, records)
+}

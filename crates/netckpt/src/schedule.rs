@@ -1,0 +1,217 @@
+//! The Manager's reconnection schedule (§4).
+//!
+//! Every TCP connection entry is tagged [`RestartRole::Connect`] or
+//! [`RestartRole::Accept`]. Roles are "normally determined arbitrarily,
+//! except when multiple connections share the same source port": an
+//! accepted connection inherits its listener's port, so an entry whose
+//! source endpoint equals a listening endpoint *must* be re-created by
+//! accepting through that listener. The remaining entries are tie-broken
+//! deterministically (lower endpoint connects), which also guarantees the
+//! two ends of every connection receive complementary roles.
+
+use std::collections::HashSet;
+use zapc_proto::{ConnState, Endpoint, MetaData, RestartRole, Transport};
+
+/// Assigns restart roles across the merged cluster meta-data, in place.
+///
+/// Deterministic: the same input always yields the same schedule, so the
+/// Manager can recompute it idempotently.
+pub fn assign_roles(all: &mut [MetaData]) {
+    // Every listening endpoint in the cluster (virtual IPs are unique, so
+    // one global set suffices).
+    let mut listeners: HashSet<Endpoint> = all
+        .iter()
+        .flat_map(|md| md.entries.iter())
+        .filter(|e| e.listening)
+        .map(|e| e.src)
+        .collect();
+    // A source endpoint shared by several connections can only have come
+    // from `accept` inheritance, so those connections must be re-accepted
+    // even when the original listener no longer exists (e.g. it was closed
+    // after the children were established) — the restore creates a
+    // temporary listener on that port.
+    {
+        let mut seen: HashSet<Endpoint> = HashSet::new();
+        for e in all.iter().flat_map(|md| md.entries.iter()) {
+            if e.transport == Transport::Tcp && !e.listening && e.dst.is_some()
+                && !seen.insert(e.src) {
+                    listeners.insert(e.src);
+                }
+        }
+    }
+
+    for md in all.iter_mut() {
+        for e in md.entries.iter_mut() {
+            if e.transport != Transport::Tcp || e.listening {
+                continue;
+            }
+            let Some(dst) = e.dst else { continue };
+            // Mid-handshake connections are replayed by the initiator;
+            // the listener-side half-open child (SYN received, handshake
+            // not complete) is *not* re-created explicitly — the peer's
+            // replayed connect regenerates it through the listener.
+            if e.state == ConnState::Connecting {
+                e.role = if listeners.contains(&e.src) {
+                    RestartRole::Accept
+                } else {
+                    RestartRole::Connect
+                };
+                continue;
+            }
+            let src_is_listener = listeners.contains(&e.src);
+            let dst_is_listener = listeners.contains(&dst);
+            e.role = match (src_is_listener, dst_is_listener) {
+                // Source port shared with our listener: must be accepted.
+                (true, false) => RestartRole::Accept,
+                (false, true) => RestartRole::Connect,
+                // Both or neither: deterministic tie-break.
+                _ => {
+                    if e.src < dst {
+                        RestartRole::Connect
+                    } else {
+                        RestartRole::Accept
+                    }
+                }
+            };
+        }
+    }
+}
+
+/// Validates a schedule: the two ends of every paired connection carry
+/// complementary roles. Returns the number of verified pairs.
+pub fn validate_schedule(all: &[MetaData]) -> Result<usize, String> {
+    use std::collections::HashMap;
+    let mut seen: HashMap<(Endpoint, Endpoint), Vec<RestartRole>> = HashMap::new();
+    for md in all {
+        for e in &md.entries {
+            if e.transport != Transport::Tcp || e.listening || e.state == ConnState::Connecting {
+                continue;
+            }
+            if let Some(key) = e.pair_key() {
+                seen.entry(key).or_default().push(e.role);
+            }
+        }
+    }
+    let mut pairs = 0;
+    for (key, roles) in seen {
+        match roles.as_slice() {
+            [RestartRole::Connect, RestartRole::Accept]
+            | [RestartRole::Accept, RestartRole::Connect] => pairs += 1,
+            [_one] => {} // external endpoint not under our control
+            other => {
+                return Err(format!(
+                    "connection {}-{} has roles {:?}",
+                    key.0, key.1, other
+                ))
+            }
+        }
+    }
+    Ok(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zapc_proto::ConnEntry;
+
+    fn ep(h: u8, p: u16) -> Endpoint {
+        Endpoint::new(10, 10, 0, h, p)
+    }
+
+    fn listener(src: Endpoint) -> ConnEntry {
+        let mut e = ConnEntry::tcp(src, src);
+        e.dst = None;
+        e.listening = true;
+        e
+    }
+
+    #[test]
+    fn accepted_children_keep_listener_port() {
+        // Pod 1 listens on :5000; pod 2 connected to it.
+        let mut md1 = MetaData::new("p1");
+        md1.entries.push(listener(ep(1, 5000)));
+        md1.entries.push(ConnEntry::tcp(ep(1, 5000), ep(2, 40000)));
+        let mut md2 = MetaData::new("p2");
+        md2.entries.push(ConnEntry::tcp(ep(2, 40000), ep(1, 5000)));
+
+        let mut all = vec![md1, md2];
+        assign_roles(&mut all);
+        assert_eq!(all[0].entries[1].role, RestartRole::Accept, "child re-accepted");
+        assert_eq!(all[1].entries[0].role, RestartRole::Connect);
+        assert_eq!(validate_schedule(&all).unwrap(), 1);
+    }
+
+    #[test]
+    fn arbitrary_pairs_get_complementary_roles() {
+        // No listeners recorded (both are ephemeral↔ephemeral).
+        let mut md1 = MetaData::new("p1");
+        md1.entries.push(ConnEntry::tcp(ep(1, 40001), ep(2, 40002)));
+        let mut md2 = MetaData::new("p2");
+        md2.entries.push(ConnEntry::tcp(ep(2, 40002), ep(1, 40001)));
+        let mut all = vec![md1, md2];
+        assign_roles(&mut all);
+        assert_ne!(all[0].entries[0].role, all[1].entries[0].role);
+        assert_eq!(validate_schedule(&all).unwrap(), 1);
+    }
+
+    #[test]
+    fn ring_topology_schedules_cleanly() {
+        // 4 pods in a ring, each listening and each connecting to the next:
+        // the deadlock scenario §4 describes.
+        let n = 4u8;
+        let mut all: Vec<MetaData> = (0..n)
+            .map(|i| {
+                let mut md = MetaData::new(format!("p{i}"));
+                md.entries.push(listener(ep(i + 1, 5000)));
+                // Connection we initiated to the next pod.
+                let next = (i + 1) % n;
+                md.entries.push(ConnEntry::tcp(ep(i + 1, 40000 + i as u16), ep(next + 1, 5000)));
+                // Connection accepted from the previous pod.
+                let prev = (i + n - 1) % n;
+                md.entries
+                    .push(ConnEntry::tcp(ep(i + 1, 5000), ep(prev + 1, 40000 + prev as u16)));
+                md
+            })
+            .collect();
+        assign_roles(&mut all);
+        assert_eq!(validate_schedule(&all).unwrap(), n as usize);
+        for md in &all {
+            // Each pod connects once and accepts once.
+            let connects =
+                md.entries.iter().filter(|e| e.role == RestartRole::Connect).count();
+            let accepts = md.entries.iter().filter(|e| e.role == RestartRole::Accept).count();
+            assert_eq!((connects, accepts), (1, 1));
+        }
+    }
+
+    #[test]
+    fn connecting_entries_replayed_by_initiator() {
+        let mut md = MetaData::new("p1");
+        let mut e = ConnEntry::tcp(ep(1, 40001), ep(2, 5000));
+        e.state = ConnState::Connecting;
+        md.entries.push(e);
+        let mut all = vec![md];
+        assign_roles(&mut all);
+        assert_eq!(all[0].entries[0].role, RestartRole::Connect);
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        let build = || {
+            let mut md1 = MetaData::new("a");
+            md1.entries.push(ConnEntry::tcp(ep(1, 1000), ep(2, 2000)));
+            let mut md2 = MetaData::new("b");
+            md2.entries.push(ConnEntry::tcp(ep(2, 2000), ep(1, 1000)));
+            vec![md1, md2]
+        };
+        let mut x = build();
+        let mut y = build();
+        assign_roles(&mut x);
+        assign_roles(&mut y);
+        assert_eq!(x, y);
+        // Idempotent.
+        let mut z = x.clone();
+        assign_roles(&mut z);
+        assert_eq!(z, x);
+    }
+}

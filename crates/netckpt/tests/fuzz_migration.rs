@@ -1,0 +1,247 @@
+//! Randomized (seeded, deterministic) migration fuzzing: arbitrary
+//! interleavings of writes, urgent sends, partial reads and shutdowns on
+//! both ends of a connection, then a freeze + network checkpoint +
+//! migration — after which each side must read **exactly** the bytes the
+//! peer wrote and it had not consumed yet: no loss, no duplication, no
+//! reordering, with urgent bytes on the OOB channel.
+
+use std::sync::Arc;
+use std::time::Duration;
+use zapc_net::{Network, NetworkConfig, RecvFlags, Socket};
+use zapc_netckpt::{assign_roles, checkpoint_network, restore_network, NetworkRestorePlan};
+use zapc_pod::{pod_vip, Pod, PodConfig};
+use zapc_proto::{Endpoint, MetaData, Transport};
+use zapc_sim::{ClusterClock, Node, NodeConfig, SimFs};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0 | 1;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+struct Side {
+    /// Every byte this side wrote (normal stream).
+    wrote: Vec<u8>,
+    /// Every urgent byte this side wrote.
+    wrote_urgent: Vec<u8>,
+    /// Bytes of the peer's stream this side consumed before the migration.
+    consumed: usize,
+    /// Urgent bytes consumed before the migration.
+    consumed_urgent: usize,
+    shutdown_sent: bool,
+}
+
+impl Side {
+    fn new() -> Side {
+        Side { wrote: Vec::new(), wrote_urgent: Vec::new(), consumed: 0, consumed_urgent: 0, shutdown_sent: false }
+    }
+}
+
+fn drain_stream(sock: &Arc<Socket>, n: usize) -> Vec<u8> {
+    sock.read_exact_wait(n, TIMEOUT).expect("post-migration stream")
+}
+
+fn drain_urgent(sock: &Arc<Socket>, n: usize) -> Vec<u8> {
+    let deadline = std::time::Instant::now() + TIMEOUT;
+    let mut out = Vec::new();
+    while out.len() < n {
+        match sock.recv(n - out.len(), RecvFlags { oob: true, peek: false }) {
+            Ok(d) => out.extend(d),
+            Err(zapc_net::NetError::WouldBlock) => {
+                assert!(std::time::Instant::now() < deadline, "urgent bytes missing");
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) => panic!("urgent drain: {e}"),
+        }
+    }
+    out
+}
+
+fn run_scenario(seed: u64) {
+    let mut rng = XorShift(seed.wrapping_mul(0x9E37_79B9).wrapping_add(seed) | 1);
+    let net = Network::new(NetworkConfig {
+        latency: Duration::from_micros(20 + rng.below(60)),
+        jitter: Duration::from_micros(rng.below(30)),
+        rto: Duration::from_millis(4),
+        ..Default::default()
+    });
+    let fs = SimFs::new();
+    let clock = ClusterClock::new();
+    let nodes: Vec<Arc<Node>> = (0..4)
+        .map(|i| Node::new(NodeConfig { id: i, cpus: 1 }, net.handle(), Arc::clone(&fs)))
+        .collect();
+    let vip_n = 500 + (seed as u16 % 100) * 2;
+    let a_pod = Pod::create(PodConfig::new(format!("fz-a-{seed}"), pod_vip(vip_n)), &nodes[0], &clock);
+    let b_pod =
+        Pod::create(PodConfig::new(format!("fz-b-{seed}"), pod_vip(vip_n + 1)), &nodes[1], &clock);
+    net.set_route(a_pod.vip(), &nodes[0].stack);
+    net.set_route(b_pod.vip(), &nodes[1].stack);
+
+    // Connect.
+    let listener = nodes[1].stack.socket(Transport::Tcp, b_pod.vip(), 6);
+    listener.bind(Endpoint { ip: b_pod.vip(), port: 5000 }).unwrap();
+    listener.listen(4).unwrap();
+    let a_sock = nodes[0].stack.socket(Transport::Tcp, a_pod.vip(), 6);
+    a_sock.connect(Endpoint { ip: b_pod.vip(), port: 5000 }).unwrap();
+    a_sock.connect_wait(TIMEOUT).unwrap();
+    let b_sock = listener.accept_wait(TIMEOUT).unwrap();
+
+    // Random traffic from both ends.
+    let mut a = Side::new();
+    let mut b = Side::new();
+    let ops = 8 + rng.below(24);
+    for _ in 0..ops {
+        let from_a = rng.below(2) == 0;
+        let (side, sock) = if from_a { (&mut a, &a_sock) } else { (&mut b, &b_sock) };
+        match rng.below(10) {
+            // Mostly writes of random sizes.
+            0..=5 => {
+                if side.shutdown_sent {
+                    continue;
+                }
+                let len = 1 + rng.below(600) as usize;
+                let base = side.wrote.len();
+                let data: Vec<u8> =
+                    (0..len).map(|i| ((base + i) as u64 ^ seed) as u8).collect();
+                if sock.write_all_wait(&data, TIMEOUT).is_ok() {
+                    side.wrote.extend(data);
+                }
+            }
+            // Occasional urgent byte.
+            6 => {
+                if side.shutdown_sent {
+                    continue;
+                }
+                let byte = rng.next() as u8;
+                if sock.send_oob(&[byte]).is_ok() {
+                    side.wrote_urgent.push(byte);
+                }
+            }
+            // Partial read of the peer's stream.
+            7 | 8 => {
+                let (reader_side, reader_sock, writer_total) = if from_a {
+                    (&mut a, &a_sock, b.wrote.len())
+                } else {
+                    (&mut b, &b_sock, a.wrote.len())
+                };
+                let unread = writer_total - reader_side.consumed;
+                if unread > 0 {
+                    let want = 1 + rng.below(unread as u64) as usize;
+                    // The bytes may still be in flight; wait for them.
+                    let got = reader_sock.read_exact_wait(want, TIMEOUT).expect("mid-run read");
+                    assert_eq!(got.len(), want);
+                    reader_side.consumed += want;
+                }
+            }
+            // Rare half-close (at most once, and only late).
+            _ => {
+                if !side.shutdown_sent && rng.below(4) == 0 {
+                    let _ = sock.shutdown(zapc_net::Shutdown::Write);
+                    side.shutdown_sent = true;
+                }
+            }
+        }
+    }
+    // Let in-flight traffic partially settle (or not — that's the point).
+    if rng.below(2) == 0 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // Freeze + checkpoint + destroy + migrate to nodes 2 and 3.
+    net.filter().block_ip(a_pod.vip());
+    net.filter().block_ip(b_pod.vip());
+    let (ma, ra) = checkpoint_network(&a_pod);
+    let (mb, rb) = checkpoint_network(&b_pod);
+    a_pod.destroy();
+    b_pod.destroy();
+    let mut metas: Vec<MetaData> = vec![ma, mb];
+    assign_roles(&mut metas);
+    zapc_netckpt::schedule::validate_schedule(&metas).unwrap();
+
+    let a2 = Pod::create(
+        PodConfig::new(format!("fz-a2-{seed}"), pod_vip(vip_n)),
+        &nodes[2],
+        &clock,
+    );
+    let b2 = Pod::create(
+        PodConfig::new(format!("fz-b2-{seed}"), pod_vip(vip_n + 1)),
+        &nodes[3],
+        &clock,
+    );
+    net.set_route(a2.vip(), &nodes[2].stack);
+    net.set_route(b2.vip(), &nodes[3].stack);
+    net.filter().clear();
+
+    let (socks_a, socks_b) = std::thread::scope(|s| {
+        let ha = s.spawn(|| {
+            restore_network(
+                &a2,
+                &NetworkRestorePlan { my_meta: &metas[0], all_meta: &metas, records: &ra, timeout: TIMEOUT },
+            )
+            .expect("restore a")
+        });
+        let hb = s.spawn(|| {
+            restore_network(
+                &b2,
+                &NetworkRestorePlan { my_meta: &metas[1], all_meta: &metas, records: &rb, timeout: TIMEOUT },
+            )
+            .expect("restore b")
+        });
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+
+    // Identify the connection sockets by peer address.
+    let a2_sock = socks_a
+        .iter()
+        .flatten()
+        .find(|s| s.peer_addr().map(|p| p.port == 5000).unwrap_or(false))
+        .expect("restored client")
+        .clone();
+    let b2_sock = socks_b
+        .iter()
+        .flatten()
+        .find(|s| s.peer_addr().map(|p| p.ip == pod_vip(vip_n)).unwrap_or(false) && s.local_addr().map(|l| l.port == 5000).unwrap_or(false))
+        .expect("restored child")
+        .clone();
+
+    // Each side must now read exactly the unread suffix of the peer's
+    // stream, then (if the peer half-closed) EOF.
+    let expect_at_b = &a.wrote[b.consumed..];
+    let got = drain_stream(&b2_sock, expect_at_b.len());
+    assert_eq!(got, expect_at_b, "seed {seed}: a→b stream");
+    let expect_at_a = &b.wrote[a.consumed..];
+    let got = drain_stream(&a2_sock, expect_at_a.len());
+    assert_eq!(got, expect_at_a, "seed {seed}: b→a stream");
+
+    // Urgent bytes: order preserved within the OOB channel.
+    let urgent_at_b = &a.wrote_urgent[b.consumed_urgent..];
+    if !urgent_at_b.is_empty() {
+        assert_eq!(drain_urgent(&b2_sock, urgent_at_b.len()), urgent_at_b, "seed {seed}: a→b urgent");
+    }
+    let urgent_at_a = &b.wrote_urgent[a.consumed_urgent..];
+    if !urgent_at_a.is_empty() {
+        assert_eq!(drain_urgent(&a2_sock, urgent_at_a.len()), urgent_at_a, "seed {seed}: b→a urgent");
+    }
+
+    a2.destroy();
+    b2.destroy();
+}
+
+#[test]
+fn randomized_migrations_preserve_streams() {
+    for seed in 0..60 {
+        run_scenario(seed);
+    }
+}

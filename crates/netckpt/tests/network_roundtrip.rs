@@ -1,0 +1,429 @@
+//! End-to-end network-state checkpoint/restore between pods (§5).
+//!
+//! These tests drive sockets directly (no application programs) so each
+//! queue configuration is constructed deterministically: overlap between
+//! send and receive queues, urgent data, unread data on closed
+//! connections, pending (unaccepted) children, and UDP/raw queues.
+
+use std::sync::Arc;
+use std::time::Duration;
+use zapc_net::{Network, NetworkConfig, RecvFlags, Shutdown, Socket};
+use zapc_netckpt::{assign_roles, checkpoint_network, restore_network, NetworkRestorePlan};
+use zapc_pod::{pod_vip, Pod, PodConfig};
+use zapc_proto::{Endpoint, MetaData, Transport};
+use zapc_sim::{ClusterClock, Node, NodeConfig, SimFs};
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+struct Rig {
+    net: Network,
+    nodes: Vec<Arc<Node>>,
+    clock: Arc<ClusterClock>,
+}
+
+fn rig(n: u32) -> Rig {
+    let net = Network::new(NetworkConfig {
+        latency: Duration::from_micros(30),
+        jitter: Duration::from_micros(10),
+        rto: Duration::from_millis(5),
+        ..Default::default()
+    });
+    let fs = SimFs::new();
+    let nodes =
+        (0..n).map(|i| Node::new(NodeConfig { id: i, cpus: 1 }, net.handle(), Arc::clone(&fs))).collect();
+    Rig { net, nodes, clock: ClusterClock::new() }
+}
+
+fn make_pod(r: &Rig, name: &str, vipn: u16, node: usize) -> Arc<Pod> {
+    let pod = Pod::create(PodConfig::new(name, pod_vip(vipn)), &r.nodes[node], &r.clock);
+    r.net.set_route(pod.vip(), &r.nodes[node].stack);
+    pod
+}
+
+fn ep(vipn: u16, port: u16) -> Endpoint {
+    Endpoint { ip: pod_vip(vipn), port }
+}
+
+/// Connects a socket in pod A to a listener in pod B; returns
+/// `(client, listener, server_child)`.
+fn connect_pods(a: &Pod, b: &Pod, port: u16) -> (Arc<Socket>, Arc<Socket>, Arc<Socket>) {
+    let listener = b.node().stack.socket(Transport::Tcp, b.vip(), 6);
+    listener.bind(Endpoint { ip: b.vip(), port }).unwrap();
+    listener.listen(8).unwrap();
+    let client = a.node().stack.socket(Transport::Tcp, a.vip(), 6);
+    client.connect(Endpoint { ip: b.vip(), port }).unwrap();
+    client.connect_wait(TIMEOUT).unwrap();
+    let child = listener.accept_wait(TIMEOUT).unwrap();
+    (client, listener, child)
+}
+
+/// Freezes both pods (netfilter), checkpoints their network state,
+/// destroys them, rebuilds them on `dst_nodes`, reroutes, restores
+/// concurrently, and returns the restored socket vectors.
+#[allow(clippy::type_complexity)]
+fn migrate_network(
+    r: &Rig,
+    pods: Vec<Arc<Pod>>,
+    dst_nodes: Vec<usize>,
+) -> (Vec<Arc<Pod>>, Vec<Vec<Option<Arc<Socket>>>>) {
+    // Freeze: block each pod's vip (Agent step 1).
+    for p in &pods {
+        r.net.filter().block_ip(p.vip());
+    }
+    // Checkpoint network state (Agent step 2).
+    let mut metas: Vec<MetaData> = Vec::new();
+    let mut recs = Vec::new();
+    for p in &pods {
+        let (m, rcs) = checkpoint_network(p);
+        metas.push(m);
+        recs.push(rcs);
+    }
+    // Destroy sources (migration case, Agent step 4).
+    let names: Vec<String> = pods.iter().map(|p| p.name()).collect();
+    let vips: Vec<u32> = pods.iter().map(|p| p.vip()).collect();
+    let cfgs: Vec<PodConfig> = pods
+        .iter()
+        .map(|p| PodConfig::new(p.name(), p.vip()))
+        .collect();
+    for p in &pods {
+        p.destroy();
+    }
+    drop(pods);
+
+    // Manager: assign the reconnection schedule.
+    assign_roles(&mut metas);
+    zapc_netckpt::schedule::validate_schedule(&metas).unwrap();
+
+    // Rebuild pods at the destinations; reroute the virtual IPs; unblock.
+    let new_pods: Vec<Arc<Pod>> = cfgs
+        .into_iter()
+        .zip(&dst_nodes)
+        .map(|(cfg, &n)| {
+            let pod = Pod::create(cfg, &r.nodes[n], &r.clock);
+            r.net.set_route(pod.vip(), &r.nodes[n].stack);
+            pod
+        })
+        .collect();
+    // Thaw everything, including any directional link rules a test added
+    // to construct its scenario.
+    let _ = vips;
+    r.net.filter().clear();
+    let _ = names;
+
+    // Restore network state concurrently (each Agent runs its own).
+    let results: Vec<Vec<Option<Arc<Socket>>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = new_pods
+            .iter()
+            .zip(metas.iter())
+            .zip(recs.iter())
+            .map(|((pod, my), rcs)| {
+                let all = &metas;
+                s.spawn(move || {
+                    let plan = NetworkRestorePlan {
+                        my_meta: my,
+                        all_meta: all,
+                        records: rcs,
+                        timeout: TIMEOUT,
+                    };
+                    restore_network(pod, &plan).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    (new_pods, results)
+}
+
+fn drain(sock: &Arc<Socket>, n: usize) -> Vec<u8> {
+    sock.read_exact_wait(n, TIMEOUT).unwrap()
+}
+
+#[test]
+fn established_connection_with_unread_data_survives_migration() {
+    let r = rig(4);
+    let a = make_pod(&r, "A", 1, 0);
+    let b = make_pod(&r, "B", 2, 1);
+    let (client, _listener, server) = connect_pods(&a, &b, 5000);
+
+    // Client → server data that the app has NOT read yet.
+    client.write_all_wait(b"queued-before-ckpt", TIMEOUT).unwrap();
+    // Wait until delivered (kernel queue, not in flight).
+    let dl = std::time::Instant::now() + TIMEOUT;
+    while !server.poll().readable {
+        assert!(std::time::Instant::now() < dl);
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    let (pods, socks) = migrate_network(&r, vec![a, b], vec![2, 3]);
+    // Server pod: find the restored child (ordinal 1: listener was 0).
+    let server2 = socks[1][1].clone().expect("restored child");
+    assert_eq!(drain(&server2, 18), b"queued-before-ckpt");
+
+    // The connection still works for fresh data in both directions.
+    let client2 = socks[0][0].clone().expect("restored client");
+    client2.write_all_wait(b"post-restart", TIMEOUT).unwrap();
+    assert_eq!(drain(&server2, 12), b"post-restart");
+    server2.write_all_wait(b"reply", TIMEOUT).unwrap();
+    assert_eq!(drain(&client2, 5), b"reply");
+    for p in pods {
+        p.destroy();
+    }
+}
+
+#[test]
+fn overlap_between_send_and_receive_queue_discarded() {
+    // Construct recv₁ > acked₂ deterministically: block the ack direction
+    // so data is delivered but acknowledgments are lost (Figure 4).
+    let r = rig(4);
+    let a = make_pod(&r, "A", 3, 0);
+    let b = make_pod(&r, "B", 4, 1);
+    let (client, _listener, server) = connect_pods(&a, &b, 5001);
+
+    r.net.filter().block_link(pod_vip(4), pod_vip(3)); // acks b→a die
+    client.write_all_wait(b"overlap-bytes", TIMEOUT).unwrap();
+    let dl = std::time::Instant::now() + TIMEOUT;
+    loop {
+        let delivered = server.with_inner(|i| {
+            i.tcb.as_ref().map(|t| t.recv.readable()).unwrap_or(0)
+        });
+        if delivered == 13 {
+            break;
+        }
+        assert!(std::time::Instant::now() < dl, "data never delivered");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    // Sender's PCB shows nothing acked; receiver's shows all received.
+    let sender_acked = client.with_inner(|i| i.tcb.as_ref().unwrap().pcb_extract().acked);
+    let recv_nxt = server.with_inner(|i| i.tcb.as_ref().unwrap().pcb_extract().recv);
+    assert!(recv_nxt > sender_acked, "overlap exists: the Figure 4 scenario");
+    assert_eq!(recv_nxt - sender_acked, 13);
+
+    let (pods, socks) = migrate_network(&r, vec![a, b], vec![2, 3]);
+    let client2 = socks[0][0].clone().unwrap();
+    let server2 = socks[1][1].clone().unwrap();
+    // Exactly one copy arrives: no duplication (discard) and no loss.
+    assert_eq!(drain(&server2, 13), b"overlap-bytes");
+    std::thread::sleep(Duration::from_millis(5));
+    assert!(!server2.poll().readable, "no duplicate data after restore");
+    // Connection remains usable.
+    server2.write_all_wait(b"ok", TIMEOUT).unwrap();
+    assert_eq!(drain(&client2, 2), b"ok");
+    for p in pods {
+        p.destroy();
+    }
+}
+
+#[test]
+fn urgent_data_survives_checkpoint() {
+    let r = rig(4);
+    let a = make_pod(&r, "A", 5, 0);
+    let b = make_pod(&r, "B", 6, 1);
+    let (client, _l, server) = connect_pods(&a, &b, 5002);
+
+    client.write_all_wait(b"normal", TIMEOUT).unwrap();
+    client.send_oob(b"U").unwrap();
+    let dl = std::time::Instant::now() + TIMEOUT;
+    while !server.poll().oob {
+        assert!(std::time::Instant::now() < dl);
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    let (pods, socks) = migrate_network(&r, vec![a, b], vec![2, 3]);
+    let server2 = socks[1][1].clone().unwrap();
+    assert_eq!(drain(&server2, 6), b"normal");
+    let oob = server2.recv(8, RecvFlags { oob: true, peek: false }).unwrap();
+    assert_eq!(oob, b"U", "urgent data restored to the OOB queue");
+    for p in pods {
+        p.destroy();
+    }
+}
+
+#[test]
+fn naive_peek_capture_loses_urgent_data() {
+    // The ablation: Cruz-style peek misses the urgent byte that the real
+    // mechanism preserves.
+    let r = rig(2);
+    let a = make_pod(&r, "A", 7, 0);
+    let b = make_pod(&r, "B", 8, 1);
+    let (client, _l, server) = connect_pods(&a, &b, 5003);
+    client.write_all_wait(b"normal", TIMEOUT).unwrap();
+    client.send_oob(b"U").unwrap();
+    let dl = std::time::Instant::now() + TIMEOUT;
+    while !server.poll().oob {
+        assert!(std::time::Instant::now() < dl);
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    r.net.filter().block_ip(a.vip());
+    r.net.filter().block_ip(b.vip());
+    let naive = zapc_netckpt::naive::naive_peek_capture(&b);
+    let (urgent_missed, _, _) = zapc_netckpt::naive::naive_loss(&b);
+    let (_, full) = checkpoint_network(&b);
+
+    // The naive capture of the server child sees only the normal stream.
+    let child_naive = naive.iter().find(|n| n.ordinal == 1).unwrap();
+    assert_eq!(child_naive.stream, b"normal");
+    assert_eq!(urgent_missed, 1, "one urgent byte invisible to peek");
+    // The full mechanism captured it.
+    assert_eq!(full[1].recv_urgent, b"U");
+    r.net.filter().clear();
+    a.destroy();
+    b.destroy();
+}
+
+#[test]
+fn closed_connection_with_unread_data() {
+    let r = rig(4);
+    let a = make_pod(&r, "A", 9, 0);
+    let b = make_pod(&r, "B", 10, 1);
+    let (client, _l, server) = connect_pods(&a, &b, 5004);
+
+    client.write_all_wait(b"parting-gift", TIMEOUT).unwrap();
+    client.shutdown(Shutdown::Write).unwrap();
+    // Wait for FIN to land.
+    let dl = std::time::Instant::now() + TIMEOUT;
+    while !server.with_inner(|i| i.tcb.as_ref().unwrap().recv.fin_reached()) {
+        assert!(std::time::Instant::now() < dl);
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    let (pods, socks) = migrate_network(&r, vec![a, b], vec![2, 3]);
+    let server2 = socks[1][1].clone().unwrap();
+    // The unread data is still there…
+    assert_eq!(drain(&server2, 12), b"parting-gift");
+    // …followed by EOF (the shutdown was replayed).
+    let dl = std::time::Instant::now() + TIMEOUT;
+    loop {
+        match server2.recv(8, RecvFlags::default()) {
+            Ok(d) if d.is_empty() => break,
+            Ok(d) => panic!("unexpected data {d:?}"),
+            Err(zapc_net::NetError::WouldBlock) => {
+                assert!(std::time::Instant::now() < dl, "EOF never arrived");
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) => panic!("{e}"),
+        }
+    }
+    for p in pods {
+        p.destroy();
+    }
+}
+
+#[test]
+fn pending_unaccepted_child_requeued() {
+    let r = rig(4);
+    let a = make_pod(&r, "A", 11, 0);
+    let b = make_pod(&r, "B", 12, 1);
+    // B listens; A connects; B never accepts.
+    let listener = b.node().stack.socket(Transport::Tcp, b.vip(), 6);
+    listener.bind(ep(12, 5005)).unwrap();
+    listener.listen(8).unwrap();
+    let client = a.node().stack.socket(Transport::Tcp, a.vip(), 6);
+    client.connect(ep(12, 5005)).unwrap();
+    client.connect_wait(TIMEOUT).unwrap();
+    client.write_all_wait(b"early", TIMEOUT).unwrap();
+    std::thread::sleep(Duration::from_millis(5)); // let it land in the child
+
+    let (pods, socks) = migrate_network(&r, vec![a, b], vec![2, 3]);
+    // The restored listener has the child pending again.
+    let listener2 = socks[1][0].clone().unwrap();
+    let child = listener2.accept_wait(TIMEOUT).unwrap();
+    assert_eq!(child.read_exact_wait(5, TIMEOUT).unwrap(), b"early");
+    for p in pods {
+        p.destroy();
+    }
+}
+
+#[test]
+fn udp_queue_and_peek_flag_survive() {
+    let r = rig(4);
+    let a = make_pod(&r, "A", 13, 0);
+    let b = make_pod(&r, "B", 14, 1);
+    let rx = b.node().stack.socket(Transport::Udp, b.vip(), 0);
+    rx.bind(ep(14, 9000)).unwrap();
+    let tx = a.node().stack.socket(Transport::Udp, a.vip(), 0);
+    tx.bind(ep(13, 9001)).unwrap();
+    tx.sendto(ep(14, 9000), b"dgram-a").unwrap();
+    tx.sendto(ep(14, 9000), b"dgram-b").unwrap();
+    let dl = std::time::Instant::now() + TIMEOUT;
+    while rx.with_inner(|i| i.udp.as_ref().unwrap().queue.len()) < 2 {
+        assert!(std::time::Instant::now() < dl);
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    // Application peeked: queue must be preserved even for UDP (§5).
+    let _ = rx.recvfrom(64, RecvFlags { peek: true, oob: false }).unwrap();
+
+    let (pods, socks) = migrate_network(&r, vec![a, b], vec![2, 3]);
+    let rx2 = socks[1][0].clone().unwrap();
+    let (d1, src1) = rx2.read_datagram_wait(TIMEOUT).unwrap();
+    assert_eq!(d1, b"dgram-a");
+    assert_eq!(src1, ep(13, 9001), "virtual source address preserved");
+    let (d2, _) = rx2.read_datagram_wait(TIMEOUT).unwrap();
+    assert_eq!(d2, b"dgram-b");
+    assert!(rx2.with_inner(|i| i.udp.as_ref().unwrap().queue.was_peeked()));
+    // The sender still reaches the receiver at its new home.
+    let tx2 = socks[0][0].clone().unwrap();
+    tx2.sendto(ep(14, 9000), b"fresh").unwrap();
+    assert_eq!(rx2.read_datagram_wait(TIMEOUT).unwrap().0, b"fresh");
+    for p in pods {
+        p.destroy();
+    }
+}
+
+#[test]
+fn n_to_m_restart_both_pods_on_one_node() {
+    // N=2 nodes → M=1 node: both pods land on node 2.
+    let r = rig(3);
+    let a = make_pod(&r, "A", 15, 0);
+    let b = make_pod(&r, "B", 16, 1);
+    let (client, _l, server) = connect_pods(&a, &b, 5006);
+    client.write_all_wait(b"to-one-node", TIMEOUT).unwrap();
+    let dl = std::time::Instant::now() + TIMEOUT;
+    while !server.poll().readable {
+        assert!(std::time::Instant::now() < dl);
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    let (pods, socks) = migrate_network(&r, vec![a, b], vec![2, 2]);
+    let server2 = socks[1][1].clone().unwrap();
+    assert_eq!(drain(&server2, 11), b"to-one-node");
+    let client2 = socks[0][0].clone().unwrap();
+    client2.write_all_wait(b"still-works", TIMEOUT).unwrap();
+    assert_eq!(drain(&server2, 11), b"still-works");
+    for p in pods {
+        p.destroy();
+    }
+}
+
+#[test]
+fn double_checkpoint_saves_alternate_queue() {
+    // §5: "the checkpoint procedure must save the state of the alternate
+    // queue, if applicable (e.g. if a second checkpoint is taken before
+    // the application reads its pending data)."
+    let r = rig(6);
+    let a = make_pod(&r, "A", 17, 0);
+    let b = make_pod(&r, "B", 18, 1);
+    let (client, _l, server) = connect_pods(&a, &b, 5007);
+    client.write_all_wait(b"first-round", TIMEOUT).unwrap();
+    let dl = std::time::Instant::now() + TIMEOUT;
+    while !server.poll().readable {
+        assert!(std::time::Instant::now() < dl);
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    // First migration: data moves into the alternate queue.
+    let (pods, socks) = migrate_network(&r, vec![a, b], vec![2, 3]);
+    let server_mid = socks[1][1].clone().unwrap();
+    assert!(server_mid.is_interposed(), "alt queue installed after restore");
+
+    // Second migration *without the app reading anything*.
+    let (pods2, socks2) = migrate_network(&r, pods, vec![4, 5]);
+    let server_final = socks2[1][1].clone().unwrap();
+    assert_eq!(drain(&server_final, 11), b"first-round", "data survived two hops");
+    let client_final = socks2[0][0].clone().unwrap();
+    client_final.write_all_wait(b"after", TIMEOUT).unwrap();
+    assert_eq!(drain(&server_final, 5), b"after");
+    for p in pods2 {
+        p.destroy();
+    }
+}

@@ -1,0 +1,46 @@
+//! # zapc-pod — the pod (PrOcess Domain) virtual machine abstraction
+//!
+//! A pod is "a self-contained unit that can be isolated from the system,
+//! checkpointed to secondary storage, migrated to another machine, and
+//! transparently restarted" (paper §3). It owes those properties to its
+//! **private virtual namespace**:
+//!
+//! * virtual PIDs, assigned pod-locally and *constant for the life of each
+//!   process* regardless of which host kernel it lands on ([`namespace`]),
+//! * a virtual network address (the pod's virtual IP) that the wire's route
+//!   table transparently remaps to the hosting node, so migration never
+//!   changes an address the application can observe,
+//! * a chroot-style file-system root on the cluster-shared storage,
+//! * a virtualized clock whose restart bias hides downtime (§5).
+//!
+//! [`Pod`] bundles the namespace with the process group and provides the
+//! operations the checkpoint Agent drives: `suspend` (SIGSTOP to every
+//! process), `resume` (SIGCONT), and `destroy` (migration source teardown).
+//! Suspension is *quiescent*: when `suspend` returns, no process is
+//! mid-step and the pod's interposition reference count has drained to
+//! zero — the precondition for safely extracting socket state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod namespace;
+pub mod pod;
+
+pub use namespace::Namespace;
+pub use pod::{Pod, PodConfig};
+
+/// Builds a pod virtual IP in the `10.10.0.0/16` range from a pod number.
+pub fn pod_vip(n: u16) -> u32 {
+    u32::from_be_bytes([10, 10, (n >> 8) as u8, n as u8])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pod_vip_layout() {
+        assert_eq!(pod_vip(1), 0x0A0A_0001);
+        assert_eq!(pod_vip(258), 0x0A0A_0102);
+    }
+}

@@ -1,0 +1,82 @@
+//! Pod isolation properties (§3): multiple pods per node with independent
+//! namespaces, identical virtual PIDs, identical well-known ports.
+
+use std::sync::Arc;
+use std::time::Duration;
+use zapc_net::{Network, NetworkConfig};
+use zapc_pod::{pod_vip, Pod, PodConfig};
+use zapc_proto::{Endpoint, RecordWriter, Transport};
+use zapc_sim::{ClusterClock, Node, NodeConfig, ProcessCtx, Program, SimFs, StepOutcome};
+
+/// Binds the pod-relative well-known port, writes a pod-relative file,
+/// reports its own vpid as exit code.
+struct NamespaceProbe {
+    done: bool,
+}
+
+impl Program for NamespaceProbe {
+    fn type_name(&self) -> &'static str {
+        "test.ns-probe"
+    }
+    fn step(&mut self, ctx: &mut ProcessCtx<'_>) -> StepOutcome {
+        if !self.done {
+            let fd = ctx.socket(Transport::Udp).unwrap();
+            // Port 9000 inside *this* pod's namespace (ip 0 = own vip).
+            ctx.bind(fd, Endpoint { ip: 0, port: 9000 }).expect("pod-local port");
+            let f = ctx.open("who-am-i", true, false).unwrap();
+            ctx.file_write(f, format!("vpid={}", ctx.vpid).as_bytes()).unwrap();
+            self.done = true;
+        }
+        StepOutcome::Exited(ctx.vpid as i32)
+    }
+    fn save(&self, w: &mut RecordWriter) {
+        w.put_bool(self.done);
+    }
+}
+
+#[test]
+fn two_pods_on_one_node_do_not_collide() {
+    let net = Network::new(NetworkConfig::default());
+    let fs = SimFs::new();
+    let clock = ClusterClock::new();
+    let node = Node::new(NodeConfig { id: 0, cpus: 1 }, net.handle(), Arc::clone(&fs));
+
+    let p1 = Pod::create(PodConfig::new("iso-a", pod_vip(700)), &node, &clock);
+    let p2 = Pod::create(PodConfig::new("iso-b", pod_vip(701)), &node, &clock);
+
+    // Same virtual PID (1) in both pods; same well-known port 9000; same
+    // pod-relative file name — all isolated by the namespaces.
+    p1.spawn("probe", Box::new(NamespaceProbe { done: false }));
+    p2.spawn("probe", Box::new(NamespaceProbe { done: false }));
+    assert_eq!(p1.wait_all(Duration::from_secs(10)).unwrap(), vec![1]);
+    assert_eq!(p2.wait_all(Duration::from_secs(10)).unwrap(), vec![1]);
+
+    assert_eq!(fs.read("/pods/iso-a/who-am-i").unwrap(), b"vpid=1");
+    assert_eq!(fs.read("/pods/iso-b/who-am-i").unwrap(), b"vpid=1");
+
+    // Host-side (global) PIDs are distinct even though vpids match.
+    assert_ne!(p1.pid_of(1), p2.pid_of(1));
+    p1.destroy();
+    p2.destroy();
+}
+
+#[test]
+fn destroying_one_pod_leaves_the_sibling_untouched() {
+    let net = Network::new(NetworkConfig::default());
+    let fs = SimFs::new();
+    let clock = ClusterClock::new();
+    let node = Node::new(NodeConfig { id: 0, cpus: 1 }, net.handle(), fs);
+    let p1 = Pod::create(PodConfig::new("sib-a", pod_vip(702)), &node, &clock);
+    let p2 = Pod::create(PodConfig::new("sib-b", pod_vip(703)), &node, &clock);
+    p1.spawn("probe", Box::new(NamespaceProbe { done: false }));
+    p2.spawn("probe", Box::new(NamespaceProbe { done: false }));
+    p1.wait_all(Duration::from_secs(10)).unwrap();
+    p2.wait_all(Duration::from_secs(10)).unwrap();
+
+    let p2_sockets_before = p2.sockets().len();
+    p1.destroy();
+    assert_eq!(p1.process_count(), 0);
+    assert_eq!(p2.sockets().len(), p2_sockets_before, "sibling sockets intact");
+    assert_eq!(p2.process_count(), 1);
+    p2.destroy();
+}

@@ -1,0 +1,357 @@
+//! Checkpoint image layout: a magic/version preamble followed by framed,
+//! CRC-protected sections.
+//!
+//! ```text
+//! +--------+---------+--------+-----------+-----------+-----+-------+
+//! | MAGIC  | version | HEADER | section 1 | section 2 | ... | END   |
+//! +--------+---------+--------+-----------+-----------+-----+-------+
+//! ```
+//!
+//! Section contents are produced by the `zapc-ckpt` (per-pod state) and
+//! `zapc-netckpt` (network state) crates; this module only defines framing
+//! and ordering. Network state is written *first* (after the header) because
+//! the Agent checkpoints it first (paper §4, Figure 1) and a streaming
+//! restore consumes sections in write order.
+
+use crate::error::{DecodeError, DecodeResult};
+use crate::rw::{RecordReader, RecordStream, RecordWriter};
+
+/// Magic bytes that start every ZapC checkpoint image.
+pub const MAGIC: &[u8; 8] = b"ZAPCIMG\0";
+
+/// Current image format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Section tags. Values are stable across format versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u16)]
+pub enum SectionTag {
+    /// Image header: pod name, source host, wall-clock time, flags.
+    Header = 0x0001,
+    /// Network meta-data table (`zapc_proto::meta::MetaData`).
+    NetMeta = 0x0010,
+    /// Per-socket network state (parameters, queues, PCB extract).
+    NetState = 0x0011,
+    /// Pod namespace state (PID map, virtual address map, chroot).
+    Namespace = 0x0020,
+    /// One process: control block + program state.
+    Process = 0x0030,
+    /// One address-space memory region.
+    Memory = 0x0031,
+    /// File-descriptor table of one process.
+    FdTable = 0x0032,
+    /// Pending timers and the virtual clock bias.
+    Timers = 0x0033,
+    /// File-system snapshot (optional; ZapC normally relies on shared
+    /// storage and skips this, paper §3).
+    FsSnapshot = 0x0040,
+    /// End-of-image marker.
+    End = 0x00FF,
+}
+
+impl SectionTag {
+    /// Decodes a raw tag value.
+    pub fn from_u16(v: u16) -> Option<SectionTag> {
+        Some(match v {
+            0x0001 => SectionTag::Header,
+            0x0010 => SectionTag::NetMeta,
+            0x0011 => SectionTag::NetState,
+            0x0020 => SectionTag::Namespace,
+            0x0030 => SectionTag::Process,
+            0x0031 => SectionTag::Memory,
+            0x0032 => SectionTag::FdTable,
+            0x0033 => SectionTag::Timers,
+            0x0040 => SectionTag::FsSnapshot,
+            0x00FF => SectionTag::End,
+            _ => return None,
+        })
+    }
+}
+
+/// Image header contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Name of the checkpointed pod.
+    pub pod: String,
+    /// Host the checkpoint was taken on (informational).
+    pub host: String,
+    /// Wall-clock time of the checkpoint in milliseconds since the epoch of
+    /// the simulated cluster clock.
+    pub wall_ms: u64,
+    /// Bit flags (reserved; bit 0 = image contains an FS snapshot).
+    pub flags: u32,
+}
+
+/// Builds a checkpoint image section by section.
+#[derive(Debug)]
+pub struct ImageWriter {
+    out: Vec<u8>,
+    scratch: RecordWriter,
+    finished: bool,
+}
+
+impl ImageWriter {
+    /// Starts a new image with the given header.
+    pub fn new(header: &Header) -> Self {
+        let mut out = Vec::with_capacity(4096);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        let mut scratch = RecordWriter::new();
+        scratch.put_str(&header.pod);
+        scratch.put_str(&header.host);
+        scratch.put_u64(header.wall_ms);
+        scratch.put_u32(header.flags);
+        scratch.finish_record_into(SectionTag::Header as u16, &mut out);
+        ImageWriter { out, scratch, finished: false }
+    }
+
+    /// Appends a section with payload built by `f`.
+    pub fn section(&mut self, tag: SectionTag, f: impl FnOnce(&mut RecordWriter)) {
+        assert!(!self.finished, "image already finished");
+        assert!(tag != SectionTag::Header && tag != SectionTag::End, "reserved tag");
+        f(&mut self.scratch);
+        self.scratch.finish_record_into(tag as u16, &mut self.out);
+    }
+
+    /// Appends a section from pre-encoded payload bytes.
+    pub fn section_bytes(&mut self, tag: SectionTag, payload: &[u8]) {
+        assert!(!self.finished, "image already finished");
+        self.out.extend_from_slice(&(tag as u16).to_le_bytes());
+        self.out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.out.extend_from_slice(payload);
+        self.out.extend_from_slice(&crate::crc::crc32(payload).to_le_bytes());
+    }
+
+    /// Bytes emitted so far (without the end marker).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True if only the preamble and header have been written.
+    pub fn is_empty(&self) -> bool {
+        self.out.len() <= MAGIC.len() + 4
+    }
+
+    /// Terminates the image and returns its bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.finished = true;
+        self.scratch.finish_record_into(SectionTag::End as u16, &mut self.out);
+        self.out
+    }
+}
+
+/// One decoded section.
+#[derive(Debug, Clone)]
+pub struct Section<'a> {
+    /// Section tag.
+    pub tag: SectionTag,
+    /// CRC-verified payload.
+    pub payload: &'a [u8],
+}
+
+/// Reads a checkpoint image: validates the preamble, exposes the header, and
+/// iterates sections until the end marker.
+#[derive(Debug, Clone)]
+pub struct ImageReader<'a> {
+    header: Header,
+    stream: RecordStream<'a>,
+    done: bool,
+}
+
+impl<'a> ImageReader<'a> {
+    /// Opens an image, validating magic, version, CRCs of the header.
+    pub fn open(bytes: &'a [u8]) -> DecodeResult<Self> {
+        if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(DecodeError::BadMagic);
+        }
+        let ver = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+        if ver != FORMAT_VERSION {
+            return Err(DecodeError::UnsupportedVersion { found: ver });
+        }
+        let mut stream = RecordStream::new(&bytes[12..]);
+        let payload = stream.expect_record(SectionTag::Header as u16)?;
+        let mut r = RecordReader::new(payload);
+        let header = Header {
+            pod: r.get_str()?,
+            host: r.get_str()?,
+            wall_ms: r.get_u64()?,
+            flags: r.get_u32()?,
+        };
+        if !r.is_empty() {
+            return Err(DecodeError::TrailingBytes {
+                tag: SectionTag::Header as u16,
+                remaining: r.remaining(),
+            });
+        }
+        Ok(ImageReader { header, stream, done: false })
+    }
+
+    /// The image header.
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// Returns the next section, or `None` at the end marker.
+    pub fn next_section(&mut self) -> DecodeResult<Option<Section<'a>>> {
+        if self.done {
+            return Ok(None);
+        }
+        let (raw, payload) = self.stream.next_record()?;
+        let tag = SectionTag::from_u16(raw)
+            .ok_or(DecodeError::InvalidEnum { what: "SectionTag", value: raw as u64 })?;
+        if tag == SectionTag::End {
+            self.done = true;
+            return Ok(None);
+        }
+        Ok(Some(Section { tag, payload }))
+    }
+
+    /// Collects all sections (for random-access restore paths).
+    pub fn sections(mut self) -> DecodeResult<Vec<Section<'a>>> {
+        let mut out = Vec::new();
+        while let Some(s) = self.next_section()? {
+            out.push(s);
+        }
+        Ok(out)
+    }
+}
+
+/// Per-tag byte accounting of an image, used by the Figure 6c harness to
+/// report how much of a checkpoint is network state versus application state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ImageStats {
+    /// Total image size in bytes, including framing.
+    pub total_bytes: usize,
+    /// Payload bytes of the network sections (`NetMeta` + `NetState`).
+    pub network_bytes: usize,
+    /// Payload bytes of `Memory` sections.
+    pub memory_bytes: usize,
+    /// Payload bytes of `Process` sections.
+    pub process_bytes: usize,
+    /// Number of sections (excluding header and end marker).
+    pub sections: usize,
+}
+
+/// Computes [`ImageStats`] for an encoded image.
+pub fn image_stats(bytes: &[u8]) -> DecodeResult<ImageStats> {
+    let mut rd = ImageReader::open(bytes)?;
+    let mut st = ImageStats { total_bytes: bytes.len(), ..Default::default() };
+    while let Some(sec) = rd.next_section()? {
+        st.sections += 1;
+        match sec.tag {
+            SectionTag::NetMeta | SectionTag::NetState => st.network_bytes += sec.payload.len(),
+            SectionTag::Memory => st.memory_bytes += sec.payload.len(),
+            SectionTag::Process => st.process_bytes += sec.payload.len(),
+            _ => {}
+        }
+    }
+    Ok(st)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> Header {
+        Header { pod: "pod-1".into(), host: "node-a".into(), wall_ms: 123_456, flags: 0 }
+    }
+
+    #[test]
+    fn image_round_trip() {
+        let mut w = ImageWriter::new(&header());
+        w.section(SectionTag::NetMeta, |r| r.put_str("meta"));
+        w.section(SectionTag::Memory, |r| r.put_bytes(&[9u8; 100]));
+        let bytes = w.finish();
+
+        let mut rd = ImageReader::open(&bytes).unwrap();
+        assert_eq!(rd.header().pod, "pod-1");
+        assert_eq!(rd.header().wall_ms, 123_456);
+
+        let s1 = rd.next_section().unwrap().unwrap();
+        assert_eq!(s1.tag, SectionTag::NetMeta);
+        let s2 = rd.next_section().unwrap().unwrap();
+        assert_eq!(s2.tag, SectionTag::Memory);
+        assert!(rd.next_section().unwrap().is_none());
+        // Idempotent at the end.
+        assert!(rd.next_section().unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = ImageReader::open(b"NOTANIMG____").unwrap_err();
+        assert_eq!(err, DecodeError::BadMagic);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut w = ImageWriter::new(&header());
+        w.section(SectionTag::NetMeta, |r| r.put_u8(0));
+        let mut bytes = w.finish();
+        bytes[8] = 0xFE; // clobber version
+        assert!(matches!(
+            ImageReader::open(&bytes),
+            Err(DecodeError::UnsupportedVersion { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_image_detected() {
+        let mut w = ImageWriter::new(&header());
+        w.section(SectionTag::Memory, |r| r.put_bytes(&[1u8; 64]));
+        let bytes = w.finish();
+        // Cut deep enough to damage the memory section itself.
+        let cut = &bytes[..bytes.len() - 20];
+        let mut rd = ImageReader::open(cut).unwrap();
+        assert!(rd.next_section().is_err());
+
+        // Cut exactly the end marker: the section reads fine but the image
+        // never terminates cleanly.
+        let cut = &bytes[..bytes.len() - 10];
+        let mut rd = ImageReader::open(cut).unwrap();
+        let _ = rd.next_section().unwrap().unwrap();
+        assert!(rd.next_section().is_err());
+    }
+
+    #[test]
+    fn stats_attribute_bytes_to_right_buckets() {
+        let mut w = ImageWriter::new(&header());
+        w.section(SectionTag::NetMeta, |r| r.put_bytes(&[0u8; 50]));
+        w.section(SectionTag::NetState, |r| r.put_bytes(&[0u8; 150]));
+        w.section(SectionTag::Memory, |r| r.put_bytes(&[0u8; 1000]));
+        w.section(SectionTag::Process, |r| r.put_bytes(&[0u8; 30]));
+        let bytes = w.finish();
+        let st = image_stats(&bytes).unwrap();
+        assert_eq!(st.sections, 4);
+        // put_bytes adds an 8-byte length prefix to each payload.
+        assert_eq!(st.network_bytes, 50 + 150 + 16);
+        assert_eq!(st.memory_bytes, 1008);
+        assert_eq!(st.process_bytes, 38);
+        assert_eq!(st.total_bytes, bytes.len());
+        assert!(st.memory_bytes > st.network_bytes, "application state must dominate");
+    }
+
+    #[test]
+    fn section_bytes_matches_section_closure() {
+        let mut w1 = ImageWriter::new(&header());
+        w1.section(SectionTag::NetState, |r| {
+            r.put_u64(7);
+            r.put_str("x");
+        });
+        let b1 = w1.finish();
+
+        let mut pre = RecordWriter::new();
+        pre.put_u64(7);
+        pre.put_str("x");
+        let mut w2 = ImageWriter::new(&header());
+        w2.section_bytes(SectionTag::NetState, pre.bytes());
+        let b2 = w2.finish();
+        assert_eq!(b1, b2);
+    }
+
+    #[test]
+    #[should_panic(expected = "reserved tag")]
+    fn header_tag_is_reserved() {
+        let mut w = ImageWriter::new(&header());
+        w.section(SectionTag::Header, |_| {});
+    }
+}

@@ -1,0 +1,524 @@
+//! Typed record encoding: the byte-level layer of the checkpoint format.
+//!
+//! A *record* is the unit of integrity and framing:
+//!
+//! ```text
+//! +---------+----------+------------------+-----------+
+//! | tag u16 | len u32  | payload (len B)  | crc32 u32 |
+//! +---------+----------+------------------+-----------+
+//! ```
+//!
+//! All integers are little-endian. The CRC covers the payload only; tag and
+//! length corruption is caught indirectly (a wrong length almost certainly
+//! shifts the CRC check out of alignment). Inside a payload, values are
+//! written with the typed primitives of [`RecordWriter`] and read back with
+//! the mirror-image [`RecordReader`]; a record must be consumed exactly,
+//! otherwise [`DecodeError::TrailingBytes`] flags a schema mismatch.
+
+use crate::crc::crc32;
+use crate::error::{DecodeError, DecodeResult};
+
+/// Types that can serialize themselves into a record payload.
+pub trait Encode {
+    /// Appends this value to the writer.
+    fn encode(&self, w: &mut RecordWriter);
+}
+
+/// Types that can deserialize themselves from a record payload.
+pub trait Decode: Sized {
+    /// Reads one value from the reader.
+    fn decode(r: &mut RecordReader<'_>) -> DecodeResult<Self>;
+}
+
+/// Append-only typed writer for a single record payload (or a raw byte
+/// stream when used without framing).
+#[derive(Debug, Default, Clone)]
+pub struct RecordWriter {
+    buf: Vec<u8>,
+}
+
+impl RecordWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        RecordWriter { buf: Vec::new() }
+    }
+
+    /// Creates a writer with pre-reserved capacity (image bodies are often
+    /// dominated by one large memory section; reserving avoids regrowth).
+    pub fn with_capacity(cap: usize) -> Self {
+        RecordWriter { buf: Vec::with_capacity(cap) }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consumes the writer, returning the raw bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Borrows the bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Writes a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `bool` as one byte (0/1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.push(v as u8);
+    }
+
+    /// Writes a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its IEEE-754 bit pattern.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    /// Writes a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u64(v.len() as u64);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Writes a length-prefixed `f64` slice (bulk numeric state of the
+    /// scientific workloads).
+    pub fn put_f64_slice(&mut self, v: &[f64]) {
+        self.put_u64(v.len() as u64);
+        self.buf.reserve(v.len() * 8);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    }
+
+    /// Writes a length-prefixed `u64` slice.
+    pub fn put_u64_slice(&mut self, v: &[u64]) {
+        self.put_u64(v.len() as u64);
+        self.buf.reserve(v.len() * 8);
+        for &x in v {
+            self.buf.extend_from_slice(&x.to_le_bytes());
+        }
+    }
+
+    /// Writes any [`Encode`] value.
+    pub fn put<T: Encode>(&mut self, v: &T) {
+        v.encode(self);
+    }
+
+    /// Writes a length-prefixed sequence of [`Encode`] values.
+    pub fn put_seq<T: Encode>(&mut self, items: &[T]) {
+        self.put_u64(items.len() as u64);
+        for it in items {
+            it.encode(self);
+        }
+    }
+
+    /// Frames the accumulated payload as a complete record with `tag`,
+    /// appending it to `out` and clearing this writer for reuse.
+    pub fn finish_record_into(&mut self, tag: u16, out: &mut Vec<u8>) {
+        out.extend_from_slice(&tag.to_le_bytes());
+        out.extend_from_slice(&(self.buf.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.buf);
+        out.extend_from_slice(&crc32(&self.buf).to_le_bytes());
+        self.buf.clear();
+    }
+}
+
+/// Frames `payload` as a single record.
+pub fn frame_record(tag: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 10);
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out
+}
+
+/// Cursor-based typed reader over a record payload (or raw byte stream).
+#[derive(Debug, Clone)]
+pub struct RecordReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RecordReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        RecordReader { buf, pos: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// True when fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize, wanted: &'static str) -> DecodeResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(DecodeError::UnexpectedEof { wanted });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> DecodeResult<u8> {
+        Ok(self.take(1, "u8")?[0])
+    }
+
+    /// Reads a `bool`, rejecting values other than 0/1.
+    pub fn get_bool(&mut self) -> DecodeResult<bool> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(DecodeError::InvalidEnum { what: "bool", value: v as u64 }),
+        }
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> DecodeResult<u16> {
+        let b = self.take(2, "u16")?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> DecodeResult<u32> {
+        let b = self.take(4, "u32")?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> DecodeResult<u64> {
+        let b = self.take(8, "u64")?;
+        Ok(u64::from_le_bytes(b.try_into().expect("slice len 8")))
+    }
+
+    /// Reads a little-endian `i64`.
+    pub fn get_i64(&mut self) -> DecodeResult<i64> {
+        let b = self.take(8, "i64")?;
+        Ok(i64::from_le_bytes(b.try_into().expect("slice len 8")))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn get_f64(&mut self) -> DecodeResult<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a length-prefixed byte slice (borrowed).
+    pub fn get_bytes(&mut self) -> DecodeResult<&'a [u8]> {
+        let len = self.get_u64()?;
+        if len > self.remaining() as u64 {
+            return Err(DecodeError::LengthOverflow { declared: len });
+        }
+        self.take(len as usize, "bytes body")
+    }
+
+    /// Reads a length-prefixed byte slice into an owned vector.
+    pub fn get_bytes_owned(&mut self) -> DecodeResult<Vec<u8>> {
+        Ok(self.get_bytes()?.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> DecodeResult<String> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| DecodeError::InvalidUtf8)
+    }
+
+    /// Reads a length-prefixed `f64` slice.
+    pub fn get_f64_slice(&mut self) -> DecodeResult<Vec<f64>> {
+        let len = self.get_u64()?;
+        if len.checked_mul(8).is_none_or(|b| b > self.remaining() as u64) {
+            return Err(DecodeError::LengthOverflow { declared: len });
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(self.get_f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `u64` slice.
+    pub fn get_u64_slice(&mut self) -> DecodeResult<Vec<u64>> {
+        let len = self.get_u64()?;
+        if len.checked_mul(8).is_none_or(|b| b > self.remaining() as u64) {
+            return Err(DecodeError::LengthOverflow { declared: len });
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(self.get_u64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads any [`Decode`] value.
+    pub fn get<T: Decode>(&mut self) -> DecodeResult<T> {
+        T::decode(self)
+    }
+
+    /// Reads a length-prefixed sequence of [`Decode`] values.
+    pub fn get_seq<T: Decode>(&mut self) -> DecodeResult<Vec<T>> {
+        let len = self.get_u64()?;
+        // Each element takes at least one byte; reject absurd counts early.
+        if len > self.remaining() as u64 {
+            return Err(DecodeError::LengthOverflow { declared: len });
+        }
+        let mut out = Vec::with_capacity(len as usize);
+        for _ in 0..len {
+            out.push(T::decode(self)?);
+        }
+        Ok(out)
+    }
+}
+
+/// Streaming reader over a sequence of framed records.
+#[derive(Debug, Clone)]
+pub struct RecordStream<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> RecordStream<'a> {
+    /// Creates a stream over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        RecordStream { buf, pos: 0 }
+    }
+
+    /// Current byte offset into the stream.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// True when no records remain.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Reads the next record, verifying its CRC; returns `(tag, payload)`.
+    pub fn next_record(&mut self) -> DecodeResult<(u16, &'a [u8])> {
+        let rem = &self.buf[self.pos..];
+        if rem.len() < 6 {
+            return Err(DecodeError::UnexpectedEof { wanted: "record header" });
+        }
+        let tag = u16::from_le_bytes([rem[0], rem[1]]);
+        let len = u32::from_le_bytes([rem[2], rem[3], rem[4], rem[5]]) as usize;
+        if rem.len() < 6 + len + 4 {
+            return Err(DecodeError::LengthOverflow { declared: len as u64 });
+        }
+        let payload = &rem[6..6 + len];
+        let stored = u32::from_le_bytes([
+            rem[6 + len],
+            rem[6 + len + 1],
+            rem[6 + len + 2],
+            rem[6 + len + 3],
+        ]);
+        let computed = crc32(payload);
+        if stored != computed {
+            return Err(DecodeError::CrcMismatch { tag, stored, computed });
+        }
+        self.pos += 6 + len + 4;
+        Ok((tag, payload))
+    }
+
+    /// Reads the next record and requires its tag to be `expected`.
+    pub fn expect_record(&mut self, expected: u16) -> DecodeResult<&'a [u8]> {
+        let (tag, payload) = self.next_record()?;
+        if tag != expected {
+            return Err(DecodeError::UnexpectedTag { found: tag, expected });
+        }
+        Ok(payload)
+    }
+
+    /// Peeks at the next record's tag without consuming it.
+    pub fn peek_tag(&self) -> DecodeResult<u16> {
+        let rem = &self.buf[self.pos..];
+        if rem.len() < 2 {
+            return Err(DecodeError::UnexpectedEof { wanted: "record tag" });
+        }
+        Ok(u16::from_le_bytes([rem[0], rem[1]]))
+    }
+}
+
+/// Decodes a full record payload with `f`, requiring exact consumption.
+pub fn decode_exact<'a, T>(
+    tag: u16,
+    payload: &'a [u8],
+    f: impl FnOnce(&mut RecordReader<'a>) -> DecodeResult<T>,
+) -> DecodeResult<T> {
+    let mut r = RecordReader::new(payload);
+    let v = f(&mut r)?;
+    if !r.is_empty() {
+        return Err(DecodeError::TrailingBytes { tag, remaining: r.remaining() });
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = RecordWriter::new();
+        w.put_u8(7);
+        w.put_bool(true);
+        w.put_u16(0xBEEF);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_f64(std::f64::consts::PI);
+        w.put_bytes(b"queue-bytes");
+        w.put_str("pod-3");
+        w.put_f64_slice(&[1.5, -2.5, 0.0]);
+        w.put_u64_slice(&[3, 2, 1]);
+
+        let bytes = w.into_bytes();
+        let mut r = RecordReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert!(r.get_bool().unwrap());
+        assert_eq!(r.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(r.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_i64().unwrap(), -42);
+        assert_eq!(r.get_f64().unwrap(), std::f64::consts::PI);
+        assert_eq!(r.get_bytes().unwrap(), b"queue-bytes");
+        assert_eq!(r.get_str().unwrap(), "pod-3");
+        assert_eq!(r.get_f64_slice().unwrap(), vec![1.5, -2.5, 0.0]);
+        assert_eq!(r.get_u64_slice().unwrap(), vec![3, 2, 1]);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn record_framing_round_trip() {
+        let mut out = Vec::new();
+        let mut w = RecordWriter::new();
+        w.put_str("first");
+        w.finish_record_into(0x0101, &mut out);
+        w.put_u64(99);
+        w.finish_record_into(0x0202, &mut out);
+
+        let mut s = RecordStream::new(&out);
+        let (tag, payload) = s.next_record().unwrap();
+        assert_eq!(tag, 0x0101);
+        let mut r = RecordReader::new(payload);
+        assert_eq!(r.get_str().unwrap(), "first");
+
+        let payload = s.expect_record(0x0202).unwrap();
+        let mut r = RecordReader::new(payload);
+        assert_eq!(r.get_u64().unwrap(), 99);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn crc_corruption_detected() {
+        let mut out = Vec::new();
+        let mut w = RecordWriter::new();
+        w.put_str("payload");
+        w.finish_record_into(1, &mut out);
+        // Flip a payload bit.
+        out[8] ^= 0x01;
+        let mut s = RecordStream::new(&out);
+        match s.next_record() {
+            Err(DecodeError::CrcMismatch { .. }) => {}
+            other => panic!("expected CrcMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_record_detected() {
+        let mut out = Vec::new();
+        let mut w = RecordWriter::new();
+        w.put_bytes(&[0u8; 64]);
+        w.finish_record_into(1, &mut out);
+        out.truncate(out.len() - 5);
+        let mut s = RecordStream::new(&out);
+        assert!(s.next_record().is_err());
+    }
+
+    #[test]
+    fn unexpected_tag_detected() {
+        let out = frame_record(7, b"x");
+        let mut s = RecordStream::new(&out);
+        match s.expect_record(8) {
+            Err(DecodeError::UnexpectedTag { found: 7, expected: 8 }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bool_rejects_garbage() {
+        let mut r = RecordReader::new(&[3]);
+        assert!(matches!(r.get_bool(), Err(DecodeError::InvalidEnum { .. })));
+    }
+
+    #[test]
+    fn length_overflow_rejected() {
+        // Declared byte length far beyond actual buffer.
+        let mut w = RecordWriter::new();
+        w.put_u64(1 << 40);
+        let bytes = w.into_bytes();
+        let mut r = RecordReader::new(&bytes);
+        assert!(matches!(r.get_bytes(), Err(DecodeError::LengthOverflow { .. })));
+    }
+
+    #[test]
+    fn decode_exact_flags_trailing_bytes() {
+        let mut w = RecordWriter::new();
+        w.put_u32(5);
+        w.put_u32(6);
+        let payload = w.into_bytes();
+        let res = decode_exact(9, &payload, |r| r.get_u32());
+        assert!(matches!(res, Err(DecodeError::TrailingBytes { tag: 9, remaining: 4 })));
+    }
+
+    #[test]
+    fn empty_sequences() {
+        let mut w = RecordWriter::new();
+        w.put_f64_slice(&[]);
+        w.put_u64_slice(&[]);
+        w.put_bytes(&[]);
+        let bytes = w.into_bytes();
+        let mut r = RecordReader::new(&bytes);
+        assert!(r.get_f64_slice().unwrap().is_empty());
+        assert!(r.get_u64_slice().unwrap().is_empty());
+        assert!(r.get_bytes().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! A cluster-shared in-memory file system.
+//!
+//! The paper assumes "a shared storage infrastructure across cluster nodes"
+//! (SAN + GFS, §3/§6) and therefore does not include file contents in
+//! checkpoint images — only per-process descriptor state (path, offset,
+//! flags). `SimFs` plays the SAN: one instance is shared by every node in a
+//! simulated cluster, so a pod restarted on a different node sees the same
+//! files. Pods get their own namespace via a chroot-style path prefix
+//! applied by the pod layer.
+//!
+//! An optional whole-tree snapshot (the paper's pluggable file-system
+//! snapshot hook) supports the `FsSnapshot` image section.
+
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use zapc_proto::{Decode, DecodeResult, Encode, RecordReader, RecordWriter};
+
+use crate::Errno;
+
+/// Cluster-shared file system. Paths are `/`-separated and always absolute;
+/// directories are implicit (created on demand, as in an object store).
+#[derive(Debug, Default)]
+pub struct SimFs {
+    files: RwLock<BTreeMap<String, Vec<u8>>>,
+}
+
+impl SimFs {
+    /// Creates an empty shared file system.
+    pub fn new() -> Arc<SimFs> {
+        Arc::new(SimFs::default())
+    }
+
+    fn norm(path: &str) -> String {
+        let mut out = String::with_capacity(path.len() + 1);
+        if !path.starts_with('/') {
+            out.push('/');
+        }
+        out.push_str(path.trim_end_matches('/'));
+        out
+    }
+
+    /// Creates (or truncates) a file with `data`.
+    pub fn write(&self, path: &str, data: &[u8]) {
+        self.files.write().insert(Self::norm(path), data.to_vec());
+    }
+
+    /// Appends to a file, creating it if absent.
+    pub fn append(&self, path: &str, data: &[u8]) {
+        self.files.write().entry(Self::norm(path)).or_default().extend_from_slice(data);
+    }
+
+    /// Reads a whole file.
+    pub fn read(&self, path: &str) -> Result<Vec<u8>, Errno> {
+        self.files.read().get(&Self::norm(path)).cloned().ok_or(Errno::ENOENT)
+    }
+
+    /// Reads `len` bytes at `offset`; short reads at EOF.
+    pub fn read_at(&self, path: &str, offset: u64, len: usize) -> Result<Vec<u8>, Errno> {
+        let files = self.files.read();
+        let f = files.get(&Self::norm(path)).ok_or(Errno::ENOENT)?;
+        let start = (offset as usize).min(f.len());
+        let end = (start + len).min(f.len());
+        Ok(f[start..end].to_vec())
+    }
+
+    /// Writes `data` at `offset`, growing the file as needed.
+    pub fn write_at(&self, path: &str, offset: u64, data: &[u8]) {
+        let mut files = self.files.write();
+        let f = files.entry(Self::norm(path)).or_default();
+        let end = offset as usize + data.len();
+        if f.len() < end {
+            f.resize(end, 0);
+        }
+        f[offset as usize..end].copy_from_slice(data);
+    }
+
+    /// File size, if it exists.
+    pub fn size(&self, path: &str) -> Result<u64, Errno> {
+        self.files.read().get(&Self::norm(path)).map(|f| f.len() as u64).ok_or(Errno::ENOENT)
+    }
+
+    /// Whether the file exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.read().contains_key(&Self::norm(path))
+    }
+
+    /// Removes a file.
+    pub fn unlink(&self, path: &str) -> Result<(), Errno> {
+        self.files.write().remove(&Self::norm(path)).map(|_| ()).ok_or(Errno::ENOENT)
+    }
+
+    /// Lists files under a directory prefix.
+    pub fn list(&self, dir: &str) -> Vec<String> {
+        let prefix = {
+            let mut p = Self::norm(dir);
+            if !p.ends_with('/') {
+                p.push('/');
+            }
+            p
+        };
+        self.files
+            .read()
+            .keys()
+            .filter(|k| k.starts_with(&prefix) || prefix == "//")
+            .cloned()
+            .collect()
+    }
+
+    /// Number of files.
+    pub fn file_count(&self) -> usize {
+        self.files.read().len()
+    }
+
+    /// Total stored bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.files.read().values().map(Vec::len).sum()
+    }
+
+    /// Snapshot of the subtree under `prefix` (the optional file-system
+    /// snapshot of §3/§4).
+    pub fn snapshot(&self, prefix: &str) -> FsSnapshot {
+        let prefix = Self::norm(prefix);
+        let files = self.files.read();
+        FsSnapshot {
+            files: files
+                .iter()
+                .filter(|(k, _)| k.starts_with(&prefix))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Restores a snapshot (overwrites matching paths).
+    pub fn restore(&self, snap: &FsSnapshot) {
+        let mut files = self.files.write();
+        for (k, v) in &snap.files {
+            files.insert(k.clone(), v.clone());
+        }
+    }
+}
+
+/// A serializable subtree snapshot.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FsSnapshot {
+    /// `(path, contents)` pairs.
+    pub files: Vec<(String, Vec<u8>)>,
+}
+
+impl Encode for FsSnapshot {
+    fn encode(&self, w: &mut RecordWriter) {
+        w.put_u64(self.files.len() as u64);
+        for (k, v) in &self.files {
+            w.put_str(k);
+            w.put_bytes(v);
+        }
+    }
+}
+
+impl Decode for FsSnapshot {
+    fn decode(r: &mut RecordReader<'_>) -> DecodeResult<Self> {
+        let n = r.get_u64()?;
+        let mut files = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            files.push((r.get_str()?, r.get_bytes_owned()?));
+        }
+        Ok(FsSnapshot { files })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_unlink() {
+        let fs = SimFs::new();
+        fs.write("/data/input.dat", b"payload");
+        assert_eq!(fs.read("/data/input.dat").unwrap(), b"payload");
+        assert_eq!(fs.size("/data/input.dat").unwrap(), 7);
+        fs.unlink("/data/input.dat").unwrap();
+        assert_eq!(fs.read("/data/input.dat"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn positional_io() {
+        let fs = SimFs::new();
+        fs.write_at("/f", 4, b"abcd");
+        assert_eq!(fs.size("/f").unwrap(), 8);
+        assert_eq!(fs.read_at("/f", 0, 8).unwrap(), b"\0\0\0\0abcd");
+        assert_eq!(fs.read_at("/f", 6, 100).unwrap(), b"cd", "short read at EOF");
+        fs.write_at("/f", 0, b"XY");
+        assert_eq!(fs.read_at("/f", 0, 2).unwrap(), b"XY");
+    }
+
+    #[test]
+    fn append_accumulates() {
+        let fs = SimFs::new();
+        fs.append("/log", b"a");
+        fs.append("/log", b"b");
+        assert_eq!(fs.read("/log").unwrap(), b"ab");
+    }
+
+    #[test]
+    fn paths_normalized() {
+        let fs = SimFs::new();
+        fs.write("relative/path", b"x");
+        assert!(fs.exists("/relative/path"));
+    }
+
+    #[test]
+    fn list_by_prefix() {
+        let fs = SimFs::new();
+        fs.write("/pods/p1/a", b"1");
+        fs.write("/pods/p1/b", b"2");
+        fs.write("/pods/p2/a", b"3");
+        let mut l = fs.list("/pods/p1");
+        l.sort();
+        assert_eq!(l, vec!["/pods/p1/a".to_string(), "/pods/p1/b".to_string()]);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let fs = SimFs::new();
+        fs.write("/pods/p1/state", b"before");
+        let snap = fs.snapshot("/pods/p1");
+        fs.write("/pods/p1/state", b"mutated");
+        fs.restore(&snap);
+        assert_eq!(fs.read("/pods/p1/state").unwrap(), b"before");
+
+        // Encode/decode the snapshot itself.
+        let mut w = RecordWriter::new();
+        snap.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = RecordReader::new(&bytes);
+        assert_eq!(FsSnapshot::decode(&mut r).unwrap(), snap);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let fs = SimFs::new();
+        let fs2 = Arc::clone(&fs);
+        std::thread::spawn(move || fs2.write("/from-other-node", b"hi"))
+            .join()
+            .unwrap();
+        assert!(fs.exists("/from-other-node"));
+    }
+}

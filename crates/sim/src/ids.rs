@@ -1,0 +1,90 @@
+//! Identifier newtypes for the simulated kernel.
+//!
+//! Operating-system resource identifiers "must remain constant throughout
+//! the life of a process" (§3). The simulator distinguishes *global*
+//! process IDs (unique per simulated kernel instance, never stable across
+//! migration) from the *virtual* PIDs the pod namespace exposes to
+//! applications — the pod layer maintains the mapping.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use zapc_proto::{Decode, DecodeResult, Encode, RecordReader, RecordWriter};
+
+/// Global (host-side) process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u32);
+
+/// Cluster node identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Pod identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PodId(pub u32);
+
+static NEXT_PID: AtomicU32 = AtomicU32::new(100);
+
+impl Pid {
+    /// Allocates a fresh global PID (monotonic across the whole simulator,
+    /// like a host kernel's pid counter).
+    pub fn fresh() -> Pid {
+        Pid(NEXT_PID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+macro_rules! id_impls {
+    ($t:ident, $prefix:literal) => {
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+        impl Encode for $t {
+            fn encode(&self, w: &mut RecordWriter) {
+                w.put_u32(self.0);
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut RecordReader<'_>) -> DecodeResult<Self> {
+                Ok($t(r.get_u32()?))
+            }
+        }
+    };
+}
+
+id_impls!(Pid, "pid:");
+id_impls!(NodeId, "node:");
+id_impls!(PodId, "pod:");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_pids_are_unique() {
+        let a = Pid::fresh();
+        let b = Pid::fresh();
+        assert_ne!(a, b);
+        assert!(b.0 > a.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Pid(7).to_string(), "pid:7");
+        assert_eq!(NodeId(2).to_string(), "node:2");
+        assert_eq!(PodId(3).to_string(), "pod:3");
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut w = RecordWriter::new();
+        Pid(42).encode(&mut w);
+        NodeId(1).encode(&mut w);
+        PodId(9).encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = RecordReader::new(&bytes);
+        assert_eq!(Pid::decode(&mut r).unwrap(), Pid(42));
+        assert_eq!(NodeId::decode(&mut r).unwrap(), NodeId(1));
+        assert_eq!(PodId::decode(&mut r).unwrap(), PodId(9));
+    }
+}

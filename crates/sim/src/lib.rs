@@ -1,0 +1,106 @@
+//! # zapc-sim — the simulated commodity-cluster kernel
+//!
+//! ZapC is an operating-system-level checkpoint-restart mechanism: it
+//! suspends processes with SIGSTOP, freezes their network, extracts kernel
+//! object state (memory, descriptors, timers, signals), and reinstates it
+//! elsewhere (paper §3–§4). Reproducing that requires the kernel
+//! abstractions themselves, so this crate implements a small multi-node
+//! "kernel" in user space:
+//!
+//! * [`ids`] — process/node/pod identifier newtypes,
+//! * [`clock`] — the cluster wall clock and the per-pod *virtual clock*
+//!   whose bias hides checkpoint/restart downtime from applications that
+//!   run their own timeout mechanisms (§5),
+//! * [`signals`] — the SIGSTOP/SIGCONT/SIGKILL subset checkpointing needs,
+//! * [`memory`] — explicit address spaces (named regions of bytes or
+//!   `f64` words): the state that dominates checkpoint images (§6.2),
+//! * [`fdtable`] — descriptor tables holding sockets, files and pipes,
+//! * [`fs`] — a cluster-shared in-memory file system standing in for the
+//!   SAN/GFS shared-storage infrastructure the paper assumes,
+//! * [`pipe`] — intra-pod byte pipes,
+//! * [`process`] — processes as *explicitly serializable state machines*
+//!   ([`process::Program`]): a suspended process is exactly its memory plus
+//!   kernel object state, which is what an OS checkpointer manipulates,
+//! * [`syscall`] — the system-call surface programs run against
+//!   ([`syscall::ProcessCtx`]), including the virtual-time accounting used
+//!   by the Figure 5 timing model,
+//! * [`node`] — a cluster node: one network stack, a process table, and a
+//!   scheduler thread per simulated CPU.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod fdtable;
+pub mod fs;
+pub mod ids;
+pub mod memory;
+pub mod node;
+pub mod pipe;
+pub mod process;
+pub mod signals;
+pub mod syscall;
+
+pub use clock::{ClusterClock, TimerSet, VirtualClock};
+pub use fdtable::{Fd, FdEntry, FdKind, FdTable};
+pub use fs::SimFs;
+pub use ids::{NodeId, Pid, PodId};
+pub use node::{Node, NodeConfig};
+pub use process::{ProcEnv, ProcState, Process, Program, ProgramRegistry, StepOutcome};
+pub use syscall::ProcessCtx;
+
+/// POSIX-flavoured error numbers surfaced by system calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // names mirror errno constants
+pub enum Errno {
+    EAGAIN,
+    EBADF,
+    EINVAL,
+    ECONNREFUSED,
+    ECONNRESET,
+    ENOTCONN,
+    EISCONN,
+    EADDRINUSE,
+    EPIPE,
+    ENOENT,
+    EEXIST,
+    ESRCH,
+    EMSGSIZE,
+    ENOBUFS,
+    ENOTDIR,
+    ETIMEDOUT,
+    ENETUNREACH,
+    EOPNOTSUPP,
+}
+
+impl std::fmt::Display for Errno {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl std::error::Error for Errno {}
+
+impl From<zapc_net::NetError> for Errno {
+    fn from(e: zapc_net::NetError) -> Errno {
+        use zapc_net::NetError as N;
+        match e {
+            N::WouldBlock => Errno::EAGAIN,
+            N::NotConnected => Errno::ENOTCONN,
+            N::AlreadyConnected => Errno::EISCONN,
+            N::AddrInUse => Errno::EADDRINUSE,
+            N::ConnRefused => Errno::ECONNREFUSED,
+            N::ConnReset => Errno::ECONNRESET,
+            N::Pipe => Errno::EPIPE,
+            N::Invalid => Errno::EINVAL,
+            N::Closed => Errno::EBADF,
+            N::Unsupported => Errno::EOPNOTSUPP,
+            N::Unreachable => Errno::ENETUNREACH,
+            N::MsgSize => Errno::EMSGSIZE,
+            N::TimedOut => Errno::ETIMEDOUT,
+        }
+    }
+}
+
+/// Result alias for system calls.
+pub type SysResult<T> = Result<T, Errno>;

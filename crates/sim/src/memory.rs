@@ -1,0 +1,330 @@
+//! Explicit address spaces.
+//!
+//! §6.2 shows that application memory dominates checkpoint images by
+//! orders of magnitude over network state. The simulated kernel therefore
+//! reifies process memory as named regions inside an [`AddressSpace`]:
+//! workloads allocate their grids and buffers here, and the standalone
+//! checkpoint serializes regions wholesale — the direct analogue of a
+//! kernel checkpointer walking a process's VMAs.
+//!
+//! Regions are byte regions or `f64` regions (scientific workloads operate
+//! on doubles; a typed region avoids transmuting and keeps the simulator
+//! free of `unsafe`).
+
+use std::collections::BTreeMap;
+use zapc_proto::{Decode, DecodeError, DecodeResult, Encode, RecordReader, RecordWriter};
+
+/// Backing data of one region.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegionData {
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// 64-bit floats (grid/array state of the scientific workloads).
+    F64(Vec<f64>),
+}
+
+impl RegionData {
+    /// Size in bytes (what the checkpoint image will carry).
+    pub fn byte_len(&self) -> usize {
+        match self {
+            RegionData::Bytes(b) => b.len(),
+            RegionData::F64(v) => v.len() * 8,
+        }
+    }
+}
+
+/// One mapped region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    /// Base address (opaque handle; addresses are never dereferenced).
+    pub base: u64,
+    /// Human-readable name (`"heap"`, `"grid"`, `"scene"`, …).
+    pub name: String,
+    /// Contents.
+    pub data: RegionData,
+}
+
+impl Encode for Region {
+    fn encode(&self, w: &mut RecordWriter) {
+        w.put_u64(self.base);
+        w.put_str(&self.name);
+        match &self.data {
+            RegionData::Bytes(b) => {
+                w.put_u8(0);
+                w.put_bytes(b);
+            }
+            RegionData::F64(v) => {
+                w.put_u8(1);
+                w.put_f64_slice(v);
+            }
+        }
+    }
+}
+
+impl Decode for Region {
+    fn decode(r: &mut RecordReader<'_>) -> DecodeResult<Self> {
+        let base = r.get_u64()?;
+        let name = r.get_str()?;
+        let data = match r.get_u8()? {
+            0 => RegionData::Bytes(r.get_bytes_owned()?),
+            1 => RegionData::F64(r.get_f64_slice()?),
+            v => return Err(DecodeError::InvalidEnum { what: "RegionData", value: v as u64 }),
+        };
+        Ok(Region { base, name, data })
+    }
+}
+
+/// A process's address space: a map of disjoint named regions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AddressSpace {
+    regions: BTreeMap<u64, Region>,
+    next_base: u64,
+}
+
+/// Address-space base for the first mapping (arbitrary, mmap-flavoured).
+const MAP_BASE: u64 = 0x7f00_0000_0000;
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new() -> Self {
+        AddressSpace { regions: BTreeMap::new(), next_base: MAP_BASE }
+    }
+
+    fn alloc_base(&mut self, len_bytes: usize) -> u64 {
+        let base = self.next_base;
+        // Keep regions page-aligned and non-adjacent for realism.
+        let sz = ((len_bytes as u64 + 4095) & !4095).max(4096);
+        self.next_base = base + sz + 4096;
+        base
+    }
+
+    /// Maps a zero-filled byte region; returns its base.
+    pub fn map_bytes(&mut self, name: &str, len: usize) -> u64 {
+        let base = self.alloc_base(len);
+        self.regions.insert(
+            base,
+            Region { base, name: to_name(name), data: RegionData::Bytes(vec![0; len]) },
+        );
+        base
+    }
+
+    /// Maps a zero-filled `f64` region of `len` words; returns its base.
+    pub fn map_f64(&mut self, name: &str, len: usize) -> u64 {
+        let base = self.alloc_base(len * 8);
+        self.regions.insert(
+            base,
+            Region { base, name: to_name(name), data: RegionData::F64(vec![0.0; len]) },
+        );
+        base
+    }
+
+    /// Unmaps a region; returns whether it existed.
+    pub fn unmap(&mut self, base: u64) -> bool {
+        self.regions.remove(&base).is_some()
+    }
+
+    /// Borrows a byte region.
+    pub fn bytes(&self, base: u64) -> Option<&[u8]> {
+        match &self.regions.get(&base)?.data {
+            RegionData::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows a byte region.
+    pub fn bytes_mut(&mut self, base: u64) -> Option<&mut Vec<u8>> {
+        match &mut self.regions.get_mut(&base)?.data {
+            RegionData::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Borrows an `f64` region.
+    pub fn f64(&self, base: u64) -> Option<&[f64]> {
+        match &self.regions.get(&base)?.data {
+            RegionData::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows an `f64` region.
+    pub fn f64_mut(&mut self, base: u64) -> Option<&mut Vec<f64>> {
+        match &mut self.regions.get_mut(&base)?.data {
+            RegionData::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows two distinct `f64` regions at once (stencil codes
+    /// read one grid while writing another).
+    pub fn f64_pair_mut(&mut self, a: u64, b: u64) -> Option<(&mut Vec<f64>, &mut Vec<f64>)> {
+        if a == b {
+            return None;
+        }
+        // BTreeMap has no get_pair_mut; split via range_mut on the ordered keys.
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        let mut it = self.regions.range_mut(lo..=hi);
+        let first = it.next()?;
+        let last = it.last()?;
+        let (rl, rh) = (first.1, last.1);
+        if rl.base != lo || rh.base != hi {
+            return None;
+        }
+        let (ra, rb) = if a < b { (rl, rh) } else { (rh, rl) };
+        match (&mut ra.data, &mut rb.data) {
+            (RegionData::F64(va), RegionData::F64(vb)) => Some((va, vb)),
+            _ => None,
+        }
+    }
+
+    /// Iterates the regions in address order.
+    pub fn regions(&self) -> impl Iterator<Item = &Region> {
+        self.regions.values()
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total mapped bytes — the dominant term of the checkpoint image size
+    /// (Figure 6c).
+    pub fn total_bytes(&self) -> usize {
+        self.regions.values().map(|r| r.data.byte_len()).sum()
+    }
+
+    /// Restore path: reinstates a serialized region verbatim.
+    pub fn restore_region(&mut self, region: Region) {
+        self.next_base = self.next_base.max(region.base + region.data.byte_len() as u64 + 8192);
+        self.regions.insert(region.base, region);
+    }
+}
+
+fn to_name(s: &str) -> String {
+    s.to_owned()
+}
+
+impl Encode for AddressSpace {
+    fn encode(&self, w: &mut RecordWriter) {
+        w.put_u64(self.regions.len() as u64);
+        for r in self.regions.values() {
+            r.encode(w);
+        }
+        w.put_u64(self.next_base);
+    }
+}
+
+impl Decode for AddressSpace {
+    fn decode(r: &mut RecordReader<'_>) -> DecodeResult<Self> {
+        let n = r.get_u64()?;
+        let mut regions = BTreeMap::new();
+        for _ in 0..n {
+            let reg = Region::decode(r)?;
+            regions.insert(reg.base, reg);
+        }
+        let next_base = r.get_u64()?;
+        Ok(AddressSpace { regions, next_base })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_access_bytes() {
+        let mut a = AddressSpace::new();
+        let base = a.map_bytes("heap", 100);
+        a.bytes_mut(base).unwrap()[5] = 42;
+        assert_eq!(a.bytes(base).unwrap()[5], 42);
+        assert_eq!(a.total_bytes(), 100);
+        assert!(a.f64(base).is_none(), "typed access enforced");
+    }
+
+    #[test]
+    fn map_and_access_f64() {
+        let mut a = AddressSpace::new();
+        let g = a.map_f64("grid", 64);
+        a.f64_mut(g).unwrap()[10] = 2.5;
+        assert_eq!(a.f64(g).unwrap()[10], 2.5);
+        assert_eq!(a.total_bytes(), 512);
+    }
+
+    #[test]
+    fn distinct_bases() {
+        let mut a = AddressSpace::new();
+        let b1 = a.map_bytes("a", 10);
+        let b2 = a.map_bytes("b", 10);
+        assert_ne!(b1, b2);
+        assert_eq!(a.region_count(), 2);
+    }
+
+    #[test]
+    fn unmap() {
+        let mut a = AddressSpace::new();
+        let b = a.map_bytes("tmp", 10);
+        assert!(a.unmap(b));
+        assert!(!a.unmap(b));
+        assert_eq!(a.total_bytes(), 0);
+    }
+
+    #[test]
+    fn pair_mut_disjoint_borrows() {
+        let mut a = AddressSpace::new();
+        let g1 = a.map_f64("old", 8);
+        let g2 = a.map_f64("new", 8);
+        {
+            let (old, new) = a.f64_pair_mut(g1, g2).unwrap();
+            old[0] = 1.0;
+            new[0] = old[0] * 2.0;
+        }
+        assert_eq!(a.f64(g2).unwrap()[0], 2.0);
+        assert!(a.f64_pair_mut(g1, g1).is_none(), "same region refused");
+    }
+
+    #[test]
+    fn pair_mut_reversed_order() {
+        let mut a = AddressSpace::new();
+        let g1 = a.map_f64("x", 4);
+        let g2 = a.map_f64("y", 4);
+        let (x2, x1) = a.f64_pair_mut(g2, g1).unwrap();
+        x2[0] = 9.0;
+        x1[0] = 3.0;
+        assert_eq!(a.f64(g1).unwrap()[0], 3.0);
+        assert_eq!(a.f64(g2).unwrap()[0], 9.0);
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let mut a = AddressSpace::new();
+        let b = a.map_bytes("blob", 32);
+        a.bytes_mut(b).unwrap()[0] = 7;
+        let g = a.map_f64("grid", 16);
+        a.f64_mut(g).unwrap()[15] = -1.25;
+        let mut w = RecordWriter::new();
+        a.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = RecordReader::new(&bytes);
+        let back = AddressSpace::decode(&mut r).unwrap();
+        assert_eq!(back, a);
+        // New mappings in the restored space don't collide.
+        let mut back = back;
+        let nb = back.map_bytes("post", 8);
+        assert!(back.bytes(nb).is_some());
+        assert_ne!(nb, b);
+        assert_ne!(nb, g);
+    }
+
+    #[test]
+    fn restore_region_bumps_allocator() {
+        let mut a = AddressSpace::new();
+        a.restore_region(Region {
+            base: MAP_BASE + (1 << 20),
+            name: "restored".into(),
+            data: RegionData::Bytes(vec![1, 2, 3]),
+        });
+        let fresh = a.map_bytes("fresh", 16);
+        assert!(a.bytes(fresh).is_some());
+        assert_eq!(a.region_count(), 2);
+    }
+}

@@ -1,0 +1,403 @@
+//! Processes as explicitly serializable state machines.
+//!
+//! Safe Rust cannot snapshot a live thread's stack — and neither does an OS
+//! checkpointer: it operates on a *suspended* process, which is exactly its
+//! memory plus kernel object state. The simulator therefore represents a
+//! program as a [`Program`] state machine: the scheduler repeatedly calls
+//! [`Program::step`], the program keeps all state in its own (serializable)
+//! fields and in its [`crate::memory::AddressSpace`], and a suspended
+//! process is trivially checkpointable.
+//!
+//! Restoring a program requires mapping its serialized type name back to a
+//! concrete loader — the [`ProgramRegistry`], populated by the application
+//! crates.
+
+use crate::clock::{ClusterClock, TimerSet, VirtualClock};
+use crate::fdtable::FdTable;
+use crate::ids::Pid;
+use crate::memory::AddressSpace;
+use crate::signals::{PendingSignals, Signal};
+use crate::syscall::ProcessCtx;
+use crate::SimFs;
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+use zapc_net::NetStack;
+use zapc_proto::{DecodeError, DecodeResult, RecordReader, RecordWriter};
+
+/// What one scheduler step of a program produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// Work was done; schedule again soon.
+    Ready,
+    /// Nothing to do until external progress (data arrival, timer, …).
+    Blocked,
+    /// The program finished with an exit code.
+    Exited(i32),
+}
+
+/// A runnable application: an explicitly serializable state machine.
+pub trait Program: Send {
+    /// Stable type name used to find the loader at restore time.
+    fn type_name(&self) -> &'static str;
+
+    /// Executes a bounded slice of work.
+    fn step(&mut self, ctx: &mut ProcessCtx<'_>) -> StepOutcome;
+
+    /// Serializes the program's control state.
+    fn save(&self, w: &mut RecordWriter);
+}
+
+/// Loader signature for restoring a program from its saved state.
+pub type ProgramLoader = fn(&mut RecordReader<'_>) -> DecodeResult<Box<dyn Program>>;
+
+/// Maps program type names to loaders (restore path).
+#[derive(Default, Clone)]
+pub struct ProgramRegistry {
+    map: HashMap<&'static str, ProgramLoader>,
+}
+
+impl ProgramRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a loader for `name`.
+    pub fn register(&mut self, name: &'static str, loader: ProgramLoader) {
+        self.map.insert(name, loader);
+    }
+
+    /// Restores a program by type name.
+    pub fn load(&self, name: &str, r: &mut RecordReader<'_>) -> DecodeResult<Box<dyn Program>> {
+        match self.map.get(name) {
+            Some(loader) => loader(r),
+            None => Err(DecodeError::InvalidEnum { what: "program type", value: 0 }),
+        }
+    }
+
+    /// Whether a loader is registered for `name`.
+    pub fn knows(&self, name: &str) -> bool {
+        self.map.contains_key(name)
+    }
+}
+
+impl std::fmt::Debug for ProgramRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ProgramRegistry({} types)", self.map.len())
+    }
+}
+
+/// Scheduling state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Eligible to run.
+    Runnable,
+    /// Suspended by SIGSTOP (the checkpoint state).
+    Stopped,
+    /// Finished with an exit code.
+    Exited(i32),
+}
+
+/// The execution environment a pod provides to its processes: which node
+/// stack it talks through, its virtual IP, its chroot, its clocks, and the
+/// per-syscall virtualization cost the pod's interposition layer adds.
+pub struct ProcEnv {
+    /// Network stack of the hosting node.
+    pub stack: Arc<NetStack>,
+    /// The pod's virtual IP (source address for sockets).
+    pub vip: u32,
+    /// Cluster-shared storage.
+    pub fs: Arc<SimFs>,
+    /// Chroot prefix applied to all paths.
+    pub fs_root: String,
+    /// Real cluster clock.
+    pub clock: Arc<ClusterClock>,
+    /// The pod's (possibly biased) virtual clock.
+    pub vclock: Arc<VirtualClock>,
+    /// Virtual-time cost charged per system call on top of the base cost;
+    /// models the pod interposition overhead and is measured, not assumed
+    /// (0 when running outside a pod, i.e. the *Base* configuration of §6.1).
+    pub virt_overhead_ns: u64,
+    /// In-flight system call count — the "low overhead reference counts"
+    /// ZapC uses for multiprocessor-safe interposition (§3). Checkpoint
+    /// asserts this is zero once the pod is suspended.
+    pub active_syscalls: AtomicU64,
+}
+
+impl std::fmt::Debug for ProcEnv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProcEnv")
+            .field("vip", &self.vip)
+            .field("fs_root", &self.fs_root)
+            .field("virt_overhead_ns", &self.virt_overhead_ns)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One simulated process: kernel object state plus its program.
+pub struct Process {
+    /// Global (host) PID.
+    pub pid: Pid,
+    /// Pod-virtual PID (what the application would see; assigned by the
+    /// pod namespace, stable across migration).
+    pub vpid: u32,
+    /// Process name (diagnostics and image header).
+    pub name: String,
+    /// Scheduling state.
+    pub state: ProcState,
+    /// Queued deliverable signals.
+    pub signals: PendingSignals,
+    /// Address space.
+    pub mem: AddressSpace,
+    /// Descriptor table.
+    pub fds: FdTable,
+    /// Armed timers.
+    pub timers: TimerSet,
+    /// Virtual (Lamport) clock in nanoseconds — the Figure 5 timing model.
+    pub vtime_ns: u64,
+    /// Real CPU time consumed in program steps (nanoseconds).
+    pub cpu_ns: u64,
+    /// Step counter.
+    pub steps: u64,
+    /// The program, absent only transiently during a step or when the
+    /// process has exited.
+    pub program: Option<Box<dyn Program>>,
+    /// Pod-provided environment.
+    pub env: Arc<ProcEnv>,
+}
+
+impl std::fmt::Debug for Process {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Process")
+            .field("pid", &self.pid)
+            .field("name", &self.name)
+            .field("state", &self.state)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Process {
+    /// Creates a runnable process.
+    pub fn new(name: impl Into<String>, vpid: u32, program: Box<dyn Program>, env: Arc<ProcEnv>) -> Process {
+        Process {
+            pid: Pid::fresh(),
+            vpid,
+            name: name.into(),
+            state: ProcState::Runnable,
+            signals: PendingSignals::default(),
+            mem: AddressSpace::new(),
+            fds: FdTable::new(),
+            timers: TimerSet::default(),
+            vtime_ns: 0,
+            cpu_ns: 0,
+            steps: 0,
+            program: Some(program),
+            env,
+        }
+    }
+
+    /// Delivers a signal with kernel semantics: Stop/Cont/Kill act on the
+    /// scheduling state immediately (the caller holds the process lock, so
+    /// the process is by construction not mid-step); everything else is
+    /// queued for the program.
+    pub fn deliver_signal(&mut self, s: Signal) {
+        match s {
+            Signal::Stop => {
+                if self.state == ProcState::Runnable {
+                    self.state = ProcState::Stopped;
+                }
+            }
+            Signal::Cont => {
+                if self.state == ProcState::Stopped {
+                    self.state = ProcState::Runnable;
+                }
+            }
+            Signal::Kill => {
+                if !matches!(self.state, ProcState::Exited(_)) {
+                    self.state = ProcState::Exited(137);
+                    self.program = None;
+                }
+            }
+            other => self.signals.push(other),
+        }
+    }
+
+    /// Runs one scheduler step (caller holds the process lock).
+    pub fn run_step(&mut self) -> StepOutcome {
+        if self.state != ProcState::Runnable {
+            return StepOutcome::Blocked;
+        }
+        let Some(mut program) = self.program.take() else {
+            return StepOutcome::Blocked;
+        };
+        let started = std::time::Instant::now();
+        let outcome = {
+            let mut ctx = ProcessCtx::new(
+                self.pid,
+                self.vpid,
+                &mut self.mem,
+                &mut self.fds,
+                &mut self.timers,
+                &mut self.signals,
+                &mut self.vtime_ns,
+                &self.env,
+            );
+            program.step(&mut ctx)
+        };
+        self.cpu_ns += started.elapsed().as_nanos() as u64;
+        self.steps += 1;
+        match outcome {
+            StepOutcome::Exited(code) => {
+                self.state = ProcState::Exited(code);
+                // Close descriptors like a real exit would.
+                self.close_all_fds();
+                self.program = None;
+            }
+            _ => {
+                self.program = Some(program);
+            }
+        }
+        outcome
+    }
+
+    /// Closes every open descriptor (process exit / pod destroy).
+    pub fn close_all_fds(&mut self) {
+        let fds: Vec<u32> = self.fds.iter().map(|(fd, _)| fd).collect();
+        for fd in fds {
+            if let Some(entry) = self.fds.remove(fd) {
+                match entry.kind {
+                    crate::fdtable::FdKind::Socket(s) => s.close(),
+                    crate::fdtable::FdKind::PipeRead(p) => p.close_read(),
+                    crate::fdtable::FdKind::PipeWrite(p) => p.close_write(),
+                    crate::fdtable::FdKind::File(_) => {}
+                }
+            }
+        }
+    }
+
+    /// The exit code, if the process has exited.
+    pub fn exit_code(&self) -> Option<i32> {
+        match self.state {
+            ProcState::Exited(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zapc_net::{Network, NetworkConfig};
+
+    /// Test program: counts steps, exits after `limit`.
+    struct Counter {
+        count: u64,
+        limit: u64,
+    }
+
+    impl Program for Counter {
+        fn type_name(&self) -> &'static str {
+            "test.counter"
+        }
+        fn step(&mut self, ctx: &mut ProcessCtx<'_>) -> StepOutcome {
+            self.count += 1;
+            ctx.consume_cpu(1_000);
+            if self.count >= self.limit {
+                StepOutcome::Exited(0)
+            } else {
+                StepOutcome::Ready
+            }
+        }
+        fn save(&self, w: &mut RecordWriter) {
+            w.put_u64(self.count);
+            w.put_u64(self.limit);
+        }
+    }
+
+    fn load_counter(r: &mut RecordReader<'_>) -> DecodeResult<Box<dyn Program>> {
+        Ok(Box::new(Counter { count: r.get_u64()?, limit: r.get_u64()? }))
+    }
+
+    pub(crate) fn test_env() -> Arc<ProcEnv> {
+        let net = Network::new(NetworkConfig::default());
+        let stack = NetStack::new(0, net.handle());
+        // Leak the network so the pump thread survives for the test's
+        // duration (tests that need real traffic build a full cluster).
+        std::mem::forget(net);
+        Arc::new(ProcEnv {
+            stack,
+            vip: 0x0A0A_0001,
+            fs: SimFs::new(),
+            fs_root: String::new(),
+            clock: ClusterClock::new(),
+            vclock: VirtualClock::new(true),
+            virt_overhead_ns: 0,
+            active_syscalls: AtomicU64::new(0),
+        })
+    }
+
+    #[test]
+    fn process_steps_until_exit() {
+        let mut p = Process::new("counter", 1, Box::new(Counter { count: 0, limit: 3 }), test_env());
+        assert_eq!(p.run_step(), StepOutcome::Ready);
+        assert_eq!(p.run_step(), StepOutcome::Ready);
+        assert_eq!(p.run_step(), StepOutcome::Exited(0));
+        assert_eq!(p.exit_code(), Some(0));
+        assert_eq!(p.steps, 3);
+        assert_eq!(p.vtime_ns, 3_000);
+        assert_eq!(p.run_step(), StepOutcome::Blocked, "exited processes do not run");
+    }
+
+    #[test]
+    fn sigstop_prevents_stepping_sigcont_resumes() {
+        let mut p = Process::new("counter", 1, Box::new(Counter { count: 0, limit: 10 }), test_env());
+        p.run_step();
+        p.deliver_signal(Signal::Stop);
+        assert_eq!(p.state, ProcState::Stopped);
+        assert_eq!(p.run_step(), StepOutcome::Blocked);
+        p.deliver_signal(Signal::Cont);
+        assert_eq!(p.state, ProcState::Runnable);
+        assert_eq!(p.run_step(), StepOutcome::Ready);
+    }
+
+    #[test]
+    fn sigkill_exits_with_137() {
+        let mut p = Process::new("counter", 1, Box::new(Counter { count: 0, limit: 10 }), test_env());
+        p.deliver_signal(Signal::Kill);
+        assert_eq!(p.exit_code(), Some(137));
+    }
+
+    #[test]
+    fn deliverable_signals_queue() {
+        let mut p = Process::new("counter", 1, Box::new(Counter { count: 0, limit: 10 }), test_env());
+        p.deliver_signal(Signal::Usr1);
+        assert_eq!(p.signals.len(), 1);
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut reg = ProgramRegistry::new();
+        reg.register("test.counter", load_counter);
+        assert!(reg.knows("test.counter"));
+
+        let prog = Counter { count: 5, limit: 9 };
+        let mut w = RecordWriter::new();
+        prog.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = RecordReader::new(&bytes);
+        let restored = reg.load("test.counter", &mut r).unwrap();
+        assert_eq!(restored.type_name(), "test.counter");
+
+        let mut w2 = RecordWriter::new();
+        restored.save(&mut w2);
+        assert_eq!(w2.bytes(), bytes, "save→load→save is identity");
+    }
+
+    #[test]
+    fn unknown_program_type_rejected() {
+        let reg = ProgramRegistry::new();
+        let mut r = RecordReader::new(&[]);
+        assert!(reg.load("no.such.type", &mut r).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! Ablation helpers for the coordination design (§4).
+//!
+//! The paper argues its single synchronization point is *necessary and
+//! sufficient*, and that blocking each pod's network independently (rather
+//! than barrier-synchronizing the whole cluster) keeps network-blocked
+//! time minimal. [`crate::agent::SyncPolicy::GlobalBarrier`] implements
+//! the strawman; this module provides a convenience wrapper and the
+//! blocked-time comparison the `ablation_sync` benchmark reports.
+
+use crate::agent::SyncPolicy;
+use crate::manager::{checkpoint_with, CheckpointOptions, CheckpointReport, CheckpointTarget};
+use crate::cluster::Cluster;
+use crate::ZapcResult;
+
+/// Runs a coordinated checkpoint under the given policy and returns the
+/// report (whose `blocked_ms` fields are the quantity of interest).
+pub fn checkpoint_with_policy(
+    cluster: &Cluster,
+    targets: &[CheckpointTarget],
+    policy: SyncPolicy,
+) -> ZapcResult<CheckpointReport> {
+    checkpoint_with(
+        cluster,
+        targets,
+        &CheckpointOptions { policy, ..Default::default() },
+    )
+}
+
+/// Mean network-blocked time across pods, in milliseconds.
+pub fn mean_blocked_ms(report: &CheckpointReport) -> f64 {
+    if report.pods.is_empty() {
+        return 0.0;
+    }
+    report.pods.iter().map(|p| p.blocked_ms).sum::<f64>() / report.pods.len() as f64
+}

@@ -1,0 +1,379 @@
+//! The per-node Agent: local checkpoint and restart procedures
+//! (Figures 1 and 3).
+//!
+//! Agents "receive commands and carry them out on their local nodes" (§4).
+//! In this reproduction an Agent invocation runs on its own thread per
+//! operation; its reliable connection to the Manager is a pair of channels
+//! whose disconnection models a broken TCP connection — detected by both
+//! sides, triggering a graceful abort in which the application resumes
+//! execution.
+
+use crate::cluster::Cluster;
+use crate::uri::Uri;
+use crate::{ZapcError, ZapcResult};
+use crossbeam::channel::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use zapc_ckpt::{checkpoint_standalone, restore_standalone, RestoredSockets};
+use zapc_netckpt::{checkpoint_network, restore_network, NetworkRestorePlan};
+use zapc_pod::Pod;
+use zapc_proto::image::Header;
+use zapc_proto::{Encode, ImageReader, ImageWriter, MetaData, SectionTag};
+
+/// What happens to the pod after its checkpoint completes (§4 step 4):
+/// resume locally (snapshot) or destroy (the pod migrates away).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Finalize {
+    /// Snapshot: `SIGCONT` everything and keep running.
+    Resume,
+    /// Migration source: destroy the pod locally.
+    Destroy,
+}
+
+/// Image header flag: the image carries a file-system snapshot.
+pub const FLAG_FS_SNAPSHOT: u32 = 1;
+
+/// Coordination policy (the `ablation_sync` benchmark compares these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// The paper's design: each Agent proceeds with its standalone
+    /// checkpoint immediately after reporting meta-data and only *waits*
+    /// for the Manager's `continue` before unblocking its network — one
+    /// synchronization, overlapped with useful work.
+    SingleSync,
+    /// Strawman: Agents hold their network blocked and *idle* until every
+    /// other Agent has finished its standalone checkpoint (a global
+    /// barrier before the network unblocks and the pod resumes).
+    GlobalBarrier,
+}
+
+/// Control messages from the Manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtlMsg {
+    /// Proceed (the Manager has everyone's meta-data / everyone is done).
+    Continue,
+    /// Abort the operation; resume the application.
+    Abort,
+}
+
+/// Per-pod statistics reported with `done`.
+#[derive(Debug, Clone, Default)]
+pub struct PodStats {
+    /// Pod name.
+    pub pod: String,
+    /// Total local operation time (µs).
+    pub total_us: u64,
+    /// Network-state phase time (µs).
+    pub net_us: u64,
+    /// Standalone phase time (µs).
+    pub standalone_us: u64,
+    /// Time the pod's network stayed blocked (µs; checkpoint only).
+    pub blocked_us: u64,
+    /// Encoded image size in bytes.
+    pub image_bytes: usize,
+    /// Bytes of the image attributable to network state.
+    pub network_bytes: usize,
+}
+
+/// Messages from an Agent to the Manager.
+#[derive(Debug)]
+pub enum AgentReply {
+    /// Checkpoint step 2a: network state saved; here is the meta-data.
+    Meta {
+        /// Reporting pod.
+        pod: String,
+        /// The connection table.
+        meta: MetaData,
+        /// Network-checkpoint latency (µs).
+        net_us: u64,
+    },
+    /// Operation finished (or failed) on this Agent.
+    Done {
+        /// Reporting pod.
+        pod: String,
+        /// Statistics, or the failure message.
+        result: Result<PodStats, String>,
+        /// The encoded image (streaming-migration rendezvous; `None` when
+        /// the image went to a file or the memory store).
+        image: Option<Arc<Vec<u8>>>,
+    },
+}
+
+/// Runs the local checkpoint procedure of Figure 1 for one pod.
+///
+/// Steps: suspend + block network → network checkpoint → report meta-data →
+/// standalone checkpoint → wait `continue` → unblock network → finalize →
+/// report done. A broken Manager connection (channel disconnect) or an
+/// `Abort` rolls everything back and resumes the pod.
+#[allow(clippy::too_many_arguments)]
+pub fn agent_checkpoint(
+    cluster: &Cluster,
+    pod_name: &str,
+    dest: &Uri,
+    finalize: Finalize,
+    policy: SyncPolicy,
+    reply: &Sender<AgentReply>,
+    ctl: &Receiver<CtlMsg>,
+) {
+    agent_checkpoint_ext(cluster, pod_name, dest, finalize, policy, false, reply, ctl)
+}
+
+/// [`agent_checkpoint`] with the optional file-system snapshot of §3/§4:
+/// when `fs_snapshot` is set, the pod's chroot subtree on shared storage
+/// is captured into the image ("ZapC can be used with already available
+/// file system snapshot functionality to also provide a checkpointed file
+/// system image").
+#[allow(clippy::too_many_arguments)]
+pub fn agent_checkpoint_ext(
+    cluster: &Cluster,
+    pod_name: &str,
+    dest: &Uri,
+    finalize: Finalize,
+    policy: SyncPolicy,
+    fs_snapshot: bool,
+    reply: &Sender<AgentReply>,
+    ctl: &Receiver<CtlMsg>,
+) {
+    let send_done = |result: Result<PodStats, String>, image: Option<Arc<Vec<u8>>>| {
+        let _ = reply.send(AgentReply::Done { pod: pod_name.to_owned(), result, image });
+    };
+    let Some(pod) = cluster.pod(pod_name) else {
+        send_done(Err(format!("unknown pod {pod_name:?}")), None);
+        return;
+    };
+
+    let t0 = Instant::now();
+    // Step 1: suspend the pod; block its network.
+    if let Err(e) = pod.suspend() {
+        send_done(Err(format!("suspend failed: {e}")), None);
+        return;
+    }
+    cluster.filter().block_ip(pod.vip());
+    let blocked_at = Instant::now();
+
+    let rollback = |why: &str| {
+        cluster.filter().unblock_ip(pod.vip());
+        let _ = pod.resume();
+        send_done(Err(why.to_owned()), None);
+    };
+
+    // Step 2: network-state checkpoint; 2a: report meta-data.
+    let tnet = Instant::now();
+    let (meta, records) = checkpoint_network(&pod);
+    let net_us = tnet.elapsed().as_micros() as u64;
+    if reply
+        .send(AgentReply::Meta { pod: pod_name.to_owned(), meta: meta.clone(), net_us })
+        .is_err()
+    {
+        // Manager gone: graceful abort (§4).
+        rollback("manager connection broken before meta-data");
+        return;
+    }
+
+    // Strawman policy: hold everything until the Manager's barrier.
+    if policy == SyncPolicy::GlobalBarrier {
+        match ctl.recv() {
+            Ok(CtlMsg::Continue) => {}
+            Ok(CtlMsg::Abort) | Err(_) => {
+                rollback("aborted at barrier");
+                return;
+            }
+        }
+    }
+
+    // Step 3: standalone checkpoint (concurrent with the Manager sync in
+    // the paper's policy).
+    let tsa = Instant::now();
+    let header = Header {
+        pod: pod_name.to_owned(),
+        host: format!("node-{}", pod.node().id),
+        wall_ms: cluster.clock.now_ms(),
+        flags: if fs_snapshot { FLAG_FS_SNAPSHOT } else { 0 },
+    };
+    let mut w = ImageWriter::new(&header);
+    w.section(SectionTag::NetMeta, |r| meta.encode(r));
+    if fs_snapshot {
+        // Snapshot the pod's chroot subtree on shared storage.
+        let snap = cluster.fs.snapshot(&pod.env.fs_root);
+        w.section(SectionTag::FsSnapshot, |r| snap.encode(r));
+    }
+    let net_payload = zapc_netckpt::records::encode_records(&records);
+    w.section_bytes(SectionTag::NetState, net_payload.bytes());
+    let network_bytes = net_payload.len() + meta.encoded_len();
+    if let Err(e) = checkpoint_standalone(&pod, &mut w) {
+        rollback(&format!("standalone checkpoint failed: {e}"));
+        return;
+    }
+    let image = w.finish();
+    let standalone_us = tsa.elapsed().as_micros() as u64;
+
+    // Steps 3a/4a: the Agent only finishes after it received `continue`.
+    if policy == SyncPolicy::SingleSync {
+        match ctl.recv() {
+            Ok(CtlMsg::Continue) => {}
+            Ok(CtlMsg::Abort) | Err(_) => {
+                rollback("aborted while awaiting continue");
+                return;
+            }
+        }
+    }
+    // Step 4 + 3a: finalize, then unblock. A snapshot resumes and
+    // unblocks; a migration source is destroyed *while still blocked* so
+    // its teardown segments (RST/FIN) can never chase the pod to its new
+    // home — the restart Agent lifts the block once the pod is re-routed.
+    let blocked_us;
+    match finalize {
+        Finalize::Resume => {
+            cluster.filter().unblock_ip(pod.vip());
+            blocked_us = blocked_at.elapsed().as_micros() as u64;
+            let _ = pod.resume();
+        }
+        Finalize::Destroy => {
+            pod.destroy();
+            cluster.forget_pod(pod_name);
+            blocked_us = blocked_at.elapsed().as_micros() as u64;
+        }
+    }
+
+    // Deliver the image to its destination.
+    let image_bytes = image.len();
+    let image = Arc::new(image);
+    let streamed = match dest {
+        Uri::File(path) => match std::fs::write(path, image.as_slice()) {
+            Ok(()) => None,
+            Err(e) => {
+                send_done(Err(format!("image write failed: {e}")), None);
+                return;
+            }
+        },
+        Uri::Mem(label) => {
+            cluster.store.put(label, image.as_ref().clone());
+            None
+        }
+        Uri::Agent { .. } => Some(Arc::clone(&image)),
+    };
+
+    send_done(
+        Ok(PodStats {
+            pod: pod_name.to_owned(),
+            total_us: t0.elapsed().as_micros() as u64,
+            net_us,
+            standalone_us,
+            blocked_us,
+            image_bytes,
+            network_bytes,
+        }),
+        streamed,
+    );
+}
+
+/// Decoded image parts an Agent restart needs.
+pub struct RestartInputs {
+    /// The raw image.
+    pub image: Arc<Vec<u8>>,
+    /// This pod's meta-data with Manager-assigned roles.
+    pub my_meta: MetaData,
+    /// The merged cluster meta-data.
+    pub all_meta: Arc<Vec<MetaData>>,
+    /// Destination node.
+    pub node: usize,
+    /// Manager-transformed socket records (the §5 send-queue merge);
+    /// `None` decodes them from the image.
+    pub records: Option<Vec<zapc_netckpt::SockRecord>>,
+}
+
+/// Runs the local restart procedure of Figure 3 for one pod: create the
+/// pod → restore connectivity and network state → standalone restart →
+/// resume → report done.
+pub fn agent_restart(
+    cluster: &Cluster,
+    inputs: RestartInputs,
+    timeout: Duration,
+    reply: &Sender<AgentReply>,
+) {
+    let pod_name = inputs.my_meta.pod.clone();
+    let send_done = |result: Result<PodStats, String>| {
+        let _ = reply.send(AgentReply::Done { pod: pod_name.clone(), result, image: None });
+    };
+    match agent_restart_inner(cluster, &inputs, timeout) {
+        Ok(stats) => send_done(Ok(stats)),
+        Err(e) => send_done(Err(e.to_string())),
+    }
+}
+
+fn agent_restart_inner(
+    cluster: &Cluster,
+    inputs: &RestartInputs,
+    timeout: Duration,
+) -> ZapcResult<PodStats> {
+    let t0 = Instant::now();
+    let rd = ImageReader::open(&inputs.image)?;
+    let sections = rd.sections()?;
+
+    // Step 1: create a new (empty) pod from the image's namespace; route
+    // its virtual address to this node before reconnection begins.
+    let ns_payload = sections
+        .iter()
+        .find(|s| s.tag == SectionTag::Namespace)
+        .ok_or_else(|| ZapcError::NotFound("namespace section".into()))?
+        .payload;
+    let ns = zapc_ckpt::restore::decode_namespace(ns_payload)?;
+    let pod: Arc<Pod> = Pod::from_namespace(
+        ns,
+        cluster.node(inputs.node),
+        &cluster.clock,
+        cluster.virt_overhead_ns,
+    );
+    cluster.register_restarted_pod(&pod, inputs.node);
+    // A migration source leaves its virtual IP blocked; lift the rule now
+    // that the address routes to this node.
+    cluster.filter().unblock_ip(pod.vip());
+
+    // Optional file-system snapshot: reinstate the chroot subtree before
+    // anything reads from it.
+    if let Some(s) = sections.iter().find(|s| s.tag == SectionTag::FsSnapshot) {
+        let mut r = zapc_proto::RecordReader::new(s.payload);
+        use zapc_proto::Decode;
+        let snap = zapc_sim::fs::FsSnapshot::decode(&mut r).map_err(ZapcError::Decode)?;
+        cluster.fs.restore(&snap);
+    }
+
+    // Steps 2–3: restore network connectivity, then network state.
+    let tnet = Instant::now();
+    let net_payload = sections
+        .iter()
+        .find(|s| s.tag == SectionTag::NetState)
+        .ok_or_else(|| ZapcError::NotFound("netstate section".into()))?
+        .payload;
+    let records = match &inputs.records {
+        Some(r) => r.clone(),
+        None => zapc_netckpt::records::decode_records(net_payload)?,
+    };
+    let plan = NetworkRestorePlan {
+        my_meta: &inputs.my_meta,
+        all_meta: &inputs.all_meta,
+        records: &records,
+        timeout,
+    };
+    let socks = restore_network(&pod, &plan)?;
+    let net_us = tnet.elapsed().as_micros() as u64;
+
+    // Step 4: standalone restart.
+    let tsa = Instant::now();
+    let restored = RestoredSockets { by_ordinal: socks };
+    restore_standalone(&sections, &pod, &cluster.registry, &restored)?;
+    let standalone_us = tsa.elapsed().as_micros() as u64;
+
+    // Resume execution without further delay (§4).
+    pod.resume()?;
+
+    Ok(PodStats {
+        pod: pod.name(),
+        total_us: t0.elapsed().as_micros() as u64,
+        net_us,
+        standalone_us,
+        blocked_us: 0,
+        image_bytes: inputs.image.len(),
+        network_bytes: net_payload.len(),
+    })
+}

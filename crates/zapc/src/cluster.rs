@@ -1,0 +1,227 @@
+//! Cluster assembly: nodes, wire, shared storage, pods, and Agents.
+//!
+//! Models the paper's evaluation platform (§3, §6): "a set of blade
+//! servers … running standard Linux and connected to a common SAN" — here,
+//! N simulated nodes on one routed wire with one shared in-memory file
+//! system, each node running an Agent.
+
+use crate::uri::MemStore;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::Arc;
+use zapc_net::{Netfilter, Network, NetworkConfig};
+use zapc_pod::{pod_vip, Pod, PodConfig};
+use zapc_sim::{ClusterClock, Node, NodeConfig, ProgramRegistry, SimFs};
+
+/// Builder for [`Cluster`].
+pub struct ClusterBuilder {
+    nodes: usize,
+    cpus: usize,
+    net: NetworkConfig,
+    virt_overhead_ns: u64,
+    registry: ProgramRegistry,
+}
+
+impl ClusterBuilder {
+    /// Number of cluster nodes.
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n.max(1);
+        self
+    }
+
+    /// Simulated CPUs per node (the paper's dual-processor configuration
+    /// uses 2).
+    pub fn cpus(mut self, c: usize) -> Self {
+        self.cpus = c.max(1);
+        self
+    }
+
+    /// Interconnect parameters.
+    pub fn network(mut self, cfg: NetworkConfig) -> Self {
+        self.net = cfg;
+        self
+    }
+
+    /// Per-syscall pod virtualization overhead in virtual-time ns
+    /// (0 = run applications without pods, the *Base* configuration).
+    pub fn virt_overhead_ns(mut self, ns: u64) -> Self {
+        self.virt_overhead_ns = ns;
+        self
+    }
+
+    /// Program registry used to reinstate applications at restart.
+    pub fn registry(mut self, reg: ProgramRegistry) -> Self {
+        self.registry = reg;
+        self
+    }
+
+    /// Boots the cluster.
+    pub fn build(self) -> Cluster {
+        let net = Network::new(self.net);
+        let fs = SimFs::new();
+        let clock = ClusterClock::new();
+        let nodes: Vec<Arc<Node>> = (0..self.nodes)
+            .map(|i| {
+                Node::new(NodeConfig { id: i as u32, cpus: self.cpus }, net.handle(), Arc::clone(&fs))
+            })
+            .collect();
+        Cluster {
+            net,
+            fs,
+            clock,
+            nodes,
+            pods: Mutex::new(HashMap::new()),
+            store: MemStore::new(),
+            registry: self.registry,
+            virt_overhead_ns: self.virt_overhead_ns,
+            next_vip: AtomicU16::new(1),
+        }
+    }
+}
+
+/// A simulated commodity cluster.
+pub struct Cluster {
+    /// The interconnect (owns the pump thread).
+    pub net: Network,
+    /// Cluster-shared storage (the SAN).
+    pub fs: Arc<SimFs>,
+    /// The cluster wall clock.
+    pub clock: Arc<ClusterClock>,
+    nodes: Vec<Arc<Node>>,
+    pods: Mutex<HashMap<String, PodEntry>>,
+    /// In-memory checkpoint image store.
+    pub store: Arc<MemStore>,
+    /// Loaders for restart.
+    pub registry: ProgramRegistry,
+    /// Pod virtualization overhead (virtual-time ns per syscall).
+    pub virt_overhead_ns: u64,
+    next_vip: AtomicU16,
+}
+
+#[derive(Clone)]
+struct PodEntry {
+    node: usize,
+    pod: Arc<Pod>,
+}
+
+impl Cluster {
+    /// Starts building a cluster (defaults: 2 nodes, 1 CPU each, default
+    /// wire, 150 ns pod overhead, empty registry).
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder {
+            nodes: 2,
+            cpus: 1,
+            net: NetworkConfig::default(),
+            virt_overhead_ns: 150,
+            registry: ProgramRegistry::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Node `i`.
+    pub fn node(&self, i: usize) -> &Arc<Node> {
+        &self.nodes[i]
+    }
+
+    /// The cluster packet filter.
+    pub fn filter(&self) -> &Netfilter {
+        self.net.filter()
+    }
+
+    /// Creates a pod named `name` on node `node`, allocating the next
+    /// virtual IP and routing it. Pod names are cluster-unique.
+    pub fn create_pod(&self, name: &str, node: usize) -> Arc<Pod> {
+        let vip = pod_vip(self.next_vip.fetch_add(1, Ordering::Relaxed));
+        let mut cfg = PodConfig::new(name, vip);
+        cfg.virt_overhead_ns = self.virt_overhead_ns;
+        self.create_pod_with(cfg, node)
+    }
+
+    /// Creates a pod with an explicit configuration.
+    pub fn create_pod_with(&self, cfg: PodConfig, node: usize) -> Arc<Pod> {
+        let pod = Pod::create(cfg, &self.nodes[node], &self.clock);
+        self.net.set_route(pod.vip(), &self.nodes[node].stack);
+        let prev = self
+            .pods
+            .lock()
+            .insert(pod.name(), PodEntry { node, pod: Arc::clone(&pod) });
+        assert!(prev.is_none(), "pod name {:?} already in use", pod.name());
+        pod
+    }
+
+    /// Registers a restarted pod (Agent restart path). Replaces any stale
+    /// entry with the same name.
+    pub fn register_restarted_pod(&self, pod: &Arc<Pod>, node: usize) {
+        self.net.set_route(pod.vip(), &self.nodes[node].stack);
+        self.pods.lock().insert(pod.name(), PodEntry { node, pod: Arc::clone(pod) });
+    }
+
+    /// Looks a pod up by name.
+    pub fn pod(&self, name: &str) -> Option<Arc<Pod>> {
+        self.pods.lock().get(name).map(|e| Arc::clone(&e.pod))
+    }
+
+    /// The node currently hosting a pod.
+    pub fn pod_node(&self, name: &str) -> Option<usize> {
+        self.pods.lock().get(name).map(|e| e.node)
+    }
+
+    /// Destroys a pod and forgets it.
+    pub fn destroy_pod(&self, name: &str) {
+        if let Some(entry) = self.pods.lock().remove(name) {
+            self.net.clear_route(entry.pod.vip());
+            entry.pod.destroy();
+        }
+    }
+
+    /// Drops a pod entry without destroying it (checkpoint-side bookkeeping
+    /// when the Agent has already destroyed it locally).
+    pub fn forget_pod(&self, name: &str) {
+        self.pods.lock().remove(name);
+    }
+
+    /// Names of all live pods, sorted.
+    pub fn pod_names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.pods.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Cluster({} nodes, {} pods)", self.nodes.len(), self.pods.lock().len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_creates_nodes_and_pods() {
+        let c = Cluster::builder().nodes(3).cpus(2).build();
+        assert_eq!(c.node_count(), 3);
+        let p = c.create_pod("w0", 1);
+        assert_eq!(c.pod_node("w0"), Some(1));
+        assert!(c.pod("w0").is_some());
+        assert_eq!(p.vip(), pod_vip(1));
+        let p2 = c.create_pod("w1", 2);
+        assert_ne!(p2.vip(), p.vip());
+        c.destroy_pod("w0");
+        assert!(c.pod("w0").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already in use")]
+    fn duplicate_pod_names_rejected() {
+        let c = Cluster::builder().nodes(1).build();
+        c.create_pod("dup", 0);
+        c.create_pod("dup", 0);
+    }
+}

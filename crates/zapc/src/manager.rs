@@ -1,0 +1,505 @@
+//! The Manager: the front-end client that orchestrates coordinated
+//! checkpoint and restart (§4, Figures 1 & 3).
+//!
+//! A checkpoint is invoked with a list of `«node, pod, URI»` tuples. The
+//! Manager broadcasts the checkpoint command, gathers every Agent's
+//! meta-data, then issues the single `continue` — the **only
+//! synchronization point** of the whole operation — and finally collects
+//! `done` reports. A restart is invoked the same way; the Manager derives
+//! the new connectivity map from the merged meta-data (virtual addresses
+//! make the map invariant under migration), computes the
+//! `connect`/`accept` schedule, and hands every Agent the modified
+//! meta-data.
+//!
+//! Failure semantics: the Manager maintains reliable connections to the
+//! Agents, so an Agent failure is detected as a broken connection (a
+//! dropped channel here) and the operation aborts gracefully — the
+//! application resumes execution (§4).
+
+use crate::agent::{
+    agent_checkpoint, agent_restart, AgentReply, CtlMsg, Finalize, PodStats, RestartInputs,
+    SyncPolicy,
+};
+use crate::cluster::Cluster;
+use crate::uri::Uri;
+use crate::{ZapcError, ZapcResult};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use zapc_netckpt::assign_roles;
+use zapc_proto::{ImageReader, MetaData, SectionTag};
+
+/// Default Manager-side timeout for Agent replies.
+pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One checkpoint target: `«node, pod, URI»`.
+#[derive(Debug, Clone)]
+pub struct CheckpointTarget {
+    /// Pod to checkpoint.
+    pub pod: String,
+    /// Destination for the image.
+    pub uri: Uri,
+    /// Keep running afterwards (snapshot) or tear down (migration source).
+    pub finalize: Finalize,
+}
+
+impl CheckpointTarget {
+    /// A snapshot target writing to the in-memory store under
+    /// `ckpt/<pod>`.
+    pub fn snapshot(pod: &str) -> CheckpointTarget {
+        CheckpointTarget {
+            pod: pod.to_owned(),
+            uri: Uri::mem(format!("ckpt/{pod}")),
+            finalize: Finalize::Resume,
+        }
+    }
+}
+
+/// One restart target: `«node, pod, URI»` — where to find the image and
+/// which node the pod lands on.
+#[derive(Debug, Clone)]
+pub struct RestartTarget {
+    /// Pod to restart (must match the image's pod name).
+    pub pod: String,
+    /// Image source.
+    pub uri: Uri,
+    /// Destination node.
+    pub node: usize,
+}
+
+/// Per-pod outcome of a coordinated operation.
+#[derive(Debug, Clone)]
+pub struct PodReport {
+    /// Pod name.
+    pub pod: String,
+    /// Local total latency (ms).
+    pub total_ms: f64,
+    /// Network-state phase latency (ms).
+    pub net_ms: f64,
+    /// Standalone phase latency (ms).
+    pub standalone_ms: f64,
+    /// How long the pod's network stayed blocked (ms; checkpoint only).
+    pub blocked_ms: f64,
+    /// Image size (bytes).
+    pub image_bytes: usize,
+    /// Network-state share of the image (bytes).
+    pub network_bytes: usize,
+}
+
+impl From<PodStats> for PodReport {
+    fn from(s: PodStats) -> Self {
+        PodReport {
+            pod: s.pod,
+            total_ms: s.total_us as f64 / 1000.0,
+            net_ms: s.net_us as f64 / 1000.0,
+            standalone_ms: s.standalone_us as f64 / 1000.0,
+            blocked_ms: s.blocked_us as f64 / 1000.0,
+            image_bytes: s.image_bytes,
+            network_bytes: s.network_bytes,
+        }
+    }
+}
+
+/// Outcome of a coordinated checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointReport {
+    /// Per-pod statistics.
+    pub pods: Vec<PodReport>,
+    /// Manager-observed wall time, invocation → all `done` (the Figure 6a
+    /// metric).
+    pub wall_ms: f64,
+    /// The merged meta-data (for diagnostics and direct migration).
+    pub meta: Vec<MetaData>,
+}
+
+/// Outcome of a coordinated restart.
+#[derive(Debug, Clone)]
+pub struct RestartReport {
+    /// Per-pod statistics (`net_ms` is the network *restore* time).
+    pub pods: Vec<PodReport>,
+    /// Manager-observed wall time (the Figure 6b metric).
+    pub wall_ms: f64,
+}
+
+/// Knobs for [`checkpoint_with`].
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Coordination policy.
+    pub policy: SyncPolicy,
+    /// Manager-side reply timeout.
+    pub timeout: Duration,
+    /// Capture each pod's chroot subtree into the image (§3's optional
+    /// file-system snapshot; off by default — the cluster assumes shared
+    /// storage).
+    pub fs_snapshot: bool,
+    /// Test hook: simulate a Manager crash after collecting meta-data
+    /// (drops every control connection instead of sending `continue`).
+    pub fail_manager_after_meta: bool,
+}
+
+impl Default for CheckpointOptions {
+    fn default() -> Self {
+        CheckpointOptions {
+            policy: SyncPolicy::SingleSync,
+            timeout: DEFAULT_TIMEOUT,
+            fs_snapshot: false,
+            fail_manager_after_meta: false,
+        }
+    }
+}
+
+/// Coordinated checkpoint with default options.
+pub fn checkpoint(cluster: &Cluster, targets: &[CheckpointTarget]) -> ZapcResult<CheckpointReport> {
+    checkpoint_with(cluster, targets, &CheckpointOptions::default())
+}
+
+/// Coordinated checkpoint (Figure 1, Manager side).
+pub fn checkpoint_with(
+    cluster: &Cluster,
+    targets: &[CheckpointTarget],
+    opts: &CheckpointOptions,
+) -> ZapcResult<CheckpointReport> {
+    let t0 = Instant::now();
+    let (reply_tx, reply_rx) = unbounded::<AgentReply>();
+    let mut ctls: HashMap<String, Sender<CtlMsg>> = HashMap::new();
+
+    let result = std::thread::scope(|scope| {
+        // 1. Broadcast `checkpoint` to all participating Agents.
+        for t in targets {
+            let (ctl_tx, ctl_rx) = bounded::<CtlMsg>(1);
+            ctls.insert(t.pod.clone(), ctl_tx);
+            let reply_tx = reply_tx.clone();
+            let policy = opts.policy;
+            let fs_snapshot = opts.fs_snapshot;
+            scope.spawn(move || {
+                crate::agent::agent_checkpoint_ext(
+                    cluster, &t.pod, &t.uri, t.finalize, policy, fs_snapshot, &reply_tx, &ctl_rx,
+                );
+            });
+        }
+
+        // 2. Receive meta-data from every Agent.
+        let mut meta: Vec<MetaData> = Vec::with_capacity(targets.len());
+        let mut net_times: HashMap<String, u64> = HashMap::new();
+        let mut early_done: Vec<AgentReply> = Vec::new();
+        while meta.len() < targets.len() {
+            match reply_rx.recv_timeout(opts.timeout) {
+                Ok(AgentReply::Meta { meta: m, net_us, pod }) => {
+                    net_times.insert(pod, net_us);
+                    meta.push(m);
+                }
+                Ok(done @ AgentReply::Done { .. }) => {
+                    // An Agent failed before reporting meta-data.
+                    if let AgentReply::Done { result: Err(why), pod, .. } = &done {
+                        let why = format!("agent for {pod} failed: {why}");
+                        abort_all(&ctls);
+                        drain_done(&reply_rx, targets.len() - 1, opts.timeout);
+                        return Err(ZapcError::Aborted(why));
+                    }
+                    early_done.push(done);
+                }
+                Err(_) => {
+                    abort_all(&ctls);
+                    drain_done(&reply_rx, targets.len(), opts.timeout);
+                    return Err(ZapcError::Aborted("timed out waiting for meta-data".into()));
+                }
+            }
+        }
+
+        // Test hook: the Manager dies here. Dropping the control channels
+        // breaks every Agent's connection; they must abort and resume.
+        if opts.fail_manager_after_meta {
+            ctls.clear();
+            drain_done(&reply_rx, targets.len(), opts.timeout);
+            return Err(ZapcError::Aborted("manager crashed after meta-data".into()));
+        }
+
+        // 3. The single synchronization: `continue` to everyone.
+        for ctl in ctls.values() {
+            let _ = ctl.send(CtlMsg::Continue);
+        }
+
+        // 4. Receive status from every Agent.
+        let mut pods: Vec<PodReport> = Vec::with_capacity(targets.len());
+        let mut pending = targets.len();
+        let mut failure: Option<String> = None;
+        for done in early_done {
+            if let AgentReply::Done { result, .. } = done {
+                pending -= 1;
+                match result {
+                    Ok(stats) => pods.push(stats.into()),
+                    Err(why) => failure = Some(why),
+                }
+            }
+        }
+        while pending > 0 {
+            match reply_rx.recv_timeout(opts.timeout) {
+                Ok(AgentReply::Done { result, .. }) => {
+                    pending -= 1;
+                    match result {
+                        Ok(stats) => pods.push(stats.into()),
+                        Err(why) => failure = Some(why),
+                    }
+                }
+                Ok(AgentReply::Meta { .. }) => {}
+                Err(_) => {
+                    failure = Some("timed out waiting for done".into());
+                    break;
+                }
+            }
+        }
+        if let Some(why) = failure {
+            return Err(ZapcError::Aborted(why));
+        }
+        pods.sort_by(|a, b| a.pod.cmp(&b.pod));
+        Ok(CheckpointReport { pods, wall_ms: t0.elapsed().as_secs_f64() * 1000.0, meta })
+    });
+    result
+}
+
+fn abort_all(ctls: &HashMap<String, Sender<CtlMsg>>) {
+    for ctl in ctls.values() {
+        let _ = ctl.send(CtlMsg::Abort);
+    }
+}
+
+fn drain_done(rx: &Receiver<AgentReply>, mut pending: usize, timeout: Duration) {
+    while pending > 0 {
+        match rx.recv_timeout(timeout) {
+            Ok(AgentReply::Done { .. }) => pending -= 1,
+            Ok(_) => {}
+            Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+/// Coordinated restart (Figure 3, Manager side) with the default timeout.
+pub fn restart(cluster: &Cluster, targets: &[RestartTarget]) -> ZapcResult<RestartReport> {
+    restart_with(cluster, targets, DEFAULT_TIMEOUT)
+}
+
+/// Coordinated restart with an explicit timeout.
+pub fn restart_with(
+    cluster: &Cluster,
+    targets: &[RestartTarget],
+    timeout: Duration,
+) -> ZapcResult<RestartReport> {
+    let t0 = Instant::now();
+
+    // Fetch images and lift each pod's meta-data out of its image.
+    let mut images: Vec<Arc<Vec<u8>>> = Vec::with_capacity(targets.len());
+    let mut metas: Vec<MetaData> = Vec::with_capacity(targets.len());
+    for t in targets {
+        let image: Arc<Vec<u8>> = match &t.uri {
+            Uri::File(p) => Arc::new(std::fs::read(p)?),
+            Uri::Mem(label) => cluster
+                .store
+                .get(label)
+                .ok_or_else(|| ZapcError::NotFound(format!("image {label:?}")))?,
+            Uri::Agent { .. } => {
+                return Err(ZapcError::NotFound(
+                    "streamed images are consumed by migrate()".into(),
+                ))
+            }
+        };
+        metas.push(extract_meta(&image)?);
+        images.push(image);
+    }
+
+    restart_from_parts(cluster, targets, images, metas, timeout, t0, false)
+}
+
+/// Shared tail of `restart`/`migrate`: schedule + per-Agent restart.
+fn restart_from_parts(
+    cluster: &Cluster,
+    targets: &[RestartTarget],
+    images: Vec<Arc<Vec<u8>>>,
+    mut metas: Vec<MetaData>,
+    timeout: Duration,
+    t0: Instant,
+    sendq_merge: bool,
+) -> ZapcResult<RestartReport> {
+    // Derive the connectivity map and the connect/accept schedule.
+    assign_roles(&mut metas);
+
+    // Optional §5 send-queue merge: decode every pod's socket records,
+    // reroute post-overlap send-queue bytes into the peers' checkpoint
+    // streams, and hand the transformed records to the Agents.
+    let mut merged_records: Vec<Option<Vec<zapc_netckpt::SockRecord>>> =
+        targets.iter().map(|_| None).collect();
+    if sendq_merge {
+        let mut all_records: Vec<Vec<zapc_netckpt::SockRecord>> = Vec::with_capacity(images.len());
+        for image in &images {
+            let rd = ImageReader::open(image)?;
+            let sections = rd.sections()?;
+            let payload = sections
+                .iter()
+                .find(|s| s.tag == SectionTag::NetState)
+                .ok_or_else(|| ZapcError::NotFound("netstate section".into()))?
+                .payload;
+            all_records.push(zapc_netckpt::records::decode_records(payload)?);
+        }
+        zapc_netckpt::merge_send_queues(&metas, &mut all_records);
+        merged_records = all_records.into_iter().map(Some).collect();
+    }
+    let all_meta = Arc::new(metas);
+
+    // 1. Send `restart` + modified meta-data to each Agent.
+    let (reply_tx, reply_rx) = unbounded::<AgentReply>();
+    std::thread::scope(|scope| {
+        for (i, t) in targets.iter().enumerate() {
+            let inputs = RestartInputs {
+                image: Arc::clone(&images[i]),
+                my_meta: all_meta[i].clone(),
+                all_meta: Arc::clone(&all_meta),
+                node: t.node,
+                records: merged_records[i].take(),
+            };
+            let reply_tx = reply_tx.clone();
+            scope.spawn(move || agent_restart(cluster, inputs, timeout, &reply_tx));
+        }
+
+        // 2. Receive status from every Agent.
+        let mut pods = Vec::with_capacity(targets.len());
+        for _ in 0..targets.len() {
+            match reply_rx.recv_timeout(timeout + Duration::from_secs(5)) {
+                Ok(AgentReply::Done { result: Ok(stats), .. }) => pods.push(stats.into()),
+                Ok(AgentReply::Done { result: Err(why), .. }) => {
+                    return Err(ZapcError::Aborted(why))
+                }
+                Ok(_) => {}
+                Err(_) => return Err(ZapcError::Aborted("restart reply timeout".into())),
+            }
+        }
+        pods.sort_by(|a: &PodReport, b: &PodReport| a.pod.cmp(&b.pod));
+        Ok(RestartReport { pods, wall_ms: t0.elapsed().as_secs_f64() * 1000.0 })
+    })
+}
+
+fn extract_meta(image: &[u8]) -> ZapcResult<MetaData> {
+    let mut rd = ImageReader::open(image)?;
+    while let Some(s) = rd.next_section()? {
+        if s.tag == SectionTag::NetMeta {
+            let mut r = zapc_proto::RecordReader::new(s.payload);
+            use zapc_proto::Decode;
+            return MetaData::decode(&mut r).map_err(ZapcError::Decode);
+        }
+    }
+    Err(ZapcError::NotFound("meta-data section".into()))
+}
+
+/// Options for [`migrate_with`].
+#[derive(Debug, Clone, Default)]
+pub struct MigrateOptions {
+    /// Apply the §5 send-queue merge optimization: saved send queues ride
+    /// inside the peers' checkpoint streams instead of being re-sent over
+    /// the new connections.
+    pub sendq_merge: bool,
+}
+
+/// Direct migration: checkpoint a set of pods and restart them on new
+/// nodes, streaming images Agent-to-Agent without intermediate storage
+/// (§4). `moves` maps each pod to its destination node; `N → M` mappings
+/// (several pods to one node, or one node's pods fanning out) are fine.
+pub fn migrate(cluster: &Cluster, moves: &[(String, usize)]) -> ZapcResult<RestartReport> {
+    migrate_with(cluster, moves, &MigrateOptions::default())
+}
+
+/// [`migrate`] with options.
+pub fn migrate_with(
+    cluster: &Cluster,
+    moves: &[(String, usize)],
+    opts: &MigrateOptions,
+) -> ZapcResult<RestartReport> {
+    let t0 = Instant::now();
+    let targets: Vec<CheckpointTarget> = moves
+        .iter()
+        .map(|(pod, node)| CheckpointTarget {
+            pod: pod.clone(),
+            uri: Uri::Agent { node: *node },
+            finalize: Finalize::Destroy,
+        })
+        .collect();
+
+    // Phase 1: coordinated checkpoint; images come back through the
+    // `done` replies (the streaming rendezvous) instead of storage.
+    let (reply_tx, reply_rx) = unbounded::<AgentReply>();
+    let mut ctls: HashMap<String, Sender<CtlMsg>> = HashMap::new();
+    let (images, metas) = std::thread::scope(|scope| {
+        for t in &targets {
+            let (ctl_tx, ctl_rx) = bounded::<CtlMsg>(1);
+            ctls.insert(t.pod.clone(), ctl_tx);
+            let reply_tx = reply_tx.clone();
+            scope.spawn(move || {
+                agent_checkpoint(
+                    cluster,
+                    &t.pod,
+                    &t.uri,
+                    t.finalize,
+                    SyncPolicy::SingleSync,
+                    &reply_tx,
+                    &ctl_rx,
+                );
+            });
+        }
+        let mut metas: HashMap<String, MetaData> = HashMap::new();
+        while metas.len() < targets.len() {
+            match reply_rx.recv_timeout(DEFAULT_TIMEOUT) {
+                Ok(AgentReply::Meta { pod, meta, .. }) => {
+                    metas.insert(pod, meta);
+                }
+                Ok(AgentReply::Done { result: Err(why), .. }) => {
+                    abort_all(&ctls);
+                    drain_done(&reply_rx, targets.len() - 1, DEFAULT_TIMEOUT);
+                    return Err(ZapcError::Aborted(why));
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    abort_all(&ctls);
+                    return Err(ZapcError::Aborted("migrate: meta-data timeout".into()));
+                }
+            }
+        }
+        for ctl in ctls.values() {
+            let _ = ctl.send(CtlMsg::Continue);
+        }
+        let mut images: HashMap<String, Arc<Vec<u8>>> = HashMap::new();
+        let mut pending = targets.len();
+        while pending > 0 {
+            match reply_rx.recv_timeout(DEFAULT_TIMEOUT) {
+                Ok(AgentReply::Done { pod, result: Ok(_), image }) => {
+                    pending -= 1;
+                    let img = image
+                        .ok_or_else(|| ZapcError::Aborted(format!("{pod}: no streamed image")))?;
+                    images.insert(pod, img);
+                }
+                Ok(AgentReply::Done { result: Err(why), .. }) => return Err(ZapcError::Aborted(why)),
+                Ok(_) => {}
+                Err(_) => return Err(ZapcError::Aborted("migrate: done timeout".into())),
+            }
+        }
+        Ok((images, metas))
+    })?;
+
+    // Phase 2: restart at the destinations from the streamed images.
+    let restart_targets: Vec<RestartTarget> = moves
+        .iter()
+        .map(|(pod, node)| RestartTarget { pod: pod.clone(), uri: Uri::Agent { node: *node }, node: *node })
+        .collect();
+    let ordered_images: Vec<Arc<Vec<u8>>> = moves
+        .iter()
+        .map(|(pod, _)| Arc::clone(images.get(pod).expect("image collected")))
+        .collect();
+    let ordered_metas: Vec<MetaData> =
+        moves.iter().map(|(pod, _)| metas.get(pod).expect("meta collected").clone()).collect();
+    restart_from_parts(
+        cluster,
+        &restart_targets,
+        ordered_images,
+        ordered_metas,
+        DEFAULT_TIMEOUT,
+        t0,
+        opts.sendq_merge,
+    )
+}

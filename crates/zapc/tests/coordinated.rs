@@ -1,0 +1,369 @@
+//! Coordinated checkpoint-restart of a *running distributed application*:
+//! the full ZapC stack end to end.
+//!
+//! The workload is a token ring (each pod connects to its successor and
+//! accepts from its predecessor — the §4 deadlock example) of compute
+//! ranks that accumulate a deterministic checksum. Every test compares the
+//! checksum of a disturbed run (checkpoint / restart / migrate / abort
+//! mid-flight) against an undisturbed reference.
+
+use std::sync::Arc;
+use std::time::Duration;
+use zapc::agent::Finalize;
+use zapc::manager::{checkpoint_with, CheckpointOptions, CheckpointTarget, RestartTarget};
+use zapc::{checkpoint, migrate, restart, Cluster, Uri, ZapcError};
+use zapc_net::RecvFlags;
+use zapc_proto::{Endpoint, RecordReader, RecordWriter, Transport};
+use zapc_sim::{ProcessCtx, Program, ProgramRegistry, StepOutcome};
+
+const RING_PORT: u16 = 7000;
+
+/// One rank of the token ring.
+struct Ring {
+    rank: u32,
+    rounds: u64,
+    next_vip: u32,
+    phase: u8,
+    listen_fd: u32,
+    out_fd: u32,
+    in_fd: u32,
+    have_in: bool,
+    round: u64,
+    sent: bool,
+    acc: f64,
+    rxbuf: Vec<u8>,
+}
+
+impl Ring {
+    fn new(rank: u32, rounds: u64, next_vip: u32) -> Ring {
+        Ring {
+            rank,
+            rounds,
+            next_vip,
+            phase: 0,
+            listen_fd: 0,
+            out_fd: 0,
+            in_fd: 0,
+            have_in: false,
+            round: 0,
+            sent: false,
+            acc: 0.0,
+            rxbuf: Vec::new(),
+        }
+    }
+
+    fn exit_code(&self) -> i32 {
+        ((self.acc * 1000.0) as i64).rem_euclid(251) as i32
+    }
+}
+
+impl Program for Ring {
+    fn type_name(&self) -> &'static str {
+        "test.ring"
+    }
+
+    fn step(&mut self, ctx: &mut ProcessCtx<'_>) -> StepOutcome {
+        match self.phase {
+            0 => {
+                self.listen_fd = ctx.socket(Transport::Tcp).unwrap();
+                ctx.bind(self.listen_fd, Endpoint { ip: 0, port: RING_PORT }).unwrap();
+                ctx.listen(self.listen_fd, 4).unwrap();
+                self.out_fd = ctx.socket(Transport::Tcp).unwrap();
+                ctx.connect(self.out_fd, Endpoint { ip: self.next_vip, port: RING_PORT }).unwrap();
+                self.phase = 1;
+                StepOutcome::Ready
+            }
+            1 => {
+                if !self.have_in {
+                    if let Ok((fd, _peer)) = ctx.accept(self.listen_fd) {
+                        self.in_fd = fd;
+                        self.have_in = true;
+                    }
+                }
+                match ctx.is_connected(self.out_fd) {
+                    Ok(true) if self.have_in => {
+                        self.phase = 2;
+                        StepOutcome::Ready
+                    }
+                    Ok(_) => StepOutcome::Blocked,
+                    Err(_) => {
+                        // Peer's listener not up yet: retry the connect.
+                        let _ = ctx.close(self.out_fd);
+                        self.out_fd = ctx.socket(Transport::Tcp).unwrap();
+                        ctx.connect(self.out_fd, Endpoint { ip: self.next_vip, port: RING_PORT })
+                            .unwrap();
+                        StepOutcome::Blocked
+                    }
+                }
+            }
+            2 => {
+                if self.round >= self.rounds {
+                    self.phase = 3;
+                    return StepOutcome::Ready;
+                }
+                if !self.sent {
+                    let token = self.acc + self.rank as f64 + self.round as f64 * 0.5;
+                    let bytes = token.to_le_bytes();
+                    match ctx.send(self.out_fd, &bytes) {
+                        Ok(8) => self.sent = true,
+                        Ok(_) | Err(zapc_sim::Errno::EAGAIN) => return StepOutcome::Blocked,
+                        Err(e) => panic!("rank {} send: {e}", self.rank),
+                    }
+                }
+                // Simulate some computation per round.
+                let mut x = self.acc;
+                for i in 0..200 {
+                    x += ((self.round + i) as f64).sqrt() * 1e-6;
+                }
+                ctx.consume_cpu(2_000);
+                match ctx.recv(self.in_fd, 8 - self.rxbuf.len(), RecvFlags::default()) {
+                    Ok(d) if d.is_empty() => StepOutcome::Blocked, // EOF would be a bug
+                    Ok(d) => {
+                        self.rxbuf.extend(d);
+                        if self.rxbuf.len() == 8 {
+                            let token =
+                                f64::from_le_bytes(self.rxbuf.as_slice().try_into().unwrap());
+                            self.acc = x + token * 0.25;
+                            self.rxbuf.clear();
+                            self.round += 1;
+                            self.sent = false;
+                        }
+                        StepOutcome::Ready
+                    }
+                    Err(zapc_sim::Errno::EAGAIN) => StepOutcome::Blocked,
+                    Err(e) => panic!("rank {} recv: {e}", self.rank),
+                }
+            }
+            _ => StepOutcome::Exited(self.exit_code()),
+        }
+    }
+
+    fn save(&self, w: &mut RecordWriter) {
+        w.put_u32(self.rank);
+        w.put_u64(self.rounds);
+        w.put_u32(self.next_vip);
+        w.put_u8(self.phase);
+        w.put_u32(self.listen_fd);
+        w.put_u32(self.out_fd);
+        w.put_u32(self.in_fd);
+        w.put_bool(self.have_in);
+        w.put_u64(self.round);
+        w.put_bool(self.sent);
+        w.put_f64(self.acc);
+        w.put_bytes(&self.rxbuf);
+    }
+}
+
+fn load_ring(r: &mut RecordReader<'_>) -> zapc_proto::DecodeResult<Box<dyn Program>> {
+    Ok(Box::new(Ring {
+        rank: r.get_u32()?,
+        rounds: r.get_u64()?,
+        next_vip: r.get_u32()?,
+        phase: r.get_u8()?,
+        listen_fd: r.get_u32()?,
+        out_fd: r.get_u32()?,
+        in_fd: r.get_u32()?,
+        have_in: r.get_bool()?,
+        round: r.get_u64()?,
+        sent: r.get_bool()?,
+        acc: r.get_f64()?,
+        rxbuf: r.get_bytes_owned()?,
+    }))
+}
+
+fn registry() -> ProgramRegistry {
+    let mut reg = ProgramRegistry::new();
+    reg.register("test.ring", load_ring);
+    reg
+}
+
+/// Builds a cluster with `nodes` nodes and launches an `n`-rank ring,
+/// one pod per rank, round-robin over the nodes.
+fn launch_ring(nodes: usize, n: usize, rounds: u64) -> (Cluster, Vec<String>) {
+    let cluster = Cluster::builder().nodes(nodes).registry(registry()).build();
+    let pods: Vec<Arc<zapc_pod::Pod>> =
+        (0..n).map(|i| cluster.create_pod(&format!("ring-{i}"), i % nodes)).collect();
+    for (i, pod) in pods.iter().enumerate() {
+        let next_vip = pods[(i + 1) % n].vip();
+        pod.spawn("ring", Box::new(Ring::new(i as u32, rounds, next_vip)));
+    }
+    (cluster, (0..n).map(|i| format!("ring-{i}")).collect())
+}
+
+fn wait_codes(cluster: &Cluster, names: &[String]) -> Vec<i32> {
+    names
+        .iter()
+        .map(|n| {
+            let pod = cluster.pod(n).unwrap_or_else(|| panic!("pod {n} missing"));
+            pod.wait_all(Duration::from_secs(60)).unwrap()[0]
+        })
+        .collect()
+}
+
+fn reference_codes(n: usize, rounds: u64) -> Vec<i32> {
+    let (cluster, names) = launch_ring(n.clamp(1, 2), n, rounds);
+    let codes = wait_codes(&cluster, &names);
+    for n in &names {
+        cluster.destroy_pod(n);
+    }
+    codes
+}
+
+#[test]
+fn snapshot_checkpoint_does_not_perturb_the_application() {
+    let expected = reference_codes(3, 300);
+    let (cluster, names) = launch_ring(3, 3, 300);
+    std::thread::sleep(Duration::from_millis(20)); // mid-run
+
+    let targets: Vec<CheckpointTarget> =
+        names.iter().map(|n| CheckpointTarget::snapshot(n)).collect();
+    let report = checkpoint(&cluster, &targets).unwrap();
+    assert_eq!(report.pods.len(), 3);
+    for p in &report.pods {
+        assert!(p.image_bytes > 0);
+        assert!(p.network_bytes > 0, "ring pods have live connections");
+        // (Memory-dominance of the image — §6.2 — is asserted by the
+        // scientific workloads in zapc-apps; ring ranks are deliberately
+        // tiny.)
+        assert!(p.network_bytes < p.image_bytes);
+        assert!(p.net_ms <= p.total_ms);
+    }
+    assert_eq!(report.meta.len(), 3);
+
+    // The application continues and computes the same answer.
+    assert_eq!(wait_codes(&cluster, &names), expected);
+}
+
+#[test]
+fn restart_from_snapshot_reproduces_the_result() {
+    let expected = reference_codes(3, 300);
+    let (cluster, names) = launch_ring(3, 3, 300);
+    std::thread::sleep(Duration::from_millis(25));
+
+    // Checkpoint with Destroy: the migration-source case.
+    let targets: Vec<CheckpointTarget> = names
+        .iter()
+        .map(|n| CheckpointTarget {
+            pod: n.clone(),
+            uri: Uri::mem(format!("img/{n}")),
+            finalize: Finalize::Destroy,
+        })
+        .collect();
+    checkpoint(&cluster, &targets).unwrap();
+    for n in &names {
+        assert!(cluster.pod(n).is_none(), "source pods destroyed");
+    }
+
+    // Restart on a rotated node mapping.
+    let restart_targets: Vec<RestartTarget> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| RestartTarget {
+            pod: n.clone(),
+            uri: Uri::mem(format!("img/{n}")),
+            node: (i + 1) % 3,
+        })
+        .collect();
+    let report = restart(&cluster, &restart_targets).unwrap();
+    assert_eq!(report.pods.len(), 3);
+    for p in &report.pods {
+        assert!(p.net_ms <= p.total_ms);
+    }
+    assert_eq!(wait_codes(&cluster, &names), expected);
+}
+
+#[test]
+fn direct_migration_streams_without_storage() {
+    let expected = reference_codes(4, 250);
+    let (cluster, names) = launch_ring(4, 4, 250);
+    std::thread::sleep(Duration::from_millis(20));
+
+    let before = cluster.store.len();
+    // Migrate all four pods: N=4 nodes → M=2 nodes.
+    let moves: Vec<(String, usize)> =
+        names.iter().enumerate().map(|(i, n)| (n.clone(), i % 2)).collect();
+    migrate(&cluster, &moves).unwrap();
+    assert_eq!(cluster.store.len(), before, "no image touched the store");
+    assert_eq!(cluster.pod_node("ring-2"), Some(0));
+    assert_eq!(wait_codes(&cluster, &names), expected);
+}
+
+#[test]
+fn repeated_checkpoints_during_execution() {
+    // The paper's measurement methodology: 10 checkpoints evenly spread
+    // over the run (§6.2).
+    let expected = reference_codes(2, 600);
+    let (cluster, names) = launch_ring(2, 2, 600);
+    let targets: Vec<CheckpointTarget> =
+        names.iter().map(|n| CheckpointTarget::snapshot(n)).collect();
+    for _ in 0..10 {
+        std::thread::sleep(Duration::from_millis(4));
+        if names.iter().all(|n| cluster.pod(n).map(|p| p.all_exited()).unwrap_or(true)) {
+            break;
+        }
+        checkpoint(&cluster, &targets).unwrap();
+    }
+    assert_eq!(wait_codes(&cluster, &names), expected);
+}
+
+#[test]
+fn agent_failure_aborts_gracefully_and_application_resumes() {
+    let expected = reference_codes(2, 400);
+    let (cluster, names) = launch_ring(2, 2, 400);
+    std::thread::sleep(Duration::from_millis(10));
+
+    // One target names a pod that does not exist: its Agent reports
+    // failure before meta-data, and the Manager aborts everyone.
+    let mut targets: Vec<CheckpointTarget> =
+        names.iter().map(|n| CheckpointTarget::snapshot(n)).collect();
+    targets.push(CheckpointTarget::snapshot("no-such-pod"));
+    match checkpoint(&cluster, &targets) {
+        Err(ZapcError::Aborted(_)) => {}
+        other => panic!("expected abort, got {other:?}"),
+    }
+
+    // The application was resumed and still completes correctly.
+    assert_eq!(wait_codes(&cluster, &names), expected);
+    // Filter rules were rolled back.
+    for n in &names {
+        let pod = cluster.pod(n);
+        if let Some(p) = pod {
+            assert!(!cluster.filter().is_blocked(p.vip()));
+        }
+    }
+}
+
+#[test]
+fn manager_failure_after_meta_data_aborts_gracefully() {
+    let expected = reference_codes(2, 400);
+    let (cluster, names) = launch_ring(2, 2, 400);
+    std::thread::sleep(Duration::from_millis(10));
+
+    let targets: Vec<CheckpointTarget> =
+        names.iter().map(|n| CheckpointTarget::snapshot(n)).collect();
+    let opts = CheckpointOptions { fail_manager_after_meta: true, ..Default::default() };
+    match checkpoint_with(&cluster, &targets, &opts) {
+        Err(ZapcError::Aborted(_)) => {}
+        other => panic!("expected abort, got {other:?}"),
+    }
+    assert_eq!(wait_codes(&cluster, &names), expected);
+}
+
+#[test]
+fn network_checkpoint_is_a_small_fraction_of_total() {
+    // §6.2: network-state checkpoint < 10 ms and 3–10% of checkpoint time;
+    // network data is orders of magnitude smaller than application data.
+    let (cluster, names) = launch_ring(2, 2, 100_000);
+    // Give the ranks real memory so the standalone phase dominates.
+    std::thread::sleep(Duration::from_millis(15));
+    let targets: Vec<CheckpointTarget> =
+        names.iter().map(|n| CheckpointTarget::snapshot(n)).collect();
+    let report = checkpoint(&cluster, &targets).unwrap();
+    for p in &report.pods {
+        assert!(p.net_ms < 10.0, "network checkpoint took {} ms", p.net_ms);
+        assert!(p.network_bytes < 4096, "network state is {} B", p.network_bytes);
+    }
+    for n in &names {
+        cluster.destroy_pod(n);
+    }
+}

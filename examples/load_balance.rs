@@ -1,0 +1,47 @@
+//! Dynamic load balancing (§1, §3): a dual-CPU node hosts two application
+//! endpoints in *separate* pods — "they do not need to be migrated
+//! together" — so when another node goes idle, one pod moves there.
+//!
+//! ```sh
+//! cargo run --release --example load_balance
+//! ```
+
+use std::time::Duration;
+use zapc::{migrate, Cluster};
+use zapc_apps::launch::{full_registry, AppKind, AppParams};
+use zapc_apps::launch::launch_app;
+
+fn main() {
+    // Node 0 is a dual-CPU blade; node 1 starts idle.
+    let cluster = Cluster::builder().nodes(2).cpus(2).registry(full_registry()).build();
+
+    // Launch a 2-rank POV-Ray (master + one worker)… both on node 0.
+    let params = AppParams { kind: AppKind::Povray, ranks: 2, scale: 0.2, work: 2.0 };
+    let app = {
+        // launch_app round-robins across nodes; for this demo we place
+        // both pods on node 0 explicitly.
+        let pods: Vec<_> =
+            (0..2).map(|i| cluster.create_pod(&format!("pov-{i}"), 0)).collect();
+        let cfg = zapc_apps::launch::pov_config(&params);
+        pods[0].spawn("master", Box::new(zapc_apps::povray::PovMaster::new(cfg.clone(), 1)));
+        pods[1].spawn("worker", Box::new(zapc_apps::povray::PovWorker::new(cfg, pods[0].vip())));
+        zapc_apps::launch::Launched {
+            pods: vec!["pov-0".into(), "pov-1".into()],
+            kind: AppKind::Povray,
+        }
+    };
+    println!("both endpoints packed onto dual-CPU node 0");
+    std::thread::sleep(Duration::from_millis(40));
+
+    // Rebalance: move the worker pod to the idle node, alone. The master
+    // stays; their TCP connection survives transparently.
+    migrate(&cluster, &[("pov-1".to_string(), 1)]).expect("rebalance");
+    println!("worker pod migrated to idle node 1 (master untouched)");
+    assert_eq!(cluster.pod_node("pov-0"), Some(0));
+    assert_eq!(cluster.pod_node("pov-1"), Some(1));
+
+    let codes = app.wait(&cluster, Duration::from_secs(300)).expect("completion");
+    println!("render finished, hash code {}", codes[0]);
+    let _ = launch_app; // referenced for doc purposes
+    app.destroy(&cluster);
+}

@@ -1,0 +1,6 @@
+//! zapc-repro: integration-test and example host crate for the ZapC
+//! reproduction. The substance lives in the `crates/` workspace members;
+//! see README.md and DESIGN.md.
+
+pub use zapc;
+pub use zapc_apps;

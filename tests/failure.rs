@@ -1,0 +1,145 @@
+//! Failure-path integration tests: bad images, missing loaders, missing
+//! sources — every failure must surface as a typed error, never a wedge
+//! or a silent mis-restore.
+
+use std::time::Duration;
+use zapc::agent::Finalize;
+use zapc::manager::{CheckpointTarget, RestartTarget};
+use zapc::{checkpoint, restart, Cluster, Uri, ZapcError};
+use zapc_apps::launch::{full_registry, launch_app, AppKind, AppParams};
+use zapc_sim::ProgramRegistry;
+
+fn small(kind: AppKind, ranks: usize) -> AppParams {
+    AppParams { kind, ranks, scale: 0.02, work: 1.0 }
+}
+
+#[test]
+fn restart_from_missing_image_fails_cleanly() {
+    let c = Cluster::builder().nodes(1).registry(full_registry()).build();
+    let err = restart(
+        &c,
+        &[RestartTarget { pod: "ghost".into(), uri: Uri::mem("never-written"), node: 0 }],
+    )
+    .unwrap_err();
+    assert!(matches!(err, ZapcError::NotFound(_)), "got {err:?}");
+}
+
+#[test]
+fn restart_from_corrupted_image_fails_cleanly() {
+    let c = Cluster::builder().nodes(2).registry(full_registry()).build();
+    let app = launch_app(&c, "cpi", &small(AppKind::Cpi, 2));
+    std::thread::sleep(Duration::from_millis(10));
+    let targets: Vec<CheckpointTarget> = app
+        .pods
+        .iter()
+        .map(|p| CheckpointTarget {
+            pod: p.clone(),
+            uri: Uri::mem(format!("img/{p}")),
+            finalize: Finalize::Destroy,
+        })
+        .collect();
+    checkpoint(&c, &targets).unwrap();
+
+    // Corrupt one image: flip a byte deep inside.
+    let img = c.store.get("img/cpi-0").unwrap();
+    let mut bad = img.as_ref().clone();
+    let idx = bad.len() / 2;
+    bad[idx] ^= 0xFF;
+    c.store.put("img/cpi-0", bad);
+
+    let rts: Vec<RestartTarget> = app
+        .pods
+        .iter()
+        .map(|p| RestartTarget { pod: p.clone(), uri: Uri::mem(format!("img/{p}")), node: 0 })
+        .collect();
+    let err = restart(&c, &rts).unwrap_err();
+    match err {
+        ZapcError::Decode(_) | ZapcError::Aborted(_) => {}
+        other => panic!("expected decode/abort, got {other:?}"),
+    }
+}
+
+#[test]
+fn restart_without_registered_loader_fails_cleanly() {
+    // A cluster whose registry doesn't know the workload: the restart must
+    // report the unknown program type, not crash.
+    let c = Cluster::builder().nodes(2).registry(full_registry()).build();
+    // Long-running so the checkpoint catches live (not exited) processes —
+    // only live processes need a loader at restart.
+    let app = launch_app(
+        &c,
+        "bra",
+        &AppParams { kind: AppKind::Bratu, ranks: 2, scale: 0.3, work: 16.0 },
+    );
+    std::thread::sleep(Duration::from_millis(10));
+    let targets: Vec<CheckpointTarget> = app
+        .pods
+        .iter()
+        .map(|p| CheckpointTarget {
+            pod: p.clone(),
+            uri: Uri::mem(format!("img/{p}")),
+            finalize: Finalize::Destroy,
+        })
+        .collect();
+    checkpoint(&c, &targets).unwrap();
+
+    // New cluster with an EMPTY registry.
+    let c2 = Cluster::builder().nodes(1).registry(ProgramRegistry::new()).build();
+    // Copy the images over (shared storage in spirit).
+    for p in &app.pods {
+        let img = c.store.get(&format!("img/{p}")).unwrap();
+        c2.store.put(&format!("img/{p}"), img.as_ref().clone());
+    }
+    let rts: Vec<RestartTarget> = app
+        .pods
+        .iter()
+        .map(|p| RestartTarget { pod: p.clone(), uri: Uri::mem(format!("img/{p}")), node: 0 })
+        .collect();
+    let err = restart(&c2, &rts).unwrap_err();
+    match err {
+        ZapcError::Aborted(why) => assert!(why.contains("no loader"), "why = {why}"),
+        other => panic!("expected abort with loader error, got {other:?}"),
+    }
+}
+
+#[test]
+fn checkpoint_of_unknown_pod_aborts_and_rolls_back() {
+    let c = Cluster::builder().nodes(2).registry(full_registry()).build();
+    let app = launch_app(&c, "cpi", &small(AppKind::Cpi, 2));
+    std::thread::sleep(Duration::from_millis(5));
+    let mut targets: Vec<CheckpointTarget> =
+        app.pods.iter().map(|p| CheckpointTarget::snapshot(p)).collect();
+    targets.push(CheckpointTarget::snapshot("does-not-exist"));
+    assert!(matches!(checkpoint(&c, &targets), Err(ZapcError::Aborted(_))));
+    // The real pods resumed and finish normally.
+    let codes = app.wait(&c, Duration::from_secs(60)).unwrap();
+    assert_eq!(codes.len(), 2);
+    app.destroy(&c);
+}
+
+#[test]
+fn truncated_image_detected() {
+    let c = Cluster::builder().nodes(1).registry(full_registry()).build();
+    let app = launch_app(&c, "cpi", &small(AppKind::Cpi, 1));
+    std::thread::sleep(Duration::from_millis(10));
+    checkpoint(
+        &c,
+        &[CheckpointTarget {
+            pod: app.pods[0].clone(),
+            uri: Uri::mem("img/t"),
+            finalize: Finalize::Destroy,
+        }],
+    )
+    .unwrap();
+    let img = c.store.get("img/t").unwrap();
+    c.store.put("img/t", img[..img.len() / 3].to_vec());
+    let err = restart(
+        &c,
+        &[RestartTarget { pod: app.pods[0].clone(), uri: Uri::mem("img/t"), node: 0 }],
+    )
+    .unwrap_err();
+    match err {
+        ZapcError::Decode(_) | ZapcError::Aborted(_) => {}
+        other => panic!("expected decode failure, got {other:?}"),
+    }
+}

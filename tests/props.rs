@@ -1,0 +1,289 @@
+//! Property-based tests on the core invariants: the portable record
+//! format, the send/receive queue algebra (the §5 Figure 4 machinery),
+//! and the reconnection scheduler.
+
+use proptest::prelude::*;
+use zapc_net::buf::{RecvBuf, SendBuf};
+use zapc_netckpt::schedule::{assign_roles, validate_schedule};
+use zapc_proto::{
+    ConnEntry, ConnState, Decode, Encode, Endpoint, MetaData, RecordReader, RecordWriter,
+    RestartRole, Transport,
+};
+
+// ---- record format -----------------------------------------------------
+
+proptest! {
+    #[test]
+    fn primitives_round_trip(
+        a in any::<u8>(),
+        b in any::<u16>(),
+        c in any::<u32>(),
+        d in any::<u64>(),
+        e in any::<i64>(),
+        f in any::<f64>(),
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        s in "\\PC{0,64}",
+        fs in proptest::collection::vec(any::<f64>(), 0..64),
+    ) {
+        let mut w = RecordWriter::new();
+        w.put_u8(a);
+        w.put_u16(b);
+        w.put_u32(c);
+        w.put_u64(d);
+        w.put_i64(e);
+        w.put_f64(f);
+        w.put_bytes(&bytes);
+        w.put_str(&s);
+        w.put_f64_slice(&fs);
+        let buf = w.into_bytes();
+        let mut r = RecordReader::new(&buf);
+        prop_assert_eq!(r.get_u8().unwrap(), a);
+        prop_assert_eq!(r.get_u16().unwrap(), b);
+        prop_assert_eq!(r.get_u32().unwrap(), c);
+        prop_assert_eq!(r.get_u64().unwrap(), d);
+        prop_assert_eq!(r.get_i64().unwrap(), e);
+        prop_assert_eq!(r.get_f64().unwrap().to_bits(), f.to_bits());
+        prop_assert_eq!(r.get_bytes().unwrap(), bytes.as_slice());
+        prop_assert_eq!(r.get_str().unwrap(), s);
+        let got = r.get_f64_slice().unwrap();
+        prop_assert_eq!(got.len(), fs.len());
+        for (x, y) in got.iter().zip(&fs) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn corrupted_records_never_decode_silently(
+        payload in proptest::collection::vec(any::<u8>(), 1..256),
+        flip in any::<usize>(),
+    ) {
+        let framed = zapc_proto::rw::frame_record(7, &payload);
+        let mut corrupted = framed.clone();
+        let idx = 6 + flip % payload.len(); // inside the payload
+        corrupted[idx] ^= 0x01;
+        let mut s = zapc_proto::rw::RecordStream::new(&corrupted);
+        prop_assert!(s.next_record().is_err(), "bit flip must be caught by CRC");
+    }
+}
+
+// ---- meta-data ------------------------------------------------------------
+
+fn arb_endpoint() -> impl Strategy<Value = Endpoint> {
+    (1u8..16, 1u16..9999).prop_map(|(h, p)| Endpoint::new(10, 10, 0, h, p))
+}
+
+fn arb_entry() -> impl Strategy<Value = ConnEntry> {
+    (
+        arb_endpoint(),
+        proptest::option::of(arb_endpoint()),
+        0u8..5,
+        any::<bool>(),
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(|(src, dst, state, listening, pcb_recv, pcb_acked)| ConnEntry {
+            transport: Transport::Tcp,
+            src,
+            dst,
+            state: match state {
+                0 => ConnState::FullDuplex,
+                1 => ConnState::HalfDuplexLocal,
+                2 => ConnState::HalfDuplexRemote,
+                3 => ConnState::Closed,
+                _ => ConnState::Connecting,
+            },
+            role: RestartRole::Unassigned,
+            listening,
+            pcb_recv,
+            pcb_acked,
+        })
+}
+
+proptest! {
+    #[test]
+    fn metadata_round_trip(entries in proptest::collection::vec(arb_entry(), 0..20), pod in "[a-z]{1,12}") {
+        let md = MetaData { pod, entries };
+        let mut w = RecordWriter::new();
+        md.encode(&mut w);
+        let buf = w.into_bytes();
+        let mut r = RecordReader::new(&buf);
+        prop_assert_eq!(MetaData::decode(&mut r).unwrap(), md);
+        prop_assert!(r.is_empty());
+    }
+}
+
+// ---- send/receive queue algebra --------------------------------------------
+
+proptest! {
+    /// Whatever interleaving of writes, carves, acks and retransmissions
+    /// occurs, the byte stream assembled at the receiver is exactly the
+    /// byte stream written — and `recv ≥ acked` at all times (Figure 4).
+    #[test]
+    fn stream_algebra_is_lossless(
+        writes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..64), 1..24),
+        mss in 1usize..32,
+        drop_pattern in any::<u64>(),
+        ack_pattern in any::<u64>(),
+    ) {
+        let mut send = SendBuf::new(100, 1 << 20);
+        let mut recv = RecvBuf::new(100, 1 << 20, false);
+        let mut expected: Vec<u8> = Vec::new();
+        let mut received: Vec<u8> = Vec::new();
+        for w in &writes {
+            prop_assert_eq!(send.write(w), w.len());
+            expected.extend(w);
+        }
+        let mut round = 0u32;
+        // Drive until everything is delivered and acked; drop segments and
+        // delay acks according to the patterns.
+        while send.una() < send.end() || recv.nxt() < send.end() {
+            round += 1;
+            prop_assert!(round < 10_000, "must converge");
+            let mut sent_any = false;
+            while let Some((seq, data, _urg)) = send.next_segment(mss, 1 << 20) {
+                sent_any = true;
+                let bit = (seq / mss as u64) % 64;
+                if (drop_pattern >> bit) & 1 == 1 && round < 3 {
+                    continue; // dropped in flight
+                }
+                let r = recv.input(seq, &data, false, false);
+                received.extend(recv.read(r.newly_readable));
+                if (ack_pattern >> bit) & 1 == 0 || round >= 3 {
+                    send.on_ack(recv.nxt());
+                }
+            }
+            if !sent_any {
+                // Retransmission path.
+                if let Some((seq, data, _)) = send.retransmit_segment(mss) {
+                    let r = recv.input(seq, &data, false, false);
+                    received.extend(recv.read(r.newly_readable));
+                    send.on_ack(recv.nxt());
+                } else {
+                    send.on_ack(recv.nxt());
+                }
+            }
+            // The §5 invariant: the receiver is never behind the acks.
+            prop_assert!(recv.nxt() >= send.una(), "recv >= acked");
+        }
+        received.extend(recv.read(usize::MAX));
+        prop_assert_eq!(received, expected);
+    }
+
+    /// resend_plan(discard) never duplicates and never loses bytes: the
+    /// receiver's saved stream plus the resent bytes reconstruct exactly
+    /// the written stream.
+    #[test]
+    fn overlap_discard_is_exact(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        consumed in 0usize..256,
+        acked_lag in 0usize..64,
+    ) {
+        let mut send = SendBuf::new(0, 1 << 20);
+        send.write(&data);
+        // Transmit everything; receiver got `consumed` bytes in order.
+        while send.next_segment(32, 1 << 20).is_some() {}
+        let consumed = consumed.min(data.len());
+        let peer_recv = consumed as u64;
+        // Acks lag behind what the receiver actually has.
+        let acked = peer_recv.saturating_sub(acked_lag as u64);
+        send.on_ack(acked);
+
+        let snap = send.snapshot();
+        let discard = peer_recv - snap.una;
+        let (normal, urgent) = snap.resend_plan(discard);
+        prop_assert!(urgent.is_empty());
+        // Receiver state (first `consumed` bytes) + resent bytes == data.
+        let mut reconstructed = data[..consumed].to_vec();
+        reconstructed.extend(&normal);
+        prop_assert_eq!(reconstructed, data);
+    }
+
+    /// Out-of-order delivery with duplicates still assembles the exact
+    /// stream (the backlog queue works).
+    #[test]
+    fn reassembly_from_shuffled_segments(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        mss in 1usize..48,
+        order_seed in any::<u64>(),
+        dup in any::<bool>(),
+    ) {
+        // Carve the stream into segments.
+        let mut segs: Vec<(u64, Vec<u8>)> = data
+            .chunks(mss)
+            .enumerate()
+            .map(|(i, c)| ((i * mss) as u64, c.to_vec()))
+            .collect();
+        // Deterministic shuffle.
+        let mut x = order_seed | 1;
+        for i in (1..segs.len()).rev() {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            segs.swap(i, (x as usize) % (i + 1));
+        }
+        if dup && !segs.is_empty() {
+            let d = segs[0].clone();
+            segs.push(d);
+        }
+        let mut recv = RecvBuf::new(0, 1 << 20, false);
+        for (seq, seg) in segs {
+            recv.input(seq, &seg, false, false);
+        }
+        prop_assert_eq!(recv.read(usize::MAX), data);
+    }
+}
+
+// ---- reconnection scheduler --------------------------------------------------
+
+proptest! {
+    /// For an arbitrary random connection graph (every connection recorded
+    /// at both ends, listener ports marked), the schedule is always valid:
+    /// complementary roles at the two ends of every connection.
+    #[test]
+    fn schedule_always_complementary(
+        n_pods in 2usize..8,
+        conns in proptest::collection::vec((any::<u16>(), any::<u16>()), 1..24),
+    ) {
+        let mut metas: Vec<MetaData> =
+            (0..n_pods).map(|i| MetaData::new(format!("p{i}"))).collect();
+        // Every pod listens on port 5000.
+        for (i, md) in metas.iter_mut().enumerate() {
+            md.entries.push(ConnEntry {
+                transport: Transport::Tcp,
+                src: Endpoint::new(10, 10, 0, (i + 1) as u8, 5000),
+                dst: None,
+                state: ConnState::FullDuplex,
+                role: RestartRole::Unassigned,
+                listening: true,
+                pcb_recv: 0,
+                pcb_acked: 0,
+            });
+        }
+        // Random connections: pod a (ephemeral port) → pod b (listener).
+        let mut eph = vec![49152u16; n_pods];
+        for (x, y) in conns {
+            let a = (x as usize) % n_pods;
+            let mut b = (y as usize) % n_pods;
+            if a == b {
+                b = (b + 1) % n_pods;
+            }
+            let src = Endpoint::new(10, 10, 0, (a + 1) as u8, eph[a]);
+            eph[a] += 1;
+            let dst = Endpoint::new(10, 10, 0, (b + 1) as u8, 5000);
+            metas[a].entries.push(ConnEntry::tcp(src, dst));
+            metas[b].entries.push(ConnEntry::tcp(dst, src)); // accepted child
+        }
+        assign_roles(&mut metas);
+        let pairs = validate_schedule(&metas).expect("valid schedule");
+        prop_assert!(pairs >= 1);
+        // Children sharing the listener port always accept.
+        for md in &metas {
+            for e in &md.entries {
+                if !e.listening && e.src.port == 5000 {
+                    prop_assert_eq!(e.role, RestartRole::Accept);
+                }
+            }
+        }
+    }
+}
