@@ -127,7 +127,7 @@ fn bt_survives_migration_with_sendq_merge() {
     zapc::manager::migrate_with(
         &c,
         &moves,
-        &zapc::manager::MigrateOptions { sendq_merge: true },
+        &zapc::manager::MigrateOptions { sendq_merge: true, ..Default::default() },
     )
     .unwrap();
     let got = app.wait(&c, TIMEOUT).unwrap();

@@ -24,7 +24,7 @@ fn migrate_once(sendq_merge: bool) -> u64 {
     let before = cluster.net.stats().delivered.load(Ordering::Relaxed);
     let moves: Vec<(String, usize)> =
         app.pods.iter().enumerate().map(|(i, p)| (p.clone(), (i + 1) % 4)).collect();
-    migrate_with(&cluster, &moves, &MigrateOptions { sendq_merge }).expect("migrate");
+    migrate_with(&cluster, &moves, &MigrateOptions { sendq_merge, ..Default::default() }).expect("migrate");
     let delivered = cluster.net.stats().delivered.load(Ordering::Relaxed) - before;
     app.destroy(&cluster);
     delivered

@@ -3,7 +3,6 @@
 //! no fixup; without it, raw timer expiries must be shifted by the
 //! downtime delta so they don't all fire spuriously at restart.
 
-use std::sync::Arc;
 use std::time::Duration;
 use zapc_ckpt::{checkpoint_standalone, restore_standalone, RestoredSockets};
 use zapc_net::{Network, NetworkConfig};

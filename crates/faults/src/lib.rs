@@ -1,0 +1,511 @@
+//! # zapc-faults — deterministic fault injection for the ZapC protocol
+//!
+//! DMTCP-style protocol robustness demands exercising every phase of the
+//! coordinated checkpoint/restart protocol under peer death, message loss,
+//! and slowness. This crate provides the injection engine the rest of the
+//! workspace consults at named **sites**:
+//!
+//! | site                  | layer       | meaning                                        |
+//! |-----------------------|-------------|------------------------------------------------|
+//! | `agent.pre_meta`      | zapc agent  | Agent dies before reporting meta-data          |
+//! | `agent.post_meta`     | zapc agent  | Agent dies after reporting meta-data           |
+//! | `agent.pre_continue`  | zapc agent  | Agent dies while awaiting `continue`           |
+//! | `agent.image`         | zapc agent  | image bytes truncated / corrupted on write     |
+//! | `agent.slow`          | zapc agent  | Agent latency before reporting meta-data       |
+//! | `ctl.continue`        | zapc mgr    | Manager→Agent `continue` dropped or delayed    |
+//! | `manager.post_meta`   | zapc mgr    | Manager dies after collecting meta-data        |
+//! | `manager.pre_done`    | zapc mgr    | Manager dies while collecting `done` replies   |
+//! | `net.segment`         | net wire    | segment dropped / duplicated / delayed         |
+//! | `node.sched`          | sim node    | scheduler sweep latency (slow node)            |
+//!
+//! A [`FaultPlan`] is built either from a `u64` seed ([`FaultPlan::from_seed`])
+//! or from an explicit script ([`FaultPlan::script`]). Decisions are a
+//! **pure function of `(seed, site, key, nth)`** where `nth` is the
+//! per-`(site, key)` hit ordinal — thread interleaving cannot change what
+//! fires, only when it is observed. Every fired fault is recorded in a
+//! trace retrievable (sorted, hence canonical) via [`FaultPlan::trace`],
+//! which is what the determinism tests compare across runs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Every site the workspace consults, for seed-driven plans.
+pub const SITES: &[&str] = &[
+    "agent.pre_meta",
+    "agent.post_meta",
+    "agent.pre_continue",
+    "agent.image",
+    "agent.slow",
+    "ctl.continue",
+    "manager.post_meta",
+    "manager.pre_done",
+    "net.segment",
+    "node.sched",
+];
+
+/// What happens when a site fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum FaultAction {
+    /// The participant at the site dies (Agent thread aborts, Manager
+    /// drops its control connections).
+    Crash,
+    /// The message or segment at the site is silently dropped.
+    Drop,
+    /// The segment at the site is delivered twice.
+    Duplicate,
+    /// Latency injection at the site.
+    Delay {
+        /// Added delay in microseconds.
+        micros: u64,
+    },
+    /// One image byte is XOR-flipped (at `byte % len`).
+    Corrupt {
+        /// Byte offset selector.
+        byte: u64,
+    },
+    /// The image is truncated to `keep_permille`/1000 of its length.
+    Truncate {
+        /// Kept fraction in permille (0..=1000).
+        keep_permille: u16,
+    },
+}
+
+impl FaultAction {
+    /// The injected latency, when the action is a delay.
+    pub fn delay(&self) -> Option<Duration> {
+        match self {
+            FaultAction::Delay { micros } => Some(Duration::from_micros(*micros)),
+            _ => None,
+        }
+    }
+}
+
+/// One recorded injection.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct TraceEvent {
+    /// Site name.
+    pub site: String,
+    /// Site key (usually the pod or node the hit belongs to).
+    pub key: String,
+    /// Per-`(site, key)` hit ordinal (0-based).
+    pub nth: u64,
+    /// What fired.
+    pub action: FaultAction,
+}
+
+/// One scripted injection rule.
+#[derive(Debug, Clone)]
+struct Rule {
+    site: String,
+    /// `None` matches every key.
+    key: Option<String>,
+    /// Fires when the hit ordinal falls in `[from, to)`.
+    from: u64,
+    to: u64,
+    action: FaultAction,
+}
+
+#[derive(Debug)]
+enum Kind {
+    /// Never fires.
+    Inert,
+    /// Explicit rule list.
+    Script(Vec<Rule>),
+    /// Hash-driven: each `(site, key, nth)` fires with probability
+    /// `1/rate`, with a site-appropriate action derived from the hash.
+    Seeded {
+        seed: u64,
+        rate: u64,
+        /// Fire only within the first `max_fires` hits per `(site, key)`,
+        /// so bounded retries can make progress past transient faults.
+        max_fires: u64,
+    },
+}
+
+/// A deterministic fault-injection plan.
+///
+/// Cheap to share: the consulting layers hold it behind an `Arc`.
+#[derive(Debug)]
+pub struct FaultPlan {
+    kind: Kind,
+    /// When non-empty, only sites starting with one of these prefixes are
+    /// eligible (used to focus seeded plans on one protocol layer).
+    scope: Vec<String>,
+    counters: Mutex<HashMap<(String, String), u64>>,
+    trace: Mutex<Vec<TraceEvent>>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+fn mix(mut h: u64) -> u64 {
+    h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^ (h >> 31)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Site-appropriate action derived from a decision hash.
+fn action_for(site: &str, h: u64) -> FaultAction {
+    let pick = mix(h ^ 0xACCE_55ED);
+    if site == "agent.image" {
+        if pick.is_multiple_of(2) {
+            FaultAction::Corrupt { byte: mix(pick) }
+        } else {
+            FaultAction::Truncate { keep_permille: (pick % 900) as u16 }
+        }
+    } else if site == "net.segment" {
+        match pick % 3 {
+            0 => FaultAction::Drop,
+            1 => FaultAction::Duplicate,
+            _ => FaultAction::Delay { micros: 100 + pick % 2_000 },
+        }
+    } else if site == "ctl.continue" {
+        if pick.is_multiple_of(2) {
+            FaultAction::Drop
+        } else {
+            FaultAction::Delay { micros: 500 + pick % 5_000 }
+        }
+    } else if site == "agent.slow" || site == "node.sched" {
+        FaultAction::Delay { micros: 500 + pick % 20_000 }
+    } else {
+        // agent.pre_meta / agent.post_meta / agent.pre_continue /
+        // manager.post_meta / manager.pre_done
+        FaultAction::Crash
+    }
+}
+
+impl FaultPlan {
+    /// A plan that never fires.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            kind: Kind::Inert,
+            scope: Vec::new(),
+            counters: Mutex::new(HashMap::new()),
+            trace: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A seed-driven plan with default rate (each eligible hit fires with
+    /// probability 1/8, within the first 2 hits per `(site, key)`).
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        FaultPlan::from_seed_with(seed, 8, 2)
+    }
+
+    /// A seed-driven plan firing each `(site, key, nth)` with probability
+    /// `1/rate` while `nth < max_fires`.
+    pub fn from_seed_with(seed: u64, rate: u64, max_fires: u64) -> FaultPlan {
+        FaultPlan {
+            kind: Kind::Seeded { seed, rate: rate.max(1), max_fires },
+            scope: Vec::new(),
+            counters: Mutex::new(HashMap::new()),
+            trace: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Starts an explicit script.
+    pub fn script() -> ScriptBuilder {
+        ScriptBuilder { rules: Vec::new() }
+    }
+
+    /// Restricts the plan to sites starting with any of `prefixes`
+    /// (e.g. `&["agent.", "ctl."]`). An empty slice lifts the restriction.
+    pub fn scoped(mut self, prefixes: &[&str]) -> FaultPlan {
+        self.scope = prefixes.iter().map(|p| p.to_string()).collect();
+        self
+    }
+
+    fn in_scope(&self, site: &str) -> bool {
+        self.scope.is_empty() || self.scope.iter().any(|p| site.starts_with(p.as_str()))
+    }
+
+    /// Consults the plan at a site. Increments the `(site, key)` hit
+    /// counter, decides purely from `(plan, site, key, nth)`, records any
+    /// firing in the trace, and returns the fired action.
+    ///
+    /// The caller interprets the action; [`FaultPlan::hit_and_sleep`] is a
+    /// convenience that applies delays in place.
+    pub fn hit(&self, site: &str, key: &str) -> Option<FaultAction> {
+        if matches!(self.kind, Kind::Inert) || !self.in_scope(site) {
+            return None;
+        }
+        let nth = {
+            let mut counters = self.counters.lock().unwrap();
+            let n = counters.entry((site.to_string(), key.to_string())).or_insert(0);
+            let nth = *n;
+            *n += 1;
+            nth
+        };
+        let action = self.decide(site, key, nth)?;
+        self.trace.lock().unwrap().push(TraceEvent {
+            site: site.to_string(),
+            key: key.to_string(),
+            nth,
+            action,
+        });
+        Some(action)
+    }
+
+    /// Pure decision function — no counters, no trace.
+    fn decide(&self, site: &str, key: &str, nth: u64) -> Option<FaultAction> {
+        match &self.kind {
+            Kind::Inert => None,
+            Kind::Script(rules) => rules
+                .iter()
+                .find(|r| {
+                    r.site == site
+                        && r.key.as_deref().map(|k| k == key).unwrap_or(true)
+                        && (r.from..r.to).contains(&nth)
+                })
+                .map(|r| r.action),
+            Kind::Seeded { seed, rate, max_fires } => {
+                if nth >= *max_fires {
+                    return None;
+                }
+                let h = mix(seed ^ fnv1a(site).rotate_left(17) ^ fnv1a(key).rotate_left(31) ^ nth);
+                if h.is_multiple_of(*rate) {
+                    Some(action_for(site, h))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// [`FaultPlan::hit`] that additionally sleeps out `Delay` actions and
+    /// swallows them, returning only actions the caller must handle.
+    pub fn hit_and_sleep(&self, site: &str, key: &str) -> Option<FaultAction> {
+        match self.hit(site, key)? {
+            FaultAction::Delay { micros } => {
+                std::thread::sleep(Duration::from_micros(micros));
+                None
+            }
+            other => Some(other),
+        }
+    }
+
+    /// Applies an image-mangling action to `bytes` in place.
+    pub fn mangle(action: FaultAction, bytes: &mut Vec<u8>) {
+        match action {
+            FaultAction::Corrupt { byte } if !bytes.is_empty() => {
+                let idx = (byte % bytes.len() as u64) as usize;
+                bytes[idx] ^= 0xA5;
+            }
+            FaultAction::Truncate { keep_permille } => {
+                let keep = bytes.len() * (keep_permille as usize).min(1000) / 1000;
+                bytes.truncate(keep);
+            }
+            _ => {}
+        }
+    }
+
+    /// The canonical (sorted) injection trace so far.
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        let mut t = self.trace.lock().unwrap().clone();
+        t.sort();
+        t
+    }
+
+    /// Total number of injections fired so far.
+    pub fn fired(&self) -> usize {
+        self.trace.lock().unwrap().len()
+    }
+
+    /// Whether the plan can ever fire.
+    pub fn is_inert(&self) -> bool {
+        matches!(self.kind, Kind::Inert)
+    }
+}
+
+/// Builder for scripted plans.
+#[derive(Debug)]
+pub struct ScriptBuilder {
+    rules: Vec<Rule>,
+}
+
+impl ScriptBuilder {
+    /// Fires `action` on the `nth` hit of `site` for `key` (`None` = every
+    /// key).
+    pub fn inject(self, site: &str, key: Option<&str>, nth: u64, action: FaultAction) -> Self {
+        self.inject_range(site, key, nth, nth + 1, action)
+    }
+
+    /// Fires `action` while the hit ordinal is in `[from, to)`.
+    pub fn inject_range(
+        mut self,
+        site: &str,
+        key: Option<&str>,
+        from: u64,
+        to: u64,
+        action: FaultAction,
+    ) -> Self {
+        self.rules.push(Rule {
+            site: site.to_string(),
+            key: key.map(str::to_string),
+            from,
+            to,
+            action,
+        });
+        self
+    }
+
+    /// Fires `action` on every hit of `site` for `key`.
+    pub fn always(self, site: &str, key: Option<&str>, action: FaultAction) -> Self {
+        self.inject_range(site, key, 0, u64::MAX, action)
+    }
+
+    /// Finishes the script.
+    pub fn build(self) -> FaultPlan {
+        FaultPlan {
+            kind: Kind::Script(self.rules),
+            scope: Vec::new(),
+            counters: Mutex::new(HashMap::new()),
+            trace: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_never_fires() {
+        let p = FaultPlan::none();
+        for _ in 0..100 {
+            assert_eq!(p.hit("agent.pre_meta", "pod-0"), None);
+        }
+        assert!(p.trace().is_empty());
+        assert!(p.is_inert());
+    }
+
+    #[test]
+    fn scripted_rule_fires_on_exact_ordinal() {
+        let p = FaultPlan::script()
+            .inject("agent.pre_meta", Some("pod-1"), 1, FaultAction::Crash)
+            .build();
+        assert_eq!(p.hit("agent.pre_meta", "pod-0"), None, "other key untouched");
+        assert_eq!(p.hit("agent.pre_meta", "pod-1"), None, "nth=0 does not fire");
+        assert_eq!(p.hit("agent.pre_meta", "pod-1"), Some(FaultAction::Crash), "nth=1 fires");
+        assert_eq!(p.hit("agent.pre_meta", "pod-1"), None, "nth=2 past the rule");
+        assert_eq!(p.fired(), 1);
+    }
+
+    #[test]
+    fn wildcard_key_matches_everyone() {
+        let p = FaultPlan::script().always("net.segment", None, FaultAction::Drop).build();
+        assert_eq!(p.hit("net.segment", "1->2"), Some(FaultAction::Drop));
+        assert_eq!(p.hit("net.segment", "9->3"), Some(FaultAction::Drop));
+    }
+
+    #[test]
+    fn seeded_decisions_are_interleaving_independent() {
+        // Two plans, same seed, hits observed in different orders: the set
+        // of fired events must be identical.
+        let a = FaultPlan::from_seed_with(0xC0FFEE, 2, 4);
+        let b = FaultPlan::from_seed_with(0xC0FFEE, 2, 4);
+        let keys = ["p0", "p1", "p2"];
+        for site in SITES {
+            for key in keys {
+                for _ in 0..4 {
+                    a.hit(site, key);
+                }
+            }
+        }
+        // Reverse observation order for b.
+        for site in SITES.iter().rev() {
+            for key in keys.iter().rev() {
+                for _ in 0..4 {
+                    b.hit(site, key);
+                }
+            }
+        }
+        assert_eq!(a.trace(), b.trace());
+        assert!(a.fired() > 0, "rate 1/2 over 120 hits must fire");
+    }
+
+    #[test]
+    fn seeded_fires_stop_after_max_fires() {
+        let p = FaultPlan::from_seed_with(1, 1, 2); // every hit eligible, 2 max
+        for _ in 0..10 {
+            p.hit("agent.pre_meta", "p");
+        }
+        assert_eq!(p.fired(), 2, "transient: retries get a clean run");
+    }
+
+    #[test]
+    fn scope_restricts_sites() {
+        let p = FaultPlan::from_seed_with(1, 1, 8).scoped(&["net."]);
+        assert_eq!(p.hit("agent.pre_meta", "p"), None);
+        assert!(p.hit("net.segment", "1->2").is_some());
+    }
+
+    #[test]
+    fn actions_match_their_layer() {
+        let p = FaultPlan::from_seed_with(99, 1, 64);
+        for _ in 0..32 {
+            if let Some(a) = p.hit("agent.image", "p") {
+                assert!(matches!(
+                    a,
+                    FaultAction::Corrupt { .. } | FaultAction::Truncate { .. }
+                ));
+            }
+            if let Some(a) = p.hit("net.segment", "k") {
+                assert!(matches!(
+                    a,
+                    FaultAction::Drop | FaultAction::Duplicate | FaultAction::Delay { .. }
+                ));
+            }
+            if let Some(a) = p.hit("agent.pre_meta", "p") {
+                assert_eq!(a, FaultAction::Crash);
+            }
+        }
+    }
+
+    #[test]
+    fn mangle_corrupts_and_truncates() {
+        let mut v: Vec<u8> = (0..100).collect();
+        FaultPlan::mangle(FaultAction::Corrupt { byte: 150 }, &mut v);
+        assert_eq!(v[50], 50 ^ 0xA5);
+        FaultPlan::mangle(FaultAction::Truncate { keep_permille: 500 }, &mut v);
+        assert_eq!(v.len(), 50);
+        let mut empty: Vec<u8> = Vec::new();
+        FaultPlan::mangle(FaultAction::Corrupt { byte: 3 }, &mut empty); // no panic
+    }
+
+    #[test]
+    fn trace_is_sorted_and_deterministic() {
+        let run = || {
+            let p = FaultPlan::from_seed(42);
+            for site in SITES {
+                for key in ["a", "b"] {
+                    for _ in 0..2 {
+                        p.hit(site, key);
+                    }
+                }
+            }
+            p.trace()
+        };
+        let t1 = run();
+        let t2 = run();
+        assert_eq!(t1, t2);
+        let mut sorted = t1.clone();
+        sorted.sort();
+        assert_eq!(t1, sorted);
+    }
+}

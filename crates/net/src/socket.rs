@@ -904,7 +904,12 @@ impl Socket {
             inner.phase = SocketState::Connected;
         }
         let parent = if ev.established { inner.parent.take() } else { None };
-        let reap = inner.detached
+        // Reap on close when no descriptor can ever reference this socket:
+        // either it was close()d (detached), or it is a half-open child the
+        // listener never surfaced (parent still set) — leaving the latter
+        // in the demux tables would shadow its 4-tuple with a zombie that
+        // answers every new SYN with a reset.
+        let reap = (inner.detached || inner.parent.is_some())
             && inner.tcb.as_ref().map(|t| t.state == TcpState::Closed).unwrap_or(true);
         drop(inner);
         for s in out {

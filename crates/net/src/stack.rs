@@ -171,6 +171,32 @@ impl NetStack {
         inner.raw_binds.retain(|_, &mut v| v != id);
     }
 
+    /// One-line diagnostic dump of the demux tables, for restore-path
+    /// timeout reports.
+    pub fn debug_tables(&self) -> String {
+        let inner = self.inner.read();
+        let mut s = String::new();
+        use std::fmt::Write;
+        for ((l, r), id) in &inner.est {
+            let st = inner.sockets.get(id).map(|sk| {
+                sk.with_inner(|i| {
+                    format!(
+                        "{:?}/{:?} det={} par={}",
+                        i.phase,
+                        i.tcb.as_ref().map(|t| t.state),
+                        i.detached,
+                        i.parent.is_some()
+                    )
+                })
+            });
+            let _ = writeln!(s, "est {l:?}->{r:?} #{id:?} {st:?}");
+        }
+        for ((ip, port, tr), id) in &inner.ports {
+            let _ = writeln!(s, "port {ip}:{port} {tr:?} #{id:?}");
+        }
+        s
+    }
+
     /// Removes every socket bound to `vip` (pod destroyed or migrated away).
     pub fn remove_sockets_for_ip(&self, vip: u32) {
         let doomed: Vec<SocketId> = self.sockets_for_ip(vip).iter().map(|s| s.id).collect();

@@ -307,6 +307,18 @@ impl Tcb {
                     ev.established = true;
                     out.push(self.make_ack());
                     self.output(out);
+                } else if seg.flags.ack && seg.ack != self.iss + 1 {
+                    // RFC 793: an unacceptable ACK in SYN-SENT is answered
+                    // with <SEQ=SEG.ACK><CTL=RST>. The sender is a stale
+                    // half-open child left by an abandoned earlier
+                    // incarnation of this 4-tuple, re-answering with its
+                    // obsolete SYN-ACK forever; the reset kills it so the
+                    // peer's listener can answer our live SYN.
+                    let mut rst =
+                        Segment::tcp(self.local, self.remote, SegFlags::rst(), seg.ack, seg.seq_end());
+                    rst.flags.ack = true;
+                    rst.vt = self.tx_vt;
+                    out.push(rst);
                 }
                 ev
             }
@@ -676,6 +688,44 @@ mod tests {
         assert!(!ev.established, "already established");
         assert_eq!(out.len(), 1);
         assert!(out[0].flags.ack && out[0].payload.is_empty());
+    }
+
+    #[test]
+    fn stale_half_open_child_is_reset_by_new_incarnation() {
+        let ea = Endpoint::new(10, 10, 0, 1, 1000);
+        let eb = Endpoint::new(10, 10, 0, 2, 2000);
+        // First dial: the peer's listener spawned a child from the SYN,
+        // but its SYN+ACK was lost and the dialer gave up. The child is
+        // now a stale half-open socket owning the 4-tuple.
+        let _abandoned = Tcb::connect(ea, eb, 100, 1 << 16, 1 << 16, 1460, false);
+        let mut child = Tcb::accept(eb, ea, 900, 100, 1 << 16, 1 << 16, 1460, false);
+        assert_eq!(child.state, TcpState::SynRcvd);
+
+        // Second dial on the same 4-tuple with a fresh ISS. The stale
+        // child answers the new SYN with its obsolete SYN+ACK.
+        let mut c2 = Tcb::connect(ea, eb, 5000, 1 << 16, 1 << 16, 1460, false);
+        let mut out = Vec::new();
+        child.input(&c2.make_syn(), &mut out);
+        assert_eq!(out.len(), 1);
+        let stale = out.remove(0);
+        assert!(stale.flags.syn && stale.flags.ack);
+        assert_eq!(stale.ack, 101, "acks the abandoned incarnation");
+
+        // The new dialer must answer the unacceptable ACK with an RST
+        // (RFC 793 SYN-SENT) instead of ignoring it forever.
+        let ev = c2.input(&stale, &mut out);
+        assert!(!ev.established);
+        assert_eq!(c2.state, TcpState::SynSent);
+        assert_eq!(out.len(), 1);
+        let rst = out.remove(0);
+        assert!(rst.flags.rst);
+        assert_eq!(rst.seq, stale.ack);
+
+        // The RST kills the stale child, freeing the 4-tuple so the
+        // listener can answer the live SYN's retransmission.
+        let ev = child.input(&rst, &mut out);
+        assert!(ev.reset);
+        assert_eq!(child.state, TcpState::Closed);
     }
 
     #[test]

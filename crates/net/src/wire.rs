@@ -25,6 +25,7 @@ use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
+use zapc_faults::{FaultAction, FaultPlan};
 
 /// Tunables of the simulated interconnect.
 #[derive(Debug, Clone)]
@@ -67,6 +68,8 @@ pub struct NetStats {
     pub lost: AtomicU64,
     /// Segments with no route for the destination.
     pub unroutable: AtomicU64,
+    /// Segments a fault plan dropped, duplicated, or delayed.
+    pub injected: AtomicU64,
 }
 
 enum Event {
@@ -130,6 +133,7 @@ pub struct NetShared {
     rng: Mutex<XorShift>,
     seqno: AtomicU64,
     stopped: AtomicBool,
+    faults: RwLock<Arc<FaultPlan>>,
 }
 
 impl NetShared {
@@ -151,6 +155,25 @@ impl NetShared {
             if self.cfg.jitter > Duration::ZERO {
                 let j = rng.uniform();
                 delay += Duration::from_nanos((self.cfg.jitter.as_nanos() as f64 * j) as u64);
+            }
+        }
+        let faults = Arc::clone(&self.faults.read());
+        if !faults.is_inert() {
+            let key = format!("{:08x}->{:08x}", seg.src.ip, seg.dst.ip);
+            match faults.hit("net.segment", &key) {
+                Some(FaultAction::Drop) => {
+                    self.stats.injected.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+                Some(FaultAction::Duplicate) => {
+                    self.stats.injected.fetch_add(1, Ordering::Relaxed);
+                    self.push(Instant::now() + delay, Event::Deliver(seg.clone()));
+                }
+                Some(a @ FaultAction::Delay { .. }) => {
+                    self.stats.injected.fetch_add(1, Ordering::Relaxed);
+                    delay += a.delay().expect("delay action");
+                }
+                _ => {}
             }
         }
         self.push(Instant::now() + delay, Event::Deliver(seg));
@@ -244,6 +267,7 @@ impl Network {
             routes: RwLock::new(HashMap::new()),
             seqno: AtomicU64::new(0),
             stopped: AtomicBool::new(false),
+            faults: RwLock::new(Arc::new(FaultPlan::none())),
         });
         let pump_shared = Arc::clone(&shared);
         let pump = std::thread::Builder::new()
@@ -276,6 +300,12 @@ impl Network {
     /// Wire statistics.
     pub fn stats(&self) -> &NetStats {
         &self.shared.stats
+    }
+
+    /// Installs a fault plan consulted at site `net.segment` (key
+    /// `src->dst`) for every segment entering the wire.
+    pub fn set_faults(&self, plan: Arc<FaultPlan>) {
+        *self.shared.faults.write() = plan;
     }
 }
 
@@ -330,6 +360,22 @@ mod tests {
             h.send(Segment::udp(src, dst, vec![0]));
         }
         assert_eq!(net.stats().lost.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn fault_plan_drops_segments_on_the_wire() {
+        let net = Network::new(NetworkConfig { latency: Duration::ZERO, ..Default::default() });
+        net.set_faults(Arc::new(
+            FaultPlan::script().always("net.segment", None, FaultAction::Drop).build(),
+        ));
+        let h = net.handle();
+        let src = zapc_proto::Endpoint::new(10, 10, 0, 1, 1);
+        let dst = zapc_proto::Endpoint::new(10, 10, 0, 2, 2);
+        for _ in 0..5 {
+            h.send(Segment::udp(src, dst, vec![0]));
+        }
+        assert_eq!(net.stats().injected.load(Ordering::Relaxed), 5);
+        assert_eq!(net.stats().unroutable.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zapc_net::udp::Datagram;
-use zapc_net::{buf::SendSnapshot, NetError, Shutdown, Socket};
+use zapc_net::{buf::SendSnapshot, NetError, Shutdown, Socket, SocketState};
 use zapc_pod::Pod;
 use zapc_proto::{ConnState, Endpoint, MetaData, RestartRole, Transport};
 
@@ -197,6 +197,14 @@ pub fn restore_network(
         let mut sidelined: Vec<(Endpoint, Arc<Socket>)> = Vec::new();
         while !waiting.is_empty() {
             if Instant::now() >= deadline {
+                for &i in waiting.iter() {
+                    eprintln!(
+                        "[netckpt] restore acceptor timeout: still waiting for \
+                         {:?} <- {:?}",
+                        records[i].local, records[i].peer
+                    );
+                }
+                eprint!("[netckpt] local tables:\n{}", stack.debug_tables());
                 *conn_err.lock() =
                     Some(NetCkptError::Timeout("inbound connections missing"));
                 break;
@@ -412,20 +420,40 @@ fn establish_outgoing(
         // application from a fast network completing the original
         // handshake.
         let _ = entry;
-        match s.connect_wait(Duration::from_millis(50)) {
-            Ok(()) => return Ok(s),
-            // A Closed-state connection being replayed may be refused or
-            // reset outright (the peer never had its half); hand back the
-            // dead socket — the application sees the reset it would have
-            // seen originally.
-            Err(NetError::ConnReset | NetError::ConnRefused)
-                if entry.state == ConnState::Closed =>
-            {
-                return Ok(s)
+        let waited = loop {
+            match s.connect_wait(Duration::from_millis(50)) {
+                // Still dialing (SYN retransmission in progress): keep
+                // *this* socket. Closing and redialing from the same
+                // bound port can wedge against the peer's stale
+                // half-open child, which keeps re-answering with a
+                // SYN-ACK for the abandoned incarnation.
+                Err(NetError::TimedOut)
+                    if matches!(s.state(), SocketState::Connecting)
+                        && Instant::now() < deadline => {}
+                other => break other,
             }
-            Err(NetError::ConnRefused) | Err(NetError::TimedOut) => {
+        };
+        match waited {
+            Ok(()) => return Ok(s),
+            // Closed-state entries must NOT treat a refusal as the
+            // original death and bail out early: a connection whose peer
+            // half was never recorded anywhere is stubbed in phase 1
+            // before we get here, so any refusal seen now is transient —
+            // the peer pod's listener just hasn't come up yet, and its
+            // acceptor is (or will be) waiting for this very handshake.
+            // Giving up would starve that acceptor into a spurious
+            // "inbound connections missing" timeout. Retry like every
+            // other refusal; the dead state is replayed in phase 4/5.
+            Err(e @ (NetError::ConnReset | NetError::ConnRefused | NetError::TimedOut)) => {
+                let last_state = s.state();
                 s.close();
                 if Instant::now() >= deadline {
+                    eprintln!(
+                        "[netckpt] restore connector timeout: {:?} -> {dst:?} \
+                         last wait err {e:?}, last socket state {last_state:?}",
+                        rec.local
+                    );
+                    eprint!("[netckpt] local tables:\n{}", stack.debug_tables());
                     return Err(NetCkptError::Timeout("peer listener never appeared"));
                 }
                 std::thread::sleep(Duration::from_micros(200));

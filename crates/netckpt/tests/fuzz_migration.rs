@@ -13,7 +13,7 @@ use zapc_pod::{pod_vip, Pod, PodConfig};
 use zapc_proto::{Endpoint, MetaData, Transport};
 use zapc_sim::{ClusterClock, Node, NodeConfig, SimFs};
 
-const TIMEOUT: Duration = Duration::from_secs(10);
+const TIMEOUT: Duration = Duration::from_secs(30);
 
 struct XorShift(u64);
 

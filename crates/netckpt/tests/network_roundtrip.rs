@@ -309,6 +309,100 @@ fn closed_connection_with_unread_data() {
     }
 }
 
+/// Regression: a fully-closed connection whose connect-role side restores
+/// *before* the accept-role side has bound its listener. The early dials
+/// are refused; the connector must keep retrying rather than handing back
+/// a dead socket, or the late acceptor starves into an
+/// "inbound connections missing" timeout.
+#[test]
+fn closed_connection_restore_tolerates_late_acceptor() {
+    use zapc_proto::{ConnState, RestartRole};
+    let r = rig(4);
+    let a = make_pod(&r, "A", 17, 0);
+    let b = make_pod(&r, "B", 18, 1);
+    let (client, _l, server) = connect_pods(&a, &b, 5007);
+
+    client.write_all_wait(b"last-words", TIMEOUT).unwrap();
+    client.shutdown(Shutdown::Write).unwrap();
+    server.shutdown(Shutdown::Write).unwrap();
+    // Wait for both FIN exchanges: the connection must be saved Closed.
+    let dl = std::time::Instant::now() + TIMEOUT;
+    let closed =
+        |s: &Arc<Socket>| s.with_inner(|i| i.conn_state()) == ConnState::Closed;
+    while !(closed(&client) && closed(&server)) {
+        assert!(std::time::Instant::now() < dl, "close never completed");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+
+    // Checkpoint + destroy, as migrate_network does, but restore with the
+    // accept-role pod starting late.
+    for p in [&a, &b] {
+        r.net.filter().block_ip(p.vip());
+    }
+    let (ma, ra) = checkpoint_network(&a);
+    let (mb, rb) = checkpoint_network(&b);
+    let cfgs = [PodConfig::new(a.name(), a.vip()), PodConfig::new(b.name(), b.vip())];
+    a.destroy();
+    b.destroy();
+    let mut metas = vec![ma, mb];
+    assign_roles(&mut metas);
+    let accept_side = metas
+        .iter()
+        .position(|m| {
+            m.entries.iter().any(|e| {
+                !e.listening
+                    && e.state == ConnState::Closed
+                    && e.role == RestartRole::Accept
+            })
+        })
+        .expect("one side must re-accept the closed connection");
+
+    let new_pods: Vec<Arc<Pod>> = cfgs
+        .into_iter()
+        .zip([2usize, 3])
+        .map(|(cfg, n)| {
+            let pod = Pod::create(cfg, &r.nodes[n], &r.clock);
+            r.net.set_route(pod.vip(), &r.nodes[n].stack);
+            pod
+        })
+        .collect();
+    r.net.filter().clear();
+
+    let recs = [ra, rb];
+    let socks: Vec<Vec<Option<Arc<Socket>>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = new_pods
+            .iter()
+            .enumerate()
+            .map(|(i, pod)| {
+                let all = &metas;
+                let rcs = &recs[i];
+                s.spawn(move || {
+                    if i == accept_side {
+                        // Give the connector a head start so its first
+                        // dials are refused (no listener yet).
+                        std::thread::sleep(Duration::from_millis(100));
+                    }
+                    let plan = NetworkRestorePlan {
+                        my_meta: &all[i],
+                        all_meta: all,
+                        records: rcs,
+                        timeout: TIMEOUT,
+                    };
+                    restore_network(pod, &plan).unwrap()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // The unread data survived on the server half, followed by EOF.
+    let server2 = socks[1][1].clone().unwrap();
+    assert_eq!(drain(&server2, 10), b"last-words");
+    for p in new_pods {
+        p.destroy();
+    }
+}
+
 #[test]
 fn pending_unaccepted_child_requeued() {
     let r = rig(4);

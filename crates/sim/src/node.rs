@@ -19,6 +19,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use zapc_faults::FaultPlan;
 use zapc_net::NetStack;
 
 /// Node parameters.
@@ -51,6 +52,7 @@ pub struct Node {
     procs: ProcTable,
     stop: Arc<AtomicBool>,
     threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    faults: Arc<RwLock<Arc<FaultPlan>>>,
 }
 
 impl std::fmt::Debug for Node {
@@ -65,6 +67,8 @@ impl Node {
         let stack = NetStack::new(cfg.id, net);
         let procs: ProcTable = Arc::new(RwLock::new(HashMap::new()));
         let stop = Arc::new(AtomicBool::new(false));
+        let faults: Arc<RwLock<Arc<FaultPlan>>> =
+            Arc::new(RwLock::new(Arc::new(FaultPlan::none())));
         let node = Arc::new(Node {
             id: NodeId(cfg.id),
             stack,
@@ -73,16 +77,19 @@ impl Node {
             procs: Arc::clone(&procs),
             stop: Arc::clone(&stop),
             threads: Mutex::new(Vec::new()),
+            faults: Arc::clone(&faults),
         });
         let mut threads = node.threads.lock();
         for cpu in 0..node.cpus {
             let procs = Arc::clone(&procs);
             let stop = Arc::clone(&stop);
+            let faults = Arc::clone(&faults);
+            let key = format!("node{}", cfg.id);
             let name = format!("node{}-cpu{}", cfg.id, cpu);
             threads.push(
                 std::thread::Builder::new()
                     .name(name)
-                    .spawn(move || scheduler_loop(procs, stop))
+                    .spawn(move || scheduler_loop(procs, stop, faults, key))
                     .expect("spawn scheduler thread"),
             );
         }
@@ -153,6 +160,13 @@ impl Node {
         self.procs.read().len()
     }
 
+    /// Installs a fault plan consulted at site `node.sched` (key
+    /// `node<N>`) once per scheduler sweep — a firing `Delay` models a
+    /// slow node.
+    pub fn set_faults(&self, plan: Arc<FaultPlan>) {
+        *self.faults.write() = plan;
+    }
+
     /// Stops the scheduler threads (idempotent; also runs on drop).
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Release);
@@ -169,8 +183,17 @@ impl Drop for Node {
     }
 }
 
-fn scheduler_loop(procs: ProcTable, stop: Arc<AtomicBool>) {
+fn scheduler_loop(
+    procs: ProcTable,
+    stop: Arc<AtomicBool>,
+    faults: Arc<RwLock<Arc<FaultPlan>>>,
+    fault_key: String,
+) {
     while !stop.load(Ordering::Acquire) {
+        {
+            let plan = Arc::clone(&faults.read());
+            plan.hit_and_sleep("node.sched", &fault_key);
+        }
         let snapshot: Vec<Arc<Mutex<Process>>> = procs.read().values().cloned().collect();
         let mut progressed = false;
         if snapshot.is_empty() {

@@ -11,7 +11,7 @@
 use crate::cluster::Cluster;
 use crate::uri::Uri;
 use crate::{ZapcError, ZapcResult};
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zapc_ckpt::{checkpoint_standalone, restore_standalone, RestoredSockets};
@@ -112,10 +112,11 @@ pub fn agent_checkpoint(
     dest: &Uri,
     finalize: Finalize,
     policy: SyncPolicy,
+    ctl_timeout: Duration,
     reply: &Sender<AgentReply>,
     ctl: &Receiver<CtlMsg>,
 ) {
-    agent_checkpoint_ext(cluster, pod_name, dest, finalize, policy, false, reply, ctl)
+    agent_checkpoint_ext(cluster, pod_name, dest, finalize, policy, false, ctl_timeout, reply, ctl)
 }
 
 /// [`agent_checkpoint`] with the optional file-system snapshot of §3/§4:
@@ -131,6 +132,7 @@ pub fn agent_checkpoint_ext(
     finalize: Finalize,
     policy: SyncPolicy,
     fs_snapshot: bool,
+    ctl_timeout: Duration,
     reply: &Sender<AgentReply>,
     ctl: &Receiver<CtlMsg>,
 ) {
@@ -157,6 +159,15 @@ pub fn agent_checkpoint_ext(
         send_done(Err(why.to_owned()), None);
     };
 
+    // Fault sites: a crash here models the Agent process dying before it
+    // reports meta-data — the node's supervision rolls the pod back and
+    // the Manager sees the broken connection as a failed `done`.
+    cluster.faults.hit_and_sleep("agent.slow", pod_name);
+    if cluster.faults.hit("agent.pre_meta", pod_name).is_some() {
+        rollback("fault: agent crashed before meta-data");
+        return;
+    }
+
     // Step 2: network-state checkpoint; 2a: report meta-data.
     let tnet = Instant::now();
     let (meta, records) = checkpoint_network(&pod);
@@ -169,13 +180,25 @@ pub fn agent_checkpoint_ext(
         rollback("manager connection broken before meta-data");
         return;
     }
+    if cluster.faults.hit("agent.post_meta", pod_name).is_some() {
+        rollback("fault: agent crashed after meta-data");
+        return;
+    }
 
     // Strawman policy: hold everything until the Manager's barrier.
     if policy == SyncPolicy::GlobalBarrier {
-        match ctl.recv() {
+        match ctl.recv_timeout(ctl_timeout) {
             Ok(CtlMsg::Continue) => {}
-            Ok(CtlMsg::Abort) | Err(_) => {
+            Ok(CtlMsg::Abort) => {
                 rollback("aborted at barrier");
+                return;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                rollback("timed out at barrier");
+                return;
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                rollback("manager connection broken at barrier");
                 return;
             }
         }
@@ -204,15 +227,34 @@ pub fn agent_checkpoint_ext(
         rollback(&format!("standalone checkpoint failed: {e}"));
         return;
     }
-    let image = w.finish();
+    let mut image = w.finish();
+    // Fault site: image bytes damaged on their way out (bad disk, torn
+    // write). Sections are CRC-framed, so the damage surfaces as a typed
+    // decode error at restart, never a silent mis-restore.
+    if let Some(a) = cluster.faults.hit("agent.image", pod_name) {
+        zapc_faults::FaultPlan::mangle(a, &mut image);
+    }
     let standalone_us = tsa.elapsed().as_micros() as u64;
 
+    if cluster.faults.hit("agent.pre_continue", pod_name).is_some() {
+        rollback("fault: agent crashed awaiting continue");
+        return;
+    }
     // Steps 3a/4a: the Agent only finishes after it received `continue`.
+    // Bounded wait: a lost `continue` must not wedge the Agent forever.
     if policy == SyncPolicy::SingleSync {
-        match ctl.recv() {
+        match ctl.recv_timeout(ctl_timeout) {
             Ok(CtlMsg::Continue) => {}
-            Ok(CtlMsg::Abort) | Err(_) => {
+            Ok(CtlMsg::Abort) => {
                 rollback("aborted while awaiting continue");
+                return;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                rollback("timed out awaiting continue");
+                return;
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                rollback("manager connection broken awaiting continue");
                 return;
             }
         }

@@ -10,6 +10,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU16, Ordering};
 use std::sync::Arc;
+use zapc_faults::FaultPlan;
 use zapc_net::{Netfilter, Network, NetworkConfig};
 use zapc_pod::{pod_vip, Pod, PodConfig};
 use zapc_sim::{ClusterClock, Node, NodeConfig, ProgramRegistry, SimFs};
@@ -21,6 +22,7 @@ pub struct ClusterBuilder {
     net: NetworkConfig,
     virt_overhead_ns: u64,
     registry: ProgramRegistry,
+    faults: Arc<FaultPlan>,
 }
 
 impl ClusterBuilder {
@@ -56,14 +58,28 @@ impl ClusterBuilder {
         self
     }
 
+    /// Fault-injection plan consulted by the wire, the node schedulers,
+    /// and the checkpoint/restart protocol (default: inert).
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Arc::new(plan);
+        self
+    }
+
     /// Boots the cluster.
     pub fn build(self) -> Cluster {
         let net = Network::new(self.net);
+        net.set_faults(Arc::clone(&self.faults));
         let fs = SimFs::new();
         let clock = ClusterClock::new();
         let nodes: Vec<Arc<Node>> = (0..self.nodes)
             .map(|i| {
-                Node::new(NodeConfig { id: i as u32, cpus: self.cpus }, net.handle(), Arc::clone(&fs))
+                let n = Node::new(
+                    NodeConfig { id: i as u32, cpus: self.cpus },
+                    net.handle(),
+                    Arc::clone(&fs),
+                );
+                n.set_faults(Arc::clone(&self.faults));
+                n
             })
             .collect();
         Cluster {
@@ -75,6 +91,7 @@ impl ClusterBuilder {
             store: MemStore::new(),
             registry: self.registry,
             virt_overhead_ns: self.virt_overhead_ns,
+            faults: self.faults,
             next_vip: AtomicU16::new(1),
         }
     }
@@ -96,6 +113,8 @@ pub struct Cluster {
     pub registry: ProgramRegistry,
     /// Pod virtualization overhead (virtual-time ns per syscall).
     pub virt_overhead_ns: u64,
+    /// The fault-injection plan every layer consults (inert by default).
+    pub faults: Arc<FaultPlan>,
     next_vip: AtomicU16,
 }
 
@@ -115,6 +134,7 @@ impl Cluster {
             net: NetworkConfig::default(),
             virt_overhead_ns: 150,
             registry: ProgramRegistry::new(),
+            faults: Arc::new(FaultPlan::none()),
         }
     }
 

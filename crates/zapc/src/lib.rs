@@ -65,6 +65,7 @@ pub mod manager;
 pub mod uri;
 
 pub use cluster::{Cluster, ClusterBuilder};
+pub use zapc_faults::{FaultAction, FaultPlan, TraceEvent};
 pub use manager::{
     checkpoint, migrate, restart, CheckpointReport, CheckpointTarget, PodReport, RestartReport,
     RestartTarget,

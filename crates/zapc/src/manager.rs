@@ -25,6 +25,7 @@ use crate::uri::Uri;
 use crate::{ZapcError, ZapcResult};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashMap;
+use zapc_faults::FaultAction;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zapc_netckpt::assign_roles;
@@ -127,7 +128,8 @@ pub struct RestartReport {
 pub struct CheckpointOptions {
     /// Coordination policy.
     pub policy: SyncPolicy,
-    /// Manager-side reply timeout.
+    /// Per-phase timeout: bounds the Manager's wait for each Agent reply
+    /// *and* each Agent's wait for the Manager's `continue`.
     pub timeout: Duration,
     /// Capture each pod's chroot subtree into the image (§3's optional
     /// file-system snapshot; off by default — the cluster assumes shared
@@ -136,6 +138,12 @@ pub struct CheckpointOptions {
     /// Test hook: simulate a Manager crash after collecting meta-data
     /// (drops every control connection instead of sending `continue`).
     pub fail_manager_after_meta: bool,
+    /// Retry an aborted checkpoint up to this many more times. Safe:
+    /// every abort rolls the pods back to running, so a retry starts
+    /// from clean state.
+    pub retries: u32,
+    /// Base delay between retries (attempt `n` waits `n * backoff`).
+    pub backoff: Duration,
 }
 
 impl Default for CheckpointOptions {
@@ -145,6 +153,8 @@ impl Default for CheckpointOptions {
             timeout: DEFAULT_TIMEOUT,
             fs_snapshot: false,
             fail_manager_after_meta: false,
+            retries: 0,
+            backoff: Duration::from_millis(50),
         }
     }
 }
@@ -154,8 +164,35 @@ pub fn checkpoint(cluster: &Cluster, targets: &[CheckpointTarget]) -> ZapcResult
     checkpoint_with(cluster, targets, &CheckpointOptions::default())
 }
 
-/// Coordinated checkpoint (Figure 1, Manager side).
+/// Coordinated checkpoint (Figure 1, Manager side) with bounded
+/// retry-with-backoff: an [`ZapcError::Aborted`] attempt leaves every pod
+/// running (the abort path rolls back), so transient faults are retried
+/// up to `opts.retries` times before the error surfaces.
 pub fn checkpoint_with(
+    cluster: &Cluster,
+    targets: &[CheckpointTarget],
+    opts: &CheckpointOptions,
+) -> ZapcResult<CheckpointReport> {
+    let mut attempt = 0;
+    loop {
+        match checkpoint_once(cluster, targets, opts) {
+            // Retry only when the abort rolled every target back to
+            // running — a partially-committed destroy cannot be re-run.
+            Err(ZapcError::Aborted(why))
+                if attempt < opts.retries
+                    && targets.iter().all(|t| cluster.pod(&t.pod).is_some()) =>
+            {
+                attempt += 1;
+                std::thread::sleep(opts.backoff * attempt);
+                let _ = why;
+            }
+            other => return other,
+        }
+    }
+}
+
+/// One coordinated-checkpoint attempt.
+fn checkpoint_once(
     cluster: &Cluster,
     targets: &[CheckpointTarget],
     opts: &CheckpointOptions,
@@ -172,9 +209,11 @@ pub fn checkpoint_with(
             let reply_tx = reply_tx.clone();
             let policy = opts.policy;
             let fs_snapshot = opts.fs_snapshot;
+            let ctl_timeout = opts.timeout;
             scope.spawn(move || {
                 crate::agent::agent_checkpoint_ext(
-                    cluster, &t.pod, &t.uri, t.finalize, policy, fs_snapshot, &reply_tx, &ctl_rx,
+                    cluster, &t.pod, &t.uri, t.finalize, policy, fs_snapshot, ctl_timeout,
+                    &reply_tx, &ctl_rx,
                 );
             });
         }
@@ -207,17 +246,27 @@ pub fn checkpoint_with(
             }
         }
 
-        // Test hook: the Manager dies here. Dropping the control channels
-        // breaks every Agent's connection; they must abort and resume.
-        if opts.fail_manager_after_meta {
+        // Fault site / test hook: the Manager dies here. Dropping the
+        // control channels breaks every Agent's connection; they must
+        // abort and resume.
+        if opts.fail_manager_after_meta
+            || cluster.faults.hit("manager.post_meta", "manager").is_some()
+        {
             ctls.clear();
             drain_done(&reply_rx, targets.len(), opts.timeout);
             return Err(ZapcError::Aborted("manager crashed after meta-data".into()));
         }
 
-        // 3. The single synchronization: `continue` to everyone.
-        for ctl in ctls.values() {
-            let _ = ctl.send(CtlMsg::Continue);
+        // 3. The single synchronization: `continue` to everyone. The
+        // `ctl.continue` fault site loses or delays individual messages;
+        // the Agent's bounded wait turns a loss into a rollback.
+        send_continue(cluster, &ctls);
+
+        // Fault site: the Manager dies before collecting `done` replies.
+        if cluster.faults.hit("manager.pre_done", "manager").is_some() {
+            ctls.clear();
+            drain_done(&reply_rx, targets.len() - early_done.len(), opts.timeout);
+            return Err(ZapcError::Aborted("manager crashed collecting done".into()));
         }
 
         // 4. Receive status from every Agent.
@@ -244,6 +293,11 @@ pub fn checkpoint_with(
                 }
                 Ok(AgentReply::Meta { .. }) => {}
                 Err(_) => {
+                    // Same discipline as the meta-data phase: tell every
+                    // Agent to abort and wait out their rollbacks so no
+                    // pod is left suspended when we return.
+                    abort_all(&ctls);
+                    drain_done(&reply_rx, pending, opts.timeout);
                     failure = Some("timed out waiting for done".into());
                     break;
                 }
@@ -258,9 +312,30 @@ pub fn checkpoint_with(
     result
 }
 
+/// Sends `continue` to every Agent, subject to the `ctl.continue` fault
+/// site (keyed by pod): `Drop` loses the message, `Delay` postpones it.
+fn send_continue(cluster: &Cluster, ctls: &HashMap<String, Sender<CtlMsg>>) {
+    for (pod, ctl) in ctls {
+        match cluster.faults.hit("ctl.continue", pod) {
+            Some(FaultAction::Drop) => continue,
+            Some(a) => {
+                if let Some(d) = a.delay() {
+                    std::thread::sleep(d);
+                }
+                let _ = ctl.send(CtlMsg::Continue);
+            }
+            None => {
+                let _ = ctl.send(CtlMsg::Continue);
+            }
+        }
+    }
+}
+
 fn abort_all(ctls: &HashMap<String, Sender<CtlMsg>>) {
+    // try_send: a control channel may still hold an unconsumed `continue`
+    // (the Agent died before reading it) — never block on it.
     for ctl in ctls.values() {
-        let _ = ctl.send(CtlMsg::Abort);
+        let _ = ctl.try_send(CtlMsg::Abort);
     }
 }
 
@@ -390,12 +465,32 @@ fn extract_meta(image: &[u8]) -> ZapcResult<MetaData> {
 }
 
 /// Options for [`migrate_with`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct MigrateOptions {
     /// Apply the §5 send-queue merge optimization: saved send queues ride
     /// inside the peers' checkpoint streams instead of being re-sent over
     /// the new connections.
     pub sendq_merge: bool,
+    /// Per-phase timeout (Manager reply waits and Agent `continue` waits).
+    pub timeout: Duration,
+    /// Retry an aborted checkpoint phase up to this many more times. Only
+    /// phase 1 retries: its abort path resumes every source pod, so a
+    /// retry starts clean. Phase 2 never retries — by then the sources
+    /// are destroyed and a failure is final.
+    pub retries: u32,
+    /// Base delay between retries (attempt `n` waits `n * backoff`).
+    pub backoff: Duration,
+}
+
+impl Default for MigrateOptions {
+    fn default() -> Self {
+        MigrateOptions {
+            sendq_merge: false,
+            timeout: DEFAULT_TIMEOUT,
+            retries: 0,
+            backoff: Duration::from_millis(50),
+        }
+    }
 }
 
 /// Direct migration: checkpoint a set of pods and restart them on new
@@ -407,6 +502,13 @@ pub fn migrate(cluster: &Cluster, moves: &[(String, usize)]) -> ZapcResult<Resta
 }
 
 /// [`migrate`] with options.
+///
+/// Phase 1 (coordinated checkpoint of the sources) retries like
+/// [`checkpoint_with`]: its abort path resumes every pod, so up to
+/// `opts.retries` aborted attempts are re-run after backoff. Phase 2
+/// (restart at the destinations) is past the point of no return — the
+/// sources were destroyed when phase 1 committed — so its failures
+/// surface immediately.
 pub fn migrate_with(
     cluster: &Cluster,
     moves: &[(String, usize)],
@@ -422,65 +524,25 @@ pub fn migrate_with(
         })
         .collect();
 
-    // Phase 1: coordinated checkpoint; images come back through the
-    // `done` replies (the streaming rendezvous) instead of storage.
-    let (reply_tx, reply_rx) = unbounded::<AgentReply>();
-    let mut ctls: HashMap<String, Sender<CtlMsg>> = HashMap::new();
-    let (images, metas) = std::thread::scope(|scope| {
-        for t in &targets {
-            let (ctl_tx, ctl_rx) = bounded::<CtlMsg>(1);
-            ctls.insert(t.pod.clone(), ctl_tx);
-            let reply_tx = reply_tx.clone();
-            scope.spawn(move || {
-                agent_checkpoint(
-                    cluster,
-                    &t.pod,
-                    &t.uri,
-                    t.finalize,
-                    SyncPolicy::SingleSync,
-                    &reply_tx,
-                    &ctl_rx,
-                );
-            });
-        }
-        let mut metas: HashMap<String, MetaData> = HashMap::new();
-        while metas.len() < targets.len() {
-            match reply_rx.recv_timeout(DEFAULT_TIMEOUT) {
-                Ok(AgentReply::Meta { pod, meta, .. }) => {
-                    metas.insert(pod, meta);
+    let (images, metas) = {
+        let mut attempt = 0;
+        loop {
+            match migrate_checkpoint_phase(cluster, &targets, opts) {
+                // Retry only when every source pod survived the abort; a
+                // fault that struck after some Agents passed the sync
+                // point (and destroyed their pods) is final.
+                Err(ZapcError::Aborted(why))
+                    if attempt < opts.retries
+                        && targets.iter().all(|t| cluster.pod(&t.pod).is_some()) =>
+                {
+                    attempt += 1;
+                    std::thread::sleep(opts.backoff * attempt);
+                    let _ = why;
                 }
-                Ok(AgentReply::Done { result: Err(why), .. }) => {
-                    abort_all(&ctls);
-                    drain_done(&reply_rx, targets.len() - 1, DEFAULT_TIMEOUT);
-                    return Err(ZapcError::Aborted(why));
-                }
-                Ok(_) => {}
-                Err(_) => {
-                    abort_all(&ctls);
-                    return Err(ZapcError::Aborted("migrate: meta-data timeout".into()));
-                }
+                other => break other,
             }
         }
-        for ctl in ctls.values() {
-            let _ = ctl.send(CtlMsg::Continue);
-        }
-        let mut images: HashMap<String, Arc<Vec<u8>>> = HashMap::new();
-        let mut pending = targets.len();
-        while pending > 0 {
-            match reply_rx.recv_timeout(DEFAULT_TIMEOUT) {
-                Ok(AgentReply::Done { pod, result: Ok(_), image }) => {
-                    pending -= 1;
-                    let img = image
-                        .ok_or_else(|| ZapcError::Aborted(format!("{pod}: no streamed image")))?;
-                    images.insert(pod, img);
-                }
-                Ok(AgentReply::Done { result: Err(why), .. }) => return Err(ZapcError::Aborted(why)),
-                Ok(_) => {}
-                Err(_) => return Err(ZapcError::Aborted("migrate: done timeout".into())),
-            }
-        }
-        Ok((images, metas))
-    })?;
+    }?;
 
     // Phase 2: restart at the destinations from the streamed images.
     let restart_targets: Vec<RestartTarget> = moves
@@ -498,8 +560,109 @@ pub fn migrate_with(
         &restart_targets,
         ordered_images,
         ordered_metas,
-        DEFAULT_TIMEOUT,
+        opts.timeout,
         t0,
         opts.sendq_merge,
     )
+}
+
+type StreamedParts = (HashMap<String, Arc<Vec<u8>>>, HashMap<String, MetaData>);
+
+/// Phase 1 of a migration: coordinated checkpoint of the sources; images
+/// come back through the `done` replies (the streaming rendezvous)
+/// instead of storage. Every error path aborts the surviving Agents and
+/// drains their rollback replies, so no pod is left suspended.
+fn migrate_checkpoint_phase(
+    cluster: &Cluster,
+    targets: &[CheckpointTarget],
+    opts: &MigrateOptions,
+) -> ZapcResult<StreamedParts> {
+    let (reply_tx, reply_rx) = unbounded::<AgentReply>();
+    let mut ctls: HashMap<String, Sender<CtlMsg>> = HashMap::new();
+    std::thread::scope(|scope| {
+        for t in targets {
+            let (ctl_tx, ctl_rx) = bounded::<CtlMsg>(1);
+            ctls.insert(t.pod.clone(), ctl_tx);
+            let reply_tx = reply_tx.clone();
+            let ctl_timeout = opts.timeout;
+            scope.spawn(move || {
+                agent_checkpoint(
+                    cluster,
+                    &t.pod,
+                    &t.uri,
+                    t.finalize,
+                    SyncPolicy::SingleSync,
+                    ctl_timeout,
+                    &reply_tx,
+                    &ctl_rx,
+                );
+            });
+        }
+        let mut metas: HashMap<String, MetaData> = HashMap::new();
+        while metas.len() < targets.len() {
+            match reply_rx.recv_timeout(opts.timeout) {
+                Ok(AgentReply::Meta { pod, meta, .. }) => {
+                    metas.insert(pod, meta);
+                }
+                Ok(AgentReply::Done { result: Err(why), .. }) => {
+                    abort_all(&ctls);
+                    drain_done(&reply_rx, targets.len() - 1, opts.timeout);
+                    return Err(ZapcError::Aborted(why));
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    abort_all(&ctls);
+                    drain_done(&reply_rx, targets.len(), opts.timeout);
+                    return Err(ZapcError::Aborted("migrate: meta-data timeout".into()));
+                }
+            }
+        }
+
+        if cluster.faults.hit("manager.post_meta", "migrate").is_some() {
+            ctls.clear();
+            drain_done(&reply_rx, targets.len(), opts.timeout);
+            return Err(ZapcError::Aborted("manager crashed after meta-data".into()));
+        }
+
+        send_continue(cluster, &ctls);
+
+        if cluster.faults.hit("manager.pre_done", "migrate").is_some() {
+            ctls.clear();
+            drain_done(&reply_rx, targets.len(), opts.timeout);
+            return Err(ZapcError::Aborted("manager crashed collecting done".into()));
+        }
+
+        let mut images: HashMap<String, Arc<Vec<u8>>> = HashMap::new();
+        let mut pending = targets.len();
+        while pending > 0 {
+            match reply_rx.recv_timeout(opts.timeout) {
+                Ok(AgentReply::Done { pod, result: Ok(_), image }) => {
+                    pending -= 1;
+                    match image {
+                        Some(img) => {
+                            images.insert(pod, img);
+                        }
+                        None => {
+                            abort_all(&ctls);
+                            drain_done(&reply_rx, pending, opts.timeout);
+                            return Err(ZapcError::Aborted(format!("{pod}: no streamed image")));
+                        }
+                    }
+                }
+                Ok(AgentReply::Done { result: Err(why), .. }) => {
+                    pending -= 1;
+                    abort_all(&ctls);
+                    drain_done(&reply_rx, pending, opts.timeout);
+                    return Err(ZapcError::Aborted(why));
+                }
+                Ok(_) => {}
+                Err(_) => {
+                    abort_all(&ctls);
+                    drain_done(&reply_rx, pending, opts.timeout);
+                    return Err(ZapcError::Aborted("migrate: done timeout".into()));
+                }
+            }
+        }
+        Ok((images, metas))
+    })
 }

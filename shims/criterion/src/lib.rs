@@ -1,0 +1,253 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the `zapc-bench` benchmarks use —
+//! `criterion_group!`/`criterion_main!`, [`Criterion::benchmark_group`],
+//! `sample_size`/`measurement_time`/`warm_up_time`/`throughput`,
+//! `bench_function`, and the `iter`/`iter_batched`/`iter_custom` Bencher
+//! methods — with a deliberately simple measurement loop: a short warm-up
+//! followed by a bounded number of timed samples, reporting mean time per
+//! iteration (and derived throughput) on stdout. There is no statistical
+//! machinery; the numbers are indicative, which is all the reproduction's
+//! tables need in an offline environment.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted, unused).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Abstract elements per iteration.
+    Elements(u64),
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+            warm_up_time: Duration::from_millis(50),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on total measurement time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget before sampling.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Declares per-iteration throughput for derived rates.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        let mean = if b.iters > 0 {
+            b.total / b.iters as u32
+        } else {
+            Duration::ZERO
+        };
+        let rate = self.throughput.and_then(|t| {
+            let secs = mean.as_secs_f64();
+            if secs <= 0.0 {
+                return None;
+            }
+            Some(match t {
+                Throughput::Bytes(n) => format!(" ({:.1} MiB/s)", n as f64 / secs / (1 << 20) as f64),
+                Throughput::Elements(n) => format!(" ({:.0} elem/s)", n as f64 / secs),
+            })
+        });
+        println!(
+            "  {}/{}: {:?}/iter over {} iters{}",
+            self.name,
+            id,
+            mean,
+            b.iters,
+            rate.unwrap_or_default()
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn budget_iters(&self) -> usize {
+        self.sample_size.max(1)
+    }
+
+    /// Times `f` over the sample budget.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: run once (bounded by the warm-up budget in spirit; one
+        // run is enough for this harness).
+        let warm = Instant::now();
+        std::hint::black_box(f());
+        let _ = warm.elapsed().min(self.warm_up_time);
+
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.budget_iters() {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            self.total += t.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup untimed).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.budget_iters() {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += t.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Hands full timing control to the closure: it receives an iteration
+    /// count and returns the elapsed time.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        let n = self.budget_iters() as u64;
+        self.total += f(n);
+        self.iters += n;
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        let mut runs = 0;
+        g.bench_function("noop", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert!(runs >= 2, "warm-up + at least one sample");
+    }
+
+    #[test]
+    fn iter_batched_and_custom() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim2");
+        g.sample_size(2);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.bench_function("custom", |b| {
+            b.iter_custom(|n| {
+                let t = Instant::now();
+                for _ in 0..n {
+                    std::hint::black_box(0u64);
+                }
+                t.elapsed()
+            })
+        });
+        g.finish();
+    }
+}

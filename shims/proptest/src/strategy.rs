@@ -1,0 +1,409 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred` (regenerating otherwise; gives
+    /// up after a bounded number of attempts).
+    fn prop_filter<F>(self, _whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, pred }
+    }
+}
+
+/// References to strategies are strategies.
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 1000 consecutive values");
+    }
+}
+
+/// Always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T` — `any::<T>()`.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> std::fmt::Debug for Any<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("any")
+    }
+}
+
+/// Strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {
+        $(impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Bias towards edge values: proptest finds most bugs there.
+                match rng.next_u64() % 8 {
+                    0 => 0 as $t,
+                    1 => <$t>::MAX,
+                    2 => <$t>::MIN,
+                    3 => 1 as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        })*
+    };
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut TestRng) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64().is_multiple_of(2)
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.next_u64() % 8 {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::INFINITY,
+            3 => f64::MIN_POSITIVE,
+            _ => {
+                let v = f64::from_bits(rng.next_u64());
+                if v.is_nan() {
+                    1.5
+                } else {
+                    v
+                }
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        char::from_u32((rng.next_u64() % 0xD800) as u32).unwrap_or('a')
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {
+        $(impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.end > self.start, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(hi >= lo, "empty range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-domain u64 range.
+                    rng.next_u64() as $t
+                } else {
+                    lo + (rng.next_u64() % span) as $t
+                }
+            }
+        })*
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty),*) => {
+        $(impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.end > self.start, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        })*
+    };
+}
+
+signed_range_strategy!(i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+// ---- string patterns ------------------------------------------------------
+//
+// A `&str` is a strategy whose value is a `String` matching the pattern.
+// Only the tiny regex subset this workspace uses is parsed:
+//   `[a-z...]{m,n}`  — character class with ranges/literals + repetition
+//   `\PC{m,n}`       — any printable character + repetition
+//   a literal atom may also appear without repetition (length 1).
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Class(Vec<(char, char)>),
+    Printable,
+}
+
+fn parse_pattern(pat: &str) -> (Atom, usize, usize) {
+    let chars: Vec<char> = pat.chars().collect();
+    let i;
+    let atom = if chars.first() == Some(&'[') {
+        let close = chars
+            .iter()
+            .position(|&c| c == ']')
+            .unwrap_or_else(|| panic!("unterminated class in pattern {pat:?}"));
+        let mut ranges = Vec::new();
+        let mut j = 1;
+        while j < close {
+            if j + 2 < close && chars[j + 1] == '-' {
+                ranges.push((chars[j], chars[j + 2]));
+                j += 3;
+            } else {
+                ranges.push((chars[j], chars[j]));
+                j += 1;
+            }
+        }
+        i = close + 1;
+        Atom::Class(ranges)
+    } else if pat.starts_with("\\PC") {
+        i = 3;
+        Atom::Printable
+    } else if !chars.is_empty() {
+        i = 1;
+        Atom::Class(vec![(chars[0], chars[0])])
+    } else {
+        return (Atom::Class(vec![('a', 'a')]), 0, 0);
+    };
+    if chars.get(i) == Some(&'{') {
+        let close = chars[i..]
+            .iter()
+            .position(|&c| c == '}')
+            .map(|p| p + i)
+            .unwrap_or_else(|| panic!("unterminated repetition in pattern {pat:?}"));
+        let body: String = chars[i + 1..close].iter().collect();
+        let (lo, hi) = match body.split_once(',') {
+            Some((l, h)) => (
+                l.parse().expect("repetition lower bound"),
+                h.parse().expect("repetition upper bound"),
+            ),
+            None => {
+                let n: usize = body.parse().expect("repetition count");
+                (n, n)
+            }
+        };
+        assert_eq!(close + 1, chars.len(), "trailing junk in pattern {pat:?}");
+        (atom, lo, hi)
+    } else {
+        assert_eq!(i, chars.len(), "unsupported pattern {pat:?}");
+        (atom, 1, 1)
+    }
+}
+
+fn gen_char(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Class(ranges) => {
+            let total: u64 = ranges.iter().map(|(a, b)| (*b as u64) - (*a as u64) + 1).sum();
+            let mut pick = rng.below(total);
+            for (a, b) in ranges {
+                let span = (*b as u64) - (*a as u64) + 1;
+                if pick < span {
+                    return char::from_u32(*a as u32 + pick as u32).unwrap_or(*a);
+                }
+                pick -= span;
+            }
+            ranges[0].0
+        }
+        Atom::Printable => {
+            // Mostly printable ASCII, sometimes multi-byte, to exercise
+            // UTF-8 handling in the record format.
+            const EXOTIC: [char; 8] = ['é', 'ß', 'λ', 'π', '中', '文', '🙂', '𝔷'];
+            match rng.below(10) {
+                0 => EXOTIC[rng.below(EXOTIC.len() as u64) as usize],
+                _ => char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).unwrap_or('x'),
+            }
+        }
+    }
+}
+
+impl Strategy for str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (atom, lo, hi) = parse_pattern(self);
+        let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+        (0..len).map(|_| gen_char(&atom, rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(42)
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (1u8..16).generate(&mut r);
+            assert!((1..16).contains(&v));
+            let w = (0usize..256).generate(&mut r);
+            assert!(w < 256);
+            let s = (-5i64..5).generate(&mut r);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn class_patterns_match() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z]{1,12}".generate(&mut r);
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_patterns_match() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "\\PC{0,64}".generate(&mut r);
+            assert!(s.chars().count() <= 64);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let strat = (1u8..10, 100u16..200).prop_map(|(a, b)| a as u32 + b as u32);
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = strat.generate(&mut r);
+            assert!((101..210).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_and_option_compose() {
+        let strat = crate::collection::vec(crate::option::of(0u8..5), 0..8);
+        let mut r = rng();
+        let mut saw_none = false;
+        for _ in 0..200 {
+            let v = strat.generate(&mut r);
+            assert!(v.len() < 8);
+            saw_none |= v.iter().any(Option::is_none);
+        }
+        assert!(saw_none, "option::of must sometimes yield None");
+    }
+}

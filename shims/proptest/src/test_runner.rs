@@ -1,0 +1,132 @@
+//! Deterministic case runner: seeds derive from the test name, so every
+//! run regenerates the same inputs and a failure's case number pinpoints
+//! them.
+
+/// Why a single generated case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure with a message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is regenerated.
+    Reject,
+}
+
+impl TestCaseError {
+    /// A failing case with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// SplitMix64 generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// A generator with an explicit state.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng(seed)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value below `n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n.max(1)
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Number of cases to run (`PROPTEST_CASES`, default 64).
+pub fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Runs `f` over `case_count()` generated cases; panics on the first
+/// failing case with its number (the same number regenerates the same
+/// inputs — seeds are a pure function of test name and case index).
+pub fn run_cases(name: &str, mut f: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+    let base = fnv1a(name);
+    let cases = case_count();
+    let mut rejected = 0u64;
+    let mut case = 0u64;
+    let mut attempts = 0u64;
+    while case < cases {
+        attempts += 1;
+        let mut rng = TestRng::from_seed(base ^ attempts.wrapping_mul(0xA076_1D64_78BD_642F));
+        match f(&mut rng) {
+            Ok(()) => case += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected < cases * 16 + 256,
+                    "proptest '{name}': too many rejected cases ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest '{name}' failed at case {case} (attempt {attempts}): {msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_seed(1);
+        let mut b = TestRng::from_seed(1);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn runner_runs_all_cases() {
+        let mut n = 0;
+        run_cases("counter", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, case_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn runner_reports_failures() {
+        run_cases("always_fails", |_| Err(TestCaseError::fail("nope")));
+    }
+
+    #[test]
+    fn rejects_do_not_fail() {
+        let mut n = 0u64;
+        run_cases("rejector", |rng| {
+            if rng.next_u64() % 2 == 0 {
+                return Err(TestCaseError::Reject);
+            }
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, case_count());
+    }
+}

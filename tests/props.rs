@@ -286,4 +286,106 @@ proptest! {
             }
         }
     }
+
+    /// Adversarial connectivity maps: random listener flags, random
+    /// connection states (including mid-handshake), and *dead* pods whose
+    /// meta-data never reaches the Manager (crashed peers leave one-sided
+    /// entries). The schedule must still be deadlock-free — the two ends
+    /// of every surviving pair carry complementary roles, so no
+    /// connect/connect (both actively dialing, nobody listening) and no
+    /// accept/accept (both waiting forever) can occur — and every
+    /// restartable entry must be oriented.
+    #[test]
+    fn adversarial_maps_schedule_without_deadlock(
+        n_pods in 2usize..8,
+        conns in proptest::collection::vec(
+            (any::<u16>(), any::<u16>(), 0u8..5, any::<bool>()),
+            1..32,
+        ),
+        listen_mask in any::<u16>(),
+        dead_mask in any::<u16>(),
+    ) {
+        let mut metas: Vec<MetaData> =
+            (0..n_pods).map(|i| MetaData::new(format!("p{i}"))).collect();
+        for (i, md) in metas.iter_mut().enumerate() {
+            if (listen_mask >> i) & 1 == 1 {
+                md.entries.push(ConnEntry {
+                    transport: Transport::Tcp,
+                    src: Endpoint::new(10, 10, 0, (i + 1) as u8, 5000),
+                    dst: None,
+                    state: ConnState::FullDuplex,
+                    role: RestartRole::Unassigned,
+                    listening: true,
+                    pcb_recv: 0,
+                    pcb_acked: 0,
+                });
+            }
+        }
+        let mut eph = vec![49152u16; n_pods];
+        for (x, y, state, to_listener) in conns {
+            let a = (x as usize) % n_pods;
+            let mut b = (y as usize) % n_pods;
+            if a == b {
+                b = (b + 1) % n_pods;
+            }
+            let state = match state {
+                0 => ConnState::FullDuplex,
+                1 => ConnState::HalfDuplexLocal,
+                2 => ConnState::HalfDuplexRemote,
+                3 => ConnState::Closed,
+                _ => ConnState::Connecting,
+            };
+            let src = Endpoint::new(10, 10, 0, (a + 1) as u8, eph[a]);
+            eph[a] += 1;
+            let dst = if to_listener && (listen_mask >> b) & 1 == 1 {
+                Endpoint::new(10, 10, 0, (b + 1) as u8, 5000)
+            } else {
+                let d = Endpoint::new(10, 10, 0, (b + 1) as u8, eph[b]);
+                eph[b] += 1;
+                d
+            };
+            let mut e1 = ConnEntry::tcp(src, dst);
+            e1.state = state;
+            metas[a].entries.push(e1);
+            // The peer's mirror entry; a mid-handshake connection has no
+            // recorded child yet (the replayed connect regenerates it).
+            if state != ConnState::Connecting {
+                let mut e2 = ConnEntry::tcp(dst, src);
+                e2.state = match state {
+                    ConnState::HalfDuplexLocal => ConnState::HalfDuplexRemote,
+                    ConnState::HalfDuplexRemote => ConnState::HalfDuplexLocal,
+                    s => s,
+                };
+                metas[b].entries.push(e2);
+            }
+        }
+        // Crashed peers: drop their meta-data wholesale. Their peers'
+        // entries survive one-sided.
+        let mut metas: Vec<MetaData> = metas
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| (dead_mask >> i) & 1 == 0)
+            .map(|(_, m)| m)
+            .collect();
+        prop_assume!(!metas.is_empty());
+
+        assign_roles(&mut metas);
+        // Deadlock-freedom: complementary roles on every surviving pair.
+        let check = validate_schedule(&metas);
+        prop_assert!(check.is_ok(), "schedule invalid: {:?}", check);
+        // Every restartable entry is oriented — nobody is left waiting on
+        // a role that was never assigned.
+        for md in &metas {
+            for e in &md.entries {
+                if e.transport == Transport::Tcp && !e.listening && e.dst.is_some() {
+                    prop_assert_ne!(e.role, RestartRole::Unassigned);
+                }
+            }
+        }
+        // Recomputing over the already-assigned map changes nothing: the
+        // Manager can re-derive the schedule idempotently after a retry.
+        let mut again = metas.clone();
+        assign_roles(&mut again);
+        prop_assert_eq!(again, metas);
+    }
 }
