@@ -1,17 +1,20 @@
 //! Regenerates the paper's figures as text tables.
 //!
 //! ```sh
-//! cargo run --release -p zapc-bench --bin reproduce -- [--quick] [fig5|fig6a|fig6b|fig6c|all]
+//! cargo run --release -p zapc-bench --bin reproduce -- [--quick] [fig5|fig6a|fig6b|fig6c|inc|all]
 //! ```
 //!
 //! `--quick` uses miniature problem sizes (seconds); the default uses the
 //! ÷10-of-paper sizes documented in DESIGN.md (minutes on one core).
+//! `inc` (also part of `all`) runs the incremental-checkpoint ablation
+//! and writes its machine-readable results to `BENCH_2.json`.
 
 use zapc_apps::launch::AppKind;
 use zapc_bench::figures::{
     fmt_bytes, node_counts, run_checkpoints, run_completion, run_restart, RunCfg,
     ZAPC_OVERHEAD_NS,
 };
+use zapc_bench::incremental::{run_ablation, run_parallel, to_json, AblationRow, ParallelRow, MODES};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,16 +36,71 @@ fn main() {
         "fig6a" => fig6a(&cfg),
         "fig6b" => fig6b(&cfg),
         "fig6c" => fig6c(&cfg),
+        "inc" => inc(&cfg, quick),
         "all" => {
             fig5(&cfg);
             fig6a(&cfg);
             fig6b(&cfg);
             fig6c(&cfg);
+            inc(&cfg, quick);
         }
         other => {
-            eprintln!("unknown figure {other:?}; use fig5|fig6a|fig6b|fig6c|all");
+            eprintln!("unknown figure {other:?}; use fig5|fig6a|fig6b|fig6c|inc|all");
             std::process::exit(2);
         }
+    }
+}
+
+fn inc(cfg: &RunCfg, quick: bool) {
+    println!("== Incremental ablation: full vs incremental vs incr+parallel ==");
+    println!("   (hot = mid-run chained checkpoints; cold = after quiescence —");
+    println!("    dirty tracking is per region, so hot sweeps re-dump their arrays)\n");
+    println!(
+        "{:<9} {:>5} {:>6} {:<14} | {:>12} | {:>9} {:>12} | {:>9} {:>12}",
+        "app", "ranks", "scale", "mode", "base img", "hot ckpt", "hot img", "cold ckpt", "cold img"
+    );
+    let sizes: &[f64] = if quick { &[0.05, 0.2] } else { &[0.5, 1.0] };
+    let mut rows: Vec<AblationRow> = Vec::new();
+    for (kind, ranks) in [(AppKind::Bratu, 2), (AppKind::Bt, 4)] {
+        for &scale in sizes {
+            for mode in &MODES {
+                let r = run_ablation(kind, ranks, scale, cfg, mode);
+                println!(
+                    "{:<9} {:>5} {:>6} {:<14} | {:>12} | {:>6.2} ms {:>12} | {:>6.2} ms {:>12}",
+                    r.app,
+                    r.ranks,
+                    r.scale,
+                    r.mode,
+                    fmt_bytes(r.base.image_bytes),
+                    r.hot.ckpt_ms,
+                    fmt_bytes(r.hot.image_bytes),
+                    r.cold.ckpt_ms,
+                    fmt_bytes(r.cold.image_bytes),
+                );
+                rows.push(r);
+            }
+        }
+        println!();
+    }
+
+    println!("-- intra-pod parallel serialization (one pod, N memhog processes) --\n");
+    println!("{:>6} {:>12} {:>8} | {:>10}", "procs", "bytes/proc", "workers", "full ckpt");
+    let (procs, per_proc, trials) =
+        if quick { (6, 512 * 1024, 3) } else { (8, 4 * 1024 * 1024, 5) };
+    let mut par: Vec<ParallelRow> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let r = run_parallel(procs, per_proc, workers, trials);
+        println!(
+            "{:>6} {:>12} {:>8} | {:>7.2} ms",
+            r.procs, r.bytes_per_proc, r.workers, r.ckpt_ms
+        );
+        par.push(r);
+    }
+
+    let json = to_json(quick, &rows, &par);
+    match std::fs::write("BENCH_2.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_2.json ({} bytes)", json.len()),
+        Err(e) => eprintln!("\nfailed to write BENCH_2.json: {e}"),
     }
 }
 

@@ -1,0 +1,315 @@
+//! Incremental-ablation harness: full vs incremental vs
+//! incremental+parallel checkpoints (the PR 2 `BENCH_2.json` experiment).
+//!
+//! Two samples per application and mode:
+//!
+//! * **hot** — checkpoints taken mid-run, while the solver is actively
+//!   sweeping its arrays. Dirty tracking is per *region*, so an array the
+//!   application writes every sweep is re-serialized in full; hot numbers
+//!   quantify how little incremental buys under worst-case write locality.
+//! * **cold** — checkpoints taken after the run quiesces (every process
+//!   exited, the pod still alive). Nothing was touched since the base
+//!   image, so a delta image carries only bookkeeping — the mostly-clean
+//!   pod of the acceptance criterion.
+//!
+//! A separate multi-process experiment measures intra-pod parallel
+//! serialization (worker pool vs serial) on one pod with many
+//! memory-heavy processes.
+
+use crate::figures::RunCfg;
+use std::time::Duration;
+use zapc::manager::{checkpoint_with, CheckpointOptions, CheckpointTarget};
+use zapc::{CheckpointOpts, Cluster};
+use zapc_apps::launch::{full_registry, launch_app, AppKind, AppParams};
+use zapc_proto::{RecordReader, RecordWriter};
+use zapc_sim::{ProcessCtx, Program, ProgramRegistry, StepOutcome};
+
+/// One checkpoint-engine configuration under ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct Mode {
+    /// Display name.
+    pub name: &'static str,
+    /// Engine knobs.
+    pub opts: CheckpointOpts,
+}
+
+/// The three ablation arms.
+pub const MODES: [Mode; 3] = [
+    Mode { name: "full", opts: CheckpointOpts { incremental: false, workers: 1 } },
+    Mode { name: "incremental", opts: CheckpointOpts { incremental: true, workers: 1 } },
+    Mode { name: "incr+parallel", opts: CheckpointOpts { incremental: true, workers: 4 } },
+];
+
+/// One phase's averages over the chained checkpoints.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseSample {
+    /// Mean Manager-observed checkpoint latency (ms).
+    pub ckpt_ms: f64,
+    /// Mean total image bytes across all pods.
+    pub image_bytes: f64,
+    /// Checkpoints taken.
+    pub count: usize,
+}
+
+/// One row of the ablation table.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Application name.
+    pub app: String,
+    /// Endpoint count.
+    pub ranks: usize,
+    /// Problem-size multiplier.
+    pub scale: f64,
+    /// Mode name.
+    pub mode: &'static str,
+    /// The (always full) base checkpoint.
+    pub base: PhaseSample,
+    /// Mid-run chained checkpoints.
+    pub hot: PhaseSample,
+    /// Post-quiescence chained checkpoints.
+    pub cold: PhaseSample,
+}
+
+fn sample(cluster: &Cluster, targets: &[CheckpointTarget], opts: &CheckpointOptions, n: usize) -> PhaseSample {
+    let mut s = PhaseSample::default();
+    for i in 0..n {
+        if i > 0 {
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        let Ok(report) = checkpoint_with(cluster, targets, opts) else { break };
+        s.count += 1;
+        s.ckpt_ms += report.wall_ms;
+        s.image_bytes += report.pods.iter().map(|p| p.image_bytes).sum::<usize>() as f64;
+    }
+    if s.count > 0 {
+        s.ckpt_ms /= s.count as f64;
+        s.image_bytes /= s.count as f64;
+    }
+    s
+}
+
+/// Runs one application at one size through one mode: base checkpoint,
+/// hot chained checkpoints mid-run, cold chained checkpoints after the
+/// run quiesces.
+pub fn run_ablation(kind: AppKind, ranks: usize, scale: f64, cfg: &RunCfg, mode: &Mode) -> AblationRow {
+    let cluster = Cluster::builder()
+        .nodes(ranks.max(1))
+        .registry(full_registry())
+        .checkpoint_opts(mode.opts)
+        .build();
+    let params = AppParams { kind, ranks, scale, work: cfg.work * 4.0 };
+    let app = launch_app(&cluster, "inc", &params);
+    let targets: Vec<CheckpointTarget> =
+        app.pods.iter().map(|p| CheckpointTarget::snapshot(p)).collect();
+    let opts = CheckpointOptions::default();
+
+    // Let the solvers map and initialize their arrays, then lay the base.
+    std::thread::sleep(Duration::from_millis(25));
+    let base = sample(&cluster, &targets, &opts, 1);
+
+    // Hot: the app keeps sweeping between chained checkpoints.
+    let hot = sample(&cluster, &targets, &opts, 3);
+
+    // Cold: wait for quiescence (every process exited, pods alive), then
+    // chain further checkpoints over untouched memory.
+    let _ = app.wait(&cluster, Duration::from_secs(1800));
+    let cold = sample(&cluster, &targets, &opts, 3);
+
+    app.destroy(&cluster);
+    AblationRow {
+        app: kind.name().to_owned(),
+        ranks,
+        scale,
+        mode: mode.name,
+        base,
+        hot,
+        cold,
+    }
+}
+
+/// A process holding `bytes` of initialized memory, then spinning on CPU —
+/// the per-process payload of the parallel-serialization experiment.
+struct MemHog {
+    phase: u8,
+    bytes: usize,
+    base: u64,
+    iter: u64,
+    limit: u64,
+}
+
+impl MemHog {
+    fn new(bytes: usize, limit: u64) -> MemHog {
+        MemHog { phase: 0, bytes, base: 0, iter: 0, limit }
+    }
+}
+
+impl Program for MemHog {
+    fn type_name(&self) -> &'static str {
+        "bench.memhog"
+    }
+
+    fn step(&mut self, ctx: &mut ProcessCtx<'_>) -> StepOutcome {
+        match self.phase {
+            0 => {
+                self.base = ctx.mem.map_f64("hog", self.bytes / 8);
+                let v = ctx.mem.f64_mut(self.base).unwrap();
+                for (i, x) in v.iter_mut().enumerate() {
+                    *x = (i as f64).sin();
+                }
+                self.phase = 1;
+                StepOutcome::Ready
+            }
+            1 => {
+                if self.iter >= self.limit {
+                    return StepOutcome::Exited(0);
+                }
+                ctx.consume_cpu(2_000);
+                self.iter += 1;
+                StepOutcome::Ready
+            }
+            _ => StepOutcome::Exited(0),
+        }
+    }
+
+    fn save(&self, w: &mut RecordWriter) {
+        w.put_u8(self.phase);
+        w.put_u64(self.bytes as u64);
+        w.put_u64(self.base);
+        w.put_u64(self.iter);
+        w.put_u64(self.limit);
+    }
+}
+
+fn load_memhog(r: &mut RecordReader<'_>) -> zapc_proto::DecodeResult<Box<dyn Program>> {
+    Ok(Box::new(MemHog {
+        phase: r.get_u8()?,
+        bytes: r.get_u64()? as usize,
+        base: r.get_u64()?,
+        iter: r.get_u64()?,
+        limit: r.get_u64()?,
+    }))
+}
+
+/// One row of the parallel-serialization table.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelRow {
+    /// Processes in the pod.
+    pub procs: usize,
+    /// Bytes per process.
+    pub bytes_per_proc: usize,
+    /// Worker threads.
+    pub workers: usize,
+    /// Mean full-checkpoint latency (ms).
+    pub ckpt_ms: f64,
+}
+
+/// Measures full-checkpoint latency of one pod with `procs` memory-heavy
+/// processes, serial vs a worker pool.
+pub fn run_parallel(procs: usize, bytes_per_proc: usize, workers: usize, trials: usize) -> ParallelRow {
+    let mut reg = ProgramRegistry::new();
+    reg.register("bench.memhog", load_memhog);
+    let cluster = Cluster::builder()
+        .nodes(1)
+        .cpus(2)
+        .registry(reg)
+        .checkpoint_opts(CheckpointOpts { incremental: false, workers })
+        .build();
+    let pod = cluster.create_pod("hog", 0);
+    for i in 0..procs {
+        pod.spawn(&format!("hog{i}"), Box::new(MemHog::new(bytes_per_proc, u64::MAX)));
+    }
+    std::thread::sleep(Duration::from_millis(30));
+
+    let targets = [CheckpointTarget::snapshot("hog")];
+    let opts = CheckpointOptions::default();
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for _ in 0..trials.max(1) {
+        if let Ok(report) = checkpoint_with(&cluster, &targets, &opts) {
+            total += report.wall_ms;
+            n += 1;
+        }
+    }
+    cluster.destroy_pod("hog");
+    ParallelRow {
+        procs,
+        bytes_per_proc,
+        workers,
+        ckpt_ms: if n > 0 { total / n as f64 } else { 0.0 },
+    }
+}
+
+fn json_phase(s: &PhaseSample) -> String {
+    format!(
+        "{{\"ckpt_ms\": {:.4}, \"image_bytes\": {:.0}, \"count\": {}}}",
+        s.ckpt_ms, s.image_bytes, s.count
+    )
+}
+
+/// Serializes the experiment to the `BENCH_2.json` schema.
+pub fn to_json(quick: bool, rows: &[AblationRow], par: &[ParallelRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"zapc-bench-2\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"ablation\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"app\": \"{}\", \"ranks\": {}, \"scale\": {}, \"mode\": \"{}\", \"base\": {}, \"hot\": {}, \"cold\": {}}}{}\n",
+            r.app,
+            r.ranks,
+            r.scale,
+            r.mode,
+            json_phase(&r.base),
+            json_phase(&r.hot),
+            json_phase(&r.cold),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"parallel\": [\n");
+    for (i, p) in par.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"procs\": {}, \"bytes_per_proc\": {}, \"workers\": {}, \"ckpt_ms\": {:.4}}}{}\n",
+            p.procs,
+            p.bytes_per_proc,
+            p.workers,
+            p.ckpt_ms,
+            if i + 1 < par.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let rows = vec![AblationRow {
+            app: "PETSc".into(),
+            ranks: 2,
+            scale: 0.05,
+            mode: "full",
+            base: PhaseSample { ckpt_ms: 1.0, image_bytes: 1000.0, count: 1 },
+            hot: PhaseSample::default(),
+            cold: PhaseSample { ckpt_ms: 0.5, image_bytes: 100.0, count: 3 },
+        }];
+        let par = vec![ParallelRow { procs: 4, bytes_per_proc: 1024, workers: 2, ckpt_ms: 0.3 }];
+        let j = to_json(true, &rows, &par);
+        assert!(j.contains("\"zapc-bench-2\""));
+        assert!(j.contains("\"mode\": \"full\""));
+        assert!(j.contains("\"workers\": 2"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn parallel_row_measures_something() {
+        let r = run_parallel(4, 256 * 1024, 2, 1);
+        assert_eq!(r.workers, 2);
+        assert!(r.ckpt_ms > 0.0);
+    }
+}

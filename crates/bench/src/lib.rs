@@ -5,8 +5,14 @@
 //!   methodology (Figure 6a), mid-run restarts from memory-preloaded
 //!   images (Figure 6b), and byte-accurate image accounting (Figure 6c).
 //!
+//! * [`incremental`] — the PR 2 incremental-checkpoint ablation: full vs
+//!   incremental vs incremental+parallel engines over bratu/bt working
+//!   sets, plus intra-pod parallel-serialization scaling, emitted as
+//!   `BENCH_2.json`.
+//!
 //! Criterion benches under `benches/` and the `reproduce` binary both
 //! drive this module; `reproduce` prints the paper-style tables recorded
 //! in EXPERIMENTS.md.
 
 pub mod figures;
+pub mod incremental;

@@ -85,6 +85,14 @@ pub fn restore_standalone(
                 let vpid = r.get_u32()?;
                 mems.insert(vpid, AddressSpace::decode(&mut r)?);
             }
+            // Incremental images must be materialized (`delta::squash_image`)
+            // before restore; applying a delta without its parent would
+            // silently lose every clean region.
+            SectionTag::ParentRef | SectionTag::MemoryDelta => {
+                return Err(CkptError::Inconsistent(
+                    "incremental image not squashed before restore",
+                ))
+            }
             _ => {} // namespace handled by the caller; network by netckpt
         }
     }

@@ -1,12 +1,41 @@
 //! Standalone checkpoint: pod → image sections.
 
+use crate::delta::MemoryDeltaRecord;
 use crate::records::{ClockRecord, FdRecord, PipeTable, ProcRecord, ProcStateRecord};
 use crate::{CkptError, CkptResult};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use zapc_pod::Pod;
 use zapc_proto::{Encode, ImageWriter, RecordWriter, SectionTag};
 use zapc_sim::fdtable::FdKind;
-use zapc_sim::ProcState;
+use zapc_sim::{Pid, ProcState};
+
+/// Options for [`checkpoint_standalone_with`].
+#[derive(Debug, Clone, Default)]
+pub struct SaveOpts {
+    /// Worker threads for encoding process payloads; `0`/`1` = serial.
+    /// Processes are suspended, so their locks are uncontended and the
+    /// encodes are embarrassingly parallel (§6.1: the memory dump
+    /// dominates checkpoint latency).
+    pub workers: usize,
+    /// Per-vpid address-space generation of the parent image. When set,
+    /// a vpid present in the map gets a [`SectionTag::MemoryDelta`]
+    /// section with only the regions dirtied since; vpids not in the map
+    /// (e.g. forked after the parent) are written in full.
+    pub base_gens: Option<HashMap<u32, u64>>,
+}
+
+/// What a checkpoint actually wrote, fed back into the caller's lineage
+/// bookkeeping for the next incremental.
+#[derive(Debug, Clone, Default)]
+pub struct SaveOutcome {
+    /// Address-space generation per vpid at checkpoint time (the base
+    /// generations of the *next* incremental).
+    pub gens: HashMap<u32, u64>,
+    /// Payload bytes of the `Memory`/`MemoryDelta` sections written.
+    pub memory_payload_bytes: usize,
+    /// Number of `MemoryDelta` sections written (0 ⇒ fully standalone).
+    pub delta_sections: usize,
+}
 
 /// Serializes a pod's non-network state into `w`.
 ///
@@ -14,11 +43,34 @@ use zapc_sim::ProcState;
 /// `Stopped` — and quiescent (no in-flight system call). This is Agent step
 /// 3 of Figure 1; the caller has already written the network sections.
 ///
-/// Returns the socket-ordinal map (socket id → ordinal) so the network
-/// checkpoint and the descriptor records agree on ordinals when the caller
-/// runs the two phases in the paper's order (network first): in that case
-/// call [`socket_ordinals`] up front and pass the same enumeration to both.
+/// Serial, full-image wrapper around [`checkpoint_standalone_with`].
 pub fn checkpoint_standalone(pod: &Pod, w: &mut ImageWriter) -> CkptResult<()> {
+    checkpoint_standalone_with(pod, w, &SaveOpts::default()).map(|_| ())
+}
+
+/// One process's encoded payloads, produced (possibly off-thread) while
+/// the main thread owns the image writer.
+struct ProcPayload {
+    proc_bytes: Vec<u8>,
+    mem_tag: SectionTag,
+    mem_bytes: Vec<u8>,
+    gen: u64,
+    vpid: u32,
+    /// Pipes this process references, deduplicated per worker only; the
+    /// merge step deduplicates across workers in vpid order.
+    pipes: Vec<(u64, Vec<u8>, bool, bool)>,
+}
+
+/// Serializes a pod's non-network state into `w`, optionally incremental
+/// (`opts.base_gens`) and with intra-pod parallel payload encoding
+/// (`opts.workers`). Section order is deterministic and identical to the
+/// serial path: Namespace, Timers, FdTable, then per process (in vpid
+/// order) Process followed by its Memory/MemoryDelta.
+pub fn checkpoint_standalone_with(
+    pod: &Pod,
+    w: &mut ImageWriter,
+    opts: &SaveOpts,
+) -> CkptResult<SaveOutcome> {
     let ordinals = socket_ordinals(pod);
 
     // Namespace.
@@ -32,85 +84,157 @@ pub fn checkpoint_standalone(pod: &Pod, w: &mut ImageWriter) -> CkptResult<()> {
     };
     w.section(SectionTag::Timers, |r| clock.encode(r));
 
-    // Gather processes (locked one at a time; all are suspended, so locks
-    // are uncontended) and the pod-wide pipe table.
-    let mut pipe_table = PipeTable::default();
-    let mut seen_pipes: HashMap<u64, ()> = HashMap::new();
-    let mut proc_payloads: Vec<(RecordWriter, RecordWriter)> = Vec::new();
+    let vpids: Vec<(u32, Pid)> = pod.vpid_pids();
+    let workers = opts.workers.max(1).min(vpids.len().max(1));
 
-    for (vpid, pid) in pod.vpid_pids() {
-        let parc = pod
-            .node()
-            .process(pid)
-            .ok_or(CkptError::Inconsistent("process vanished during checkpoint"))?;
-        let proc = parc.lock();
-        let state = match proc.state {
-            ProcState::Stopped => ProcStateRecord::Live,
-            ProcState::Exited(code) => ProcStateRecord::Exited(code),
-            ProcState::Runnable => return Err(CkptError::NotSuspended(pid)),
-        };
-
-        // Program control state.
-        let (program_type, program_state) = match &proc.program {
-            Some(prog) => {
-                let mut pw = RecordWriter::new();
-                prog.save(&mut pw);
-                (prog.type_name().to_owned(), pw.into_bytes())
-            }
-            None => (String::new(), Vec::new()),
-        };
-
-        // Descriptor records; pipes go to the shared table exactly once.
-        let mut fds = Vec::new();
-        for (fd, entry) in proc.fds.iter() {
-            let rec = match &entry.kind {
-                FdKind::File(f) => {
-                    FdRecord::File { path: f.path.clone(), offset: f.offset, append: f.append }
-                }
-                FdKind::PipeRead(p) => {
-                    record_pipe(&mut pipe_table, &mut seen_pipes, p);
-                    FdRecord::PipeRead { pipe: p.id }
-                }
-                FdKind::PipeWrite(p) => {
-                    record_pipe(&mut pipe_table, &mut seen_pipes, p);
-                    FdRecord::PipeWrite { pipe: p.id }
-                }
-                FdKind::Socket(s) => {
-                    let ordinal = *ordinals
-                        .get(&s.id)
-                        .ok_or(CkptError::Inconsistent("socket not in pod enumeration"))?;
-                    FdRecord::Socket { ordinal }
-                }
-            };
-            fds.push((fd, rec));
+    let payloads: Vec<ProcPayload> = if workers <= 1 {
+        let mut out = Vec::with_capacity(vpids.len());
+        for &(vpid, pid) in &vpids {
+            out.push(encode_process(pod, vpid, pid, &ordinals, opts.base_gens.as_ref())?);
         }
+        out
+    } else {
+        // Contiguous chunks keep the merge order equal to vpid order.
+        // All processes are Stopped, so worker-side locks never contend
+        // with the scheduler.
+        let chunk = vpids.len().div_ceil(workers);
+        let results: Vec<CkptResult<Vec<ProcPayload>>> = std::thread::scope(|s| {
+            let handles: Vec<_> = vpids
+                .chunks(chunk)
+                .map(|part| {
+                    let ordinals = &ordinals;
+                    let base = opts.base_gens.as_ref();
+                    s.spawn(move || {
+                        part.iter()
+                            .map(|&(vpid, pid)| encode_process(pod, vpid, pid, ordinals, base))
+                            .collect::<CkptResult<Vec<_>>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("ckpt worker panicked")).collect()
+        });
+        let mut out = Vec::with_capacity(vpids.len());
+        for r in results {
+            out.extend(r?);
+        }
+        out
+    };
 
-        let rec = ProcRecord {
-            vpid,
-            name: proc.name.clone(),
-            state,
-            signals: proc.signals.clone(),
-            timers: proc.timers.clone(),
-            vtime_ns: proc.vtime_ns,
-            program_type,
-            program_state,
-            fds,
-        };
-        let mut pw = RecordWriter::new();
-        rec.encode(&mut pw);
-        let mut mw = RecordWriter::with_capacity(proc.mem.total_bytes() + 64);
-        mw.put_u32(vpid);
-        proc.mem.encode(&mut mw);
-        proc_payloads.push((pw, mw));
+    // Merge: pod-wide pipe table deduplicated in vpid order, then the
+    // per-process sections stitched deterministically.
+    let mut pipe_table = PipeTable::default();
+    let mut seen_pipes: HashSet<u64> = HashSet::new();
+    for p in &payloads {
+        for (id, data, rc, wc) in &p.pipes {
+            if seen_pipes.insert(*id) {
+                pipe_table.pipes.push((*id, data.clone(), *rc, *wc));
+            }
+        }
     }
 
-    // Pipe table before the processes that reference it.
+    let mut outcome = SaveOutcome::default();
     w.section(SectionTag::FdTable, |r| pipe_table.encode(r));
-    for (pw, mw) in proc_payloads {
-        w.section_bytes(SectionTag::Process, pw.bytes());
-        w.section_bytes(SectionTag::Memory, mw.bytes());
+    for p in payloads {
+        outcome.gens.insert(p.vpid, p.gen);
+        outcome.memory_payload_bytes += p.mem_bytes.len();
+        if p.mem_tag == SectionTag::MemoryDelta {
+            outcome.delta_sections += 1;
+        }
+        w.section_bytes(SectionTag::Process, &p.proc_bytes);
+        w.section_bytes(p.mem_tag, &p.mem_bytes);
     }
-    Ok(())
+    Ok(outcome)
+}
+
+/// Encodes one suspended process: control block, descriptor records, and
+/// its memory payload (full, or a delta against `base_gens[vpid]`).
+fn encode_process(
+    pod: &Pod,
+    vpid: u32,
+    pid: Pid,
+    ordinals: &HashMap<zapc_net::SocketId, u32>,
+    base_gens: Option<&HashMap<u32, u64>>,
+) -> CkptResult<ProcPayload> {
+    let parc = pod
+        .node()
+        .process(pid)
+        .ok_or(CkptError::Inconsistent("process vanished during checkpoint"))?;
+    let proc = parc.lock();
+    let state = match proc.state {
+        ProcState::Stopped => ProcStateRecord::Live,
+        ProcState::Exited(code) => ProcStateRecord::Exited(code),
+        ProcState::Runnable => return Err(CkptError::NotSuspended(pid)),
+    };
+
+    // Program control state.
+    let (program_type, program_state) = match &proc.program {
+        Some(prog) => {
+            let mut pw = RecordWriter::new();
+            prog.save(&mut pw);
+            (prog.type_name().to_owned(), pw.into_bytes())
+        }
+        None => (String::new(), Vec::new()),
+    };
+
+    // Descriptor records; pipes are recorded once per process here and
+    // deduplicated pod-wide during the merge.
+    let mut pipes: Vec<(u64, Vec<u8>, bool, bool)> = Vec::new();
+    let mut seen: HashSet<u64> = HashSet::new();
+    let mut fds = Vec::new();
+    for (fd, entry) in proc.fds.iter() {
+        let rec = match &entry.kind {
+            FdKind::File(f) => {
+                FdRecord::File { path: f.path.clone(), offset: f.offset, append: f.append }
+            }
+            FdKind::PipeRead(p) => {
+                record_pipe(&mut pipes, &mut seen, p);
+                FdRecord::PipeRead { pipe: p.id }
+            }
+            FdKind::PipeWrite(p) => {
+                record_pipe(&mut pipes, &mut seen, p);
+                FdRecord::PipeWrite { pipe: p.id }
+            }
+            FdKind::Socket(s) => {
+                let ordinal = *ordinals
+                    .get(&s.id)
+                    .ok_or(CkptError::Inconsistent("socket not in pod enumeration"))?;
+                FdRecord::Socket { ordinal }
+            }
+        };
+        fds.push((fd, rec));
+    }
+
+    let rec = ProcRecord {
+        vpid,
+        name: proc.name.clone(),
+        state,
+        signals: proc.signals.clone(),
+        timers: proc.timers.clone(),
+        vtime_ns: proc.vtime_ns,
+        program_type,
+        program_state,
+        fds,
+    };
+    let mut pw = RecordWriter::new();
+    rec.encode(&mut pw);
+
+    let gen = proc.mem.generation();
+    let (mem_tag, mem_bytes) = match base_gens.and_then(|b| b.get(&vpid).copied()) {
+        Some(base_gen) => {
+            let delta = MemoryDeltaRecord::capture(vpid, base_gen, &proc.mem);
+            let mut mw = RecordWriter::new();
+            delta.encode(&mut mw);
+            (SectionTag::MemoryDelta, mw.into_bytes())
+        }
+        None => {
+            let mut mw = RecordWriter::with_capacity(proc.mem.total_bytes() + 64);
+            mw.put_u32(vpid);
+            proc.mem.encode(&mut mw);
+            (SectionTag::Memory, mw.into_bytes())
+        }
+    };
+
+    Ok(ProcPayload { proc_bytes: pw.into_bytes(), mem_tag, mem_bytes, gen, vpid, pipes })
 }
 
 /// The pod's stable socket enumeration: socket id → checkpoint ordinal.
@@ -120,12 +244,12 @@ pub fn socket_ordinals(pod: &Pod) -> HashMap<zapc_net::SocketId, u32> {
 }
 
 fn record_pipe(
-    table: &mut PipeTable,
-    seen: &mut HashMap<u64, ()>,
+    out: &mut Vec<(u64, Vec<u8>, bool, bool)>,
+    seen: &mut HashSet<u64>,
     pipe: &std::sync::Arc<zapc_sim::pipe::Pipe>,
 ) {
-    if seen.insert(pipe.id, ()).is_none() {
+    if seen.insert(pipe.id) {
         let (data, rc, wc) = pipe.snapshot();
-        table.pipes.push((pipe.id, data, rc, wc));
+        out.push((pipe.id, data, rc, wc));
     }
 }

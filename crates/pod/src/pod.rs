@@ -156,6 +156,16 @@ impl Pod {
         self.vpids.lock().len()
     }
 
+    /// Total mapped memory across all processes — the dominant term of the
+    /// checkpoint image size (§6.2), used to pre-size image buffers.
+    pub fn total_mem_bytes(&self) -> usize {
+        self.pids()
+            .into_iter()
+            .filter_map(|pid| self.node.process(pid))
+            .map(|p| p.lock().mem.total_bytes())
+            .sum()
+    }
+
     /// Suspends every process (SIGSTOP, §4 step 1). On return the pod is
     /// quiescent: no process is mid-step and the interposition reference
     /// count has drained.

@@ -73,6 +73,25 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     h.finish()
 }
 
+/// One-shot FNV-1a 64-bit hash of `bytes` — the *image identity* digest.
+///
+/// CRC-32 cannot identify a whole checkpoint image: CRC is linear over
+/// GF(2), and every record in an image embeds the CRC of its own payload,
+/// so the image-wide CRC of any correctly-framed image is independent of
+/// the payload contents (the embedded CRCs cancel the payload terms).
+/// Two images differing only in section payloads therefore share one
+/// CRC-32. FNV-1a multiplies by a prime each step, which is non-linear in
+/// GF(2) and has no such cancellation, making it a sound (non-adversarial)
+/// identity check for parent images in incremental chains.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +128,21 @@ mod tests {
     #[test]
     fn distinct_inputs_distinct_crcs() {
         assert_ne!(crc32(b"pod-0"), crc32(b"pod-1"));
+    }
+
+    #[test]
+    fn fnv_distinguishes_self_checksummed_streams() {
+        // The failure mode that rules CRC-32 out as an image digest:
+        // "payload || crc32(payload)" streams all share one CRC-32, but
+        // FNV-1a tells them apart.
+        let framed = |payload: &[u8]| {
+            let mut v = payload.to_vec();
+            v.extend_from_slice(&crc32(payload).to_le_bytes());
+            v
+        };
+        let a = framed(&[0u8; 16]);
+        let b = framed(&[5u8; 16]);
+        assert_eq!(crc32(&a), crc32(&b), "CRC-32 cancellation (why fnv1a64 exists)");
+        assert_ne!(fnv1a64(&a), fnv1a64(&b));
     }
 }

@@ -47,6 +47,21 @@ pub enum DecodeError {
     },
     /// A UTF-8 string field contained invalid UTF-8.
     InvalidUtf8,
+    /// A section tag that may appear at most once (e.g. the image header)
+    /// appeared again.
+    DuplicateSection {
+        /// The repeated tag.
+        tag: u16,
+    },
+    /// A section tag that only exists in a newer format version appeared
+    /// in an image declaring an older version — a forged or corrupted
+    /// preamble; refusing prevents a silent misparse.
+    TagVersionMismatch {
+        /// The offending tag.
+        tag: u16,
+        /// The version the image preamble declared.
+        version: u32,
+    },
     /// The decoder finished a record with unconsumed payload bytes,
     /// indicating a reader/writer schema mismatch.
     TrailingBytes {
@@ -81,6 +96,12 @@ impl fmt::Display for DecodeError {
                 write!(f, "invalid {what} discriminant {value}")
             }
             DecodeError::InvalidUtf8 => write!(f, "invalid UTF-8 in string field"),
+            DecodeError::DuplicateSection { tag } => {
+                write!(f, "section {tag:#06x} appeared more than once")
+            }
+            DecodeError::TagVersionMismatch { tag, version } => {
+                write!(f, "section {tag:#06x} is not defined in format version {version}")
+            }
             DecodeError::TrailingBytes { tag, remaining } => {
                 write!(f, "record {tag:#06x} has {remaining} unread payload bytes")
             }

@@ -19,8 +19,13 @@ use crate::rw::{RecordReader, RecordStream, RecordWriter};
 /// Magic bytes that start every ZapC checkpoint image.
 pub const MAGIC: &[u8; 8] = b"ZAPCIMG\0";
 
-/// Current image format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current image format version. Version 2 adds incremental images:
+/// a [`SectionTag::ParentRef`] section naming the parent image plus
+/// [`SectionTag::MemoryDelta`] sections carrying only dirty regions.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Oldest format version this reader still restores.
+pub const MIN_FORMAT_VERSION: u32 = 1;
 
 /// Section tags. Values are stable across format versions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -28,6 +33,9 @@ pub const FORMAT_VERSION: u32 = 1;
 pub enum SectionTag {
     /// Image header: pod name, source host, wall-clock time, flags.
     Header = 0x0001,
+    /// Reference to the parent image of an incremental checkpoint
+    /// (v2; written immediately after the header when present).
+    ParentRef = 0x0002,
     /// Network meta-data table (`zapc_proto::meta::MetaData`).
     NetMeta = 0x0010,
     /// Per-socket network state (parameters, queues, PCB extract).
@@ -42,6 +50,9 @@ pub enum SectionTag {
     FdTable = 0x0032,
     /// Pending timers and the virtual clock bias.
     Timers = 0x0033,
+    /// Incremental replacement for [`SectionTag::Memory`] (v2): only the
+    /// regions dirtied since the parent image, plus the live-region set.
+    MemoryDelta = 0x0034,
     /// File-system snapshot (optional; ZapC normally relies on shared
     /// storage and skips this, paper §3).
     FsSnapshot = 0x0040,
@@ -54,6 +65,7 @@ impl SectionTag {
     pub fn from_u16(v: u16) -> Option<SectionTag> {
         Some(match v {
             0x0001 => SectionTag::Header,
+            0x0002 => SectionTag::ParentRef,
             0x0010 => SectionTag::NetMeta,
             0x0011 => SectionTag::NetState,
             0x0020 => SectionTag::Namespace,
@@ -61,10 +73,21 @@ impl SectionTag {
             0x0031 => SectionTag::Memory,
             0x0032 => SectionTag::FdTable,
             0x0033 => SectionTag::Timers,
+            0x0034 => SectionTag::MemoryDelta,
             0x0040 => SectionTag::FsSnapshot,
             0x00FF => SectionTag::End,
             _ => return None,
         })
+    }
+
+    /// Format version that introduced this tag. A tag appearing in an
+    /// image declaring an older version is rejected rather than
+    /// misparsed.
+    pub fn introduced_in(self) -> u32 {
+        match self {
+            SectionTag::ParentRef | SectionTag::MemoryDelta => 2,
+            _ => 1,
+        }
     }
 }
 
@@ -93,7 +116,16 @@ pub struct ImageWriter {
 impl ImageWriter {
     /// Starts a new image with the given header.
     pub fn new(header: &Header) -> Self {
-        let mut out = Vec::with_capacity(4096);
+        ImageWriter::with_capacity(header, 4096)
+    }
+
+    /// Starts a new image, pre-reserving `capacity_hint` bytes for the
+    /// encoded image. Checkpoint images are dominated by application
+    /// memory (§6.2), so callers that know the pod's mapped byte total
+    /// should pass it here: a multi-MB image then allocates once instead
+    /// of paying repeated `Vec` regrowth memcpys on the hot path.
+    pub fn with_capacity(header: &Header, capacity_hint: usize) -> Self {
+        let mut out = Vec::with_capacity(capacity_hint.max(256));
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         let mut scratch = RecordWriter::new();
@@ -116,10 +148,8 @@ impl ImageWriter {
     /// Appends a section from pre-encoded payload bytes.
     pub fn section_bytes(&mut self, tag: SectionTag, payload: &[u8]) {
         assert!(!self.finished, "image already finished");
-        self.out.extend_from_slice(&(tag as u16).to_le_bytes());
-        self.out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.out.extend_from_slice(payload);
-        self.out.extend_from_slice(&crate::crc::crc32(payload).to_le_bytes());
+        assert!(tag != SectionTag::Header && tag != SectionTag::End, "reserved tag");
+        crate::rw::frame_record_into(tag as u16, payload, &mut self.out);
     }
 
     /// Bytes emitted so far (without the end marker).
@@ -154,18 +184,21 @@ pub struct Section<'a> {
 #[derive(Debug, Clone)]
 pub struct ImageReader<'a> {
     header: Header,
+    version: u32,
     stream: RecordStream<'a>,
     done: bool,
 }
 
 impl<'a> ImageReader<'a> {
     /// Opens an image, validating magic, version, CRCs of the header.
+    /// Every version in `MIN_FORMAT_VERSION..=FORMAT_VERSION` is
+    /// accepted; v1 images (no incremental sections) still restore.
     pub fn open(bytes: &'a [u8]) -> DecodeResult<Self> {
         if bytes.len() < MAGIC.len() + 4 || &bytes[..MAGIC.len()] != MAGIC {
             return Err(DecodeError::BadMagic);
         }
         let ver = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
-        if ver != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&ver) {
             return Err(DecodeError::UnsupportedVersion { found: ver });
         }
         let mut stream = RecordStream::new(&bytes[12..]);
@@ -183,12 +216,17 @@ impl<'a> ImageReader<'a> {
                 remaining: r.remaining(),
             });
         }
-        Ok(ImageReader { header, stream, done: false })
+        Ok(ImageReader { header, version: ver, stream, done: false })
     }
 
     /// The image header.
     pub fn header(&self) -> &Header {
         &self.header
+    }
+
+    /// The format version the image preamble declared.
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Returns the next section, or `None` at the end marker.
@@ -202,6 +240,13 @@ impl<'a> ImageReader<'a> {
         if tag == SectionTag::End {
             self.done = true;
             return Ok(None);
+        }
+        if tag == SectionTag::Header {
+            // The header is read by `open`; a second one is a forgery.
+            return Err(DecodeError::DuplicateSection { tag: raw });
+        }
+        if tag.introduced_in() > self.version {
+            return Err(DecodeError::TagVersionMismatch { tag: raw, version: self.version });
         }
         Ok(Some(Section { tag, payload }))
     }
@@ -240,7 +285,7 @@ pub fn image_stats(bytes: &[u8]) -> DecodeResult<ImageStats> {
         st.sections += 1;
         match sec.tag {
             SectionTag::NetMeta | SectionTag::NetState => st.network_bytes += sec.payload.len(),
-            SectionTag::Memory => st.memory_bytes += sec.payload.len(),
+            SectionTag::Memory | SectionTag::MemoryDelta => st.memory_bytes += sec.payload.len(),
             SectionTag::Process => st.process_bytes += sec.payload.len(),
             _ => {}
         }
@@ -353,5 +398,89 @@ mod tests {
     fn header_tag_is_reserved() {
         let mut w = ImageWriter::new(&header());
         w.section(SectionTag::Header, |_| {});
+    }
+
+    /// Builds a version-1 image by hand (the writer always emits the
+    /// current version): preamble + framed records.
+    fn v1_image(body_tags: &[(u16, &[u8])]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        let mut hw = RecordWriter::new();
+        hw.put_str("pod-v1");
+        hw.put_str("node-z");
+        hw.put_u64(7);
+        hw.put_u32(0);
+        hw.finish_record_into(SectionTag::Header as u16, &mut out);
+        for (tag, payload) in body_tags {
+            crate::rw::frame_record_into(*tag, payload, &mut out);
+        }
+        crate::rw::frame_record_into(SectionTag::End as u16, &[], &mut out);
+        out
+    }
+
+    #[test]
+    fn v1_images_still_restore() {
+        let mut pw = RecordWriter::new();
+        pw.put_bytes(&[3u8; 40]);
+        let bytes = v1_image(&[(SectionTag::Memory as u16, pw.bytes())]);
+        let mut rd = ImageReader::open(&bytes).unwrap();
+        assert_eq!(rd.version(), 1);
+        assert_eq!(rd.header().pod, "pod-v1");
+        let s = rd.next_section().unwrap().unwrap();
+        assert_eq!(s.tag, SectionTag::Memory);
+        assert!(rd.next_section().unwrap().is_none());
+    }
+
+    #[test]
+    fn v2_tags_rejected_in_v1_image() {
+        // A v1 preamble carrying a v2-only section must not misparse.
+        let bytes = v1_image(&[(SectionTag::MemoryDelta as u16, &[0u8; 4])]);
+        let mut rd = ImageReader::open(&bytes).unwrap();
+        assert!(matches!(
+            rd.next_section(),
+            Err(DecodeError::TagVersionMismatch { tag: 0x0034, version: 1 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_header_rejected() {
+        let mut w = ImageWriter::new(&header());
+        w.section(SectionTag::NetMeta, |r| r.put_u8(0));
+        let mut bytes = w.finish();
+        // Splice a second header record before the end marker.
+        let mut hw = RecordWriter::new();
+        hw.put_str("evil");
+        hw.put_str("evil");
+        hw.put_u64(0);
+        hw.put_u32(0);
+        let mut dup = Vec::new();
+        hw.finish_record_into(SectionTag::Header as u16, &mut dup);
+        let end_len = 2 + 4 + 4; // empty End record framing
+        let at = bytes.len() - end_len;
+        bytes.splice(at..at, dup);
+        let mut rd = ImageReader::open(&bytes).unwrap();
+        let _ = rd.next_section().unwrap().unwrap();
+        assert!(matches!(
+            rd.next_section(),
+            Err(DecodeError::DuplicateSection { tag: 0x0001 })
+        ));
+    }
+
+    #[test]
+    fn with_capacity_is_byte_identical_to_new() {
+        let mut a = ImageWriter::new(&header());
+        a.section(SectionTag::Memory, |r| r.put_bytes(&[5u8; 4096]));
+        let mut b = ImageWriter::with_capacity(&header(), 1 << 20);
+        b.section(SectionTag::Memory, |r| r.put_bytes(&[5u8; 4096]));
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn writer_emits_current_version() {
+        let bytes = ImageWriter::new(&header()).finish();
+        let mut rd = ImageReader::open(&bytes).unwrap();
+        assert_eq!(rd.version(), FORMAT_VERSION);
+        assert!(rd.next_section().unwrap().is_none());
     }
 }

@@ -30,6 +30,6 @@ pub mod meta;
 pub mod rw;
 
 pub use error::{DecodeError, DecodeResult};
-pub use image::{ImageReader, ImageWriter, SectionTag, FORMAT_VERSION, MAGIC};
+pub use image::{ImageReader, ImageWriter, SectionTag, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
 pub use meta::{ConnEntry, ConnState, Endpoint, MetaData, RestartRole, Transport};
 pub use rw::{Decode, Encode, RecordReader, RecordWriter};

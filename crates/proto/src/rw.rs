@@ -150,21 +150,28 @@ impl RecordWriter {
     /// Frames the accumulated payload as a complete record with `tag`,
     /// appending it to `out` and clearing this writer for reuse.
     pub fn finish_record_into(&mut self, tag: u16, out: &mut Vec<u8>) {
-        out.extend_from_slice(&tag.to_le_bytes());
-        out.extend_from_slice(&(self.buf.len() as u32).to_le_bytes());
-        out.extend_from_slice(&self.buf);
-        out.extend_from_slice(&crc32(&self.buf).to_le_bytes());
+        frame_record_into(tag, &self.buf, out);
         self.buf.clear();
     }
+}
+
+/// Appends `payload` framed as a complete record to `out`. This is the
+/// single definition of the tag/len/payload/crc wire layout; every framing
+/// path ([`RecordWriter::finish_record_into`], [`frame_record`], the image
+/// writer's pre-encoded section path) goes through it so the layout and
+/// its CRC cannot drift apart.
+pub fn frame_record_into(tag: u16, payload: &[u8], out: &mut Vec<u8>) {
+    out.reserve(payload.len() + 10);
+    out.extend_from_slice(&tag.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
 }
 
 /// Frames `payload` as a single record.
 pub fn frame_record(tag: u16, payload: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(payload.len() + 10);
-    out.extend_from_slice(&tag.to_le_bytes());
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(payload);
-    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame_record_into(tag, payload, &mut out);
     out
 }
 

@@ -75,10 +75,31 @@ impl Decode for Region {
 }
 
 /// A process's address space: a map of disjoint named regions.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Every mutation path stamps the touched region with a monotonically
+/// increasing *generation* (the analogue of a kernel's soft-dirty page
+/// bits): an incremental checkpointer records the counter at checkpoint
+/// time and later asks [`AddressSpace::dirty_regions`] for exactly the
+/// regions written since. The counters are runtime bookkeeping, not
+/// application state — they are excluded from serialization and equality
+/// and reset to zero on restore (a restored space's lineage starts over).
+#[derive(Debug, Clone, Default)]
 pub struct AddressSpace {
     regions: BTreeMap<u64, Region>,
     next_base: u64,
+    /// Monotonic write counter; bumped by every mutating access.
+    generation: u64,
+    /// Per-region generation of the last mutating access, keyed by base.
+    gens: BTreeMap<u64, u64>,
+}
+
+impl PartialEq for AddressSpace {
+    /// Generation bookkeeping is deliberately ignored: two spaces holding
+    /// the same regions are equal even if written through different
+    /// histories (checkpoint round-trips must preserve equality).
+    fn eq(&self, other: &Self) -> bool {
+        self.regions == other.regions && self.next_base == other.next_base
+    }
 }
 
 /// Address-space base for the first mapping (arbitrary, mmap-flavoured).
@@ -87,7 +108,18 @@ const MAP_BASE: u64 = 0x7f00_0000_0000;
 impl AddressSpace {
     /// Creates an empty address space.
     pub fn new() -> Self {
-        AddressSpace { regions: BTreeMap::new(), next_base: MAP_BASE }
+        AddressSpace {
+            regions: BTreeMap::new(),
+            next_base: MAP_BASE,
+            generation: 0,
+            gens: BTreeMap::new(),
+        }
+    }
+
+    /// Stamps `base` as written at a fresh generation.
+    fn touch(&mut self, base: u64) {
+        self.generation += 1;
+        self.gens.insert(base, self.generation);
     }
 
     fn alloc_base(&mut self, len_bytes: usize) -> u64 {
@@ -105,6 +137,7 @@ impl AddressSpace {
             base,
             Region { base, name: to_name(name), data: RegionData::Bytes(vec![0; len]) },
         );
+        self.touch(base);
         base
     }
 
@@ -115,12 +148,18 @@ impl AddressSpace {
             base,
             Region { base, name: to_name(name), data: RegionData::F64(vec![0.0; len]) },
         );
+        self.touch(base);
         base
     }
 
     /// Unmaps a region; returns whether it existed.
     pub fn unmap(&mut self, base: u64) -> bool {
-        self.regions.remove(&base).is_some()
+        let existed = self.regions.remove(&base).is_some();
+        if existed {
+            self.generation += 1;
+            self.gens.remove(&base);
+        }
+        existed
     }
 
     /// Borrows a byte region.
@@ -131,11 +170,15 @@ impl AddressSpace {
         }
     }
 
-    /// Mutably borrows a byte region.
+    /// Mutably borrows a byte region, marking it dirty.
     pub fn bytes_mut(&mut self, base: u64) -> Option<&mut Vec<u8>> {
+        if !matches!(self.regions.get(&base)?.data, RegionData::Bytes(_)) {
+            return None;
+        }
+        self.touch(base);
         match &mut self.regions.get_mut(&base)?.data {
             RegionData::Bytes(b) => Some(b),
-            _ => None,
+            _ => unreachable!("type checked above"),
         }
     }
 
@@ -147,20 +190,31 @@ impl AddressSpace {
         }
     }
 
-    /// Mutably borrows an `f64` region.
+    /// Mutably borrows an `f64` region, marking it dirty.
     pub fn f64_mut(&mut self, base: u64) -> Option<&mut Vec<f64>> {
+        if !matches!(self.regions.get(&base)?.data, RegionData::F64(_)) {
+            return None;
+        }
+        self.touch(base);
         match &mut self.regions.get_mut(&base)?.data {
             RegionData::F64(v) => Some(v),
-            _ => None,
+            _ => unreachable!("type checked above"),
         }
     }
 
     /// Mutably borrows two distinct `f64` regions at once (stencil codes
-    /// read one grid while writing another).
+    /// read one grid while writing another). Both are marked dirty.
     pub fn f64_pair_mut(&mut self, a: u64, b: u64) -> Option<(&mut Vec<f64>, &mut Vec<f64>)> {
         if a == b {
             return None;
         }
+        for base in [a, b] {
+            if !matches!(self.regions.get(&base)?.data, RegionData::F64(_)) {
+                return None;
+            }
+        }
+        self.touch(a);
+        self.touch(b);
         // BTreeMap has no get_pair_mut; split via range_mut on the ordered keys.
         let (lo, hi) = if a < b { (a, b) } else { (b, a) };
         let mut it = self.regions.range_mut(lo..=hi);
@@ -196,7 +250,46 @@ impl AddressSpace {
     /// Restore path: reinstates a serialized region verbatim.
     pub fn restore_region(&mut self, region: Region) {
         self.next_base = self.next_base.max(region.base + region.data.byte_len() as u64 + 8192);
-        self.regions.insert(region.base, region);
+        let base = region.base;
+        self.regions.insert(base, region);
+        self.touch(base);
+    }
+
+    /// Current value of the monotonic write counter. A checkpointer records
+    /// this and later passes it to [`AddressSpace::dirty_regions`].
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Allocator watermark (serialized so restored spaces don't collide).
+    pub fn next_base(&self) -> u64 {
+        self.next_base
+    }
+
+    /// Regions written strictly after generation `since`, in address order.
+    ///
+    /// A region with no recorded stamp (e.g. decoded from an image) counts
+    /// as generation 0, i.e. clean for any `since >= 0` except `since`
+    /// underflowing — callers use the value returned by
+    /// [`AddressSpace::generation`] at the time of the base checkpoint.
+    pub fn dirty_regions(&self, since: u64) -> impl Iterator<Item = &Region> {
+        self.regions
+            .values()
+            .filter(move |r| self.gens.get(&r.base).copied().unwrap_or(0) > since)
+    }
+
+    /// Delta-apply path for incremental restore/squash: keeps only the
+    /// regions whose bases appear in `live`, overlays the `dirty` regions,
+    /// and adopts the recorded allocator watermark.
+    pub fn apply_delta(&mut self, live: &[u64], dirty: Vec<Region>, next_base: u64) {
+        let keep: std::collections::BTreeSet<u64> = live.iter().copied().collect();
+        self.regions.retain(|base, _| keep.contains(base));
+        for region in dirty {
+            self.regions.insert(region.base, region);
+        }
+        self.next_base = self.next_base.max(next_base);
+        self.generation += 1;
+        self.gens.clear();
     }
 }
 
@@ -223,7 +316,9 @@ impl Decode for AddressSpace {
             regions.insert(reg.base, reg);
         }
         let next_base = r.get_u64()?;
-        Ok(AddressSpace { regions, next_base })
+        // Generation bookkeeping is runtime-only: a decoded space starts a
+        // fresh lineage (every region clean at generation 0).
+        Ok(AddressSpace { regions, next_base, generation: 0, gens: BTreeMap::new() })
     }
 }
 
@@ -313,6 +408,77 @@ mod tests {
         assert!(back.bytes(nb).is_some());
         assert_ne!(nb, b);
         assert_ne!(nb, g);
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutator() {
+        let mut a = AddressSpace::new();
+        let g0 = a.generation();
+        let b = a.map_bytes("heap", 16);
+        assert!(a.generation() > g0, "map bumps");
+        let g1 = a.generation();
+        a.bytes_mut(b).unwrap()[0] = 1;
+        assert!(a.generation() > g1, "bytes_mut bumps");
+        let g2 = a.generation();
+        let f1 = a.map_f64("x", 4);
+        let f2 = a.map_f64("y", 4);
+        let g3 = a.generation();
+        a.f64_pair_mut(f1, f2).unwrap();
+        assert!(a.generation() > g3, "pair_mut bumps");
+        a.unmap(b);
+        assert!(a.generation() > g2, "unmap bumps");
+        // Failed lookups must NOT bump.
+        let g4 = a.generation();
+        assert!(a.bytes_mut(0xdead).is_none());
+        assert!(a.f64_mut(f1.wrapping_add(1)).is_none());
+        assert!(a.f64_pair_mut(f1, f1).is_none());
+        assert_eq!(a.generation(), g4, "misses leave the counter alone");
+    }
+
+    #[test]
+    fn dirty_regions_since_filtering() {
+        let mut a = AddressSpace::new();
+        let b1 = a.map_bytes("clean", 8);
+        let b2 = a.map_bytes("hot", 8);
+        let snap = a.generation();
+        assert_eq!(a.dirty_regions(snap).count(), 0, "nothing written since snapshot");
+        a.bytes_mut(b2).unwrap()[0] = 5;
+        let dirty: Vec<u64> = a.dirty_regions(snap).map(|r| r.base).collect();
+        assert_eq!(dirty, vec![b2]);
+        // since=0 sees everything ever touched.
+        let all: Vec<u64> = a.dirty_regions(0).map(|r| r.base).collect();
+        assert_eq!(all, vec![b1, b2]);
+    }
+
+    #[test]
+    fn decode_resets_generations() {
+        let mut a = AddressSpace::new();
+        let b = a.map_bytes("blob", 8);
+        a.bytes_mut(b).unwrap()[0] = 1;
+        let mut w = RecordWriter::new();
+        a.encode(&mut w);
+        let bytes = w.into_bytes();
+        let back = AddressSpace::decode(&mut RecordReader::new(&bytes)).unwrap();
+        assert_eq!(back.generation(), 0);
+        assert_eq!(back.dirty_regions(0).count(), 0, "decoded regions are clean");
+        assert_eq!(back, a, "equality ignores generation bookkeeping");
+    }
+
+    #[test]
+    fn apply_delta_drops_dead_and_overlays_dirty() {
+        let mut a = AddressSpace::new();
+        let b1 = a.map_bytes("keep", 4);
+        let b2 = a.map_bytes("drop", 4);
+        let nb = a.next_base();
+        a.apply_delta(
+            &[b1],
+            vec![Region { base: b2 + 0x10000, name: "new".into(), data: RegionData::Bytes(vec![9]) }],
+            nb + 0x20000,
+        );
+        assert!(a.bytes(b1).is_some());
+        assert!(a.bytes(b2).is_none(), "dead region dropped");
+        assert_eq!(a.bytes(b2 + 0x10000).unwrap(), &[9]);
+        assert!(a.next_base() >= nb + 0x20000);
     }
 
     #[test]

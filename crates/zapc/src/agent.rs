@@ -8,13 +8,14 @@
 //! sides, triggering a graceful abort in which the application resumes
 //! execution.
 
-use crate::cluster::Cluster;
+use crate::cluster::{CheckpointOpts, Cluster, Lineage};
 use crate::uri::Uri;
 use crate::{ZapcError, ZapcResult};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use zapc_ckpt::{checkpoint_standalone, restore_standalone, RestoredSockets};
+use zapc_ckpt::{checkpoint_standalone_with, restore_standalone, ParentRecord, RestoredSockets,
+    SaveOpts};
 use zapc_netckpt::{checkpoint_network, restore_network, NetworkRestorePlan};
 use zapc_pod::Pod;
 use zapc_proto::image::Header;
@@ -73,6 +74,8 @@ pub struct PodStats {
     pub image_bytes: usize,
     /// Bytes of the image attributable to network state.
     pub network_bytes: usize,
+    /// Whether this image is an incremental delta against a parent.
+    pub incremental: bool,
 }
 
 /// Messages from an Agent to the Manager.
@@ -116,7 +119,10 @@ pub fn agent_checkpoint(
     reply: &Sender<AgentReply>,
     ctl: &Receiver<CtlMsg>,
 ) {
-    agent_checkpoint_ext(cluster, pod_name, dest, finalize, policy, false, ctl_timeout, reply, ctl)
+    let ckpt = cluster.ckpt;
+    agent_checkpoint_ext(
+        cluster, pod_name, dest, finalize, policy, false, ckpt, ctl_timeout, reply, ctl,
+    )
 }
 
 /// [`agent_checkpoint`] with the optional file-system snapshot of §3/§4:
@@ -132,6 +138,7 @@ pub fn agent_checkpoint_ext(
     finalize: Finalize,
     policy: SyncPolicy,
     fs_snapshot: bool,
+    ckpt: CheckpointOpts,
     ctl_timeout: Duration,
     reply: &Sender<AgentReply>,
     ctl: &Receiver<CtlMsg>,
@@ -213,7 +220,27 @@ pub fn agent_checkpoint_ext(
         wall_ms: cluster.clock.now_ms(),
         flags: if fs_snapshot { FLAG_FS_SNAPSHOT } else { 0 },
     };
-    let mut w = ImageWriter::new(&header);
+    // Incremental only chains against in-memory destinations: file and
+    // streamed images must stand alone. A chain nearing the squash-depth
+    // budget falls back to a fresh full base.
+    let lineage: Option<Lineage> = if ckpt.incremental && matches!(dest, Uri::Mem(_)) {
+        cluster
+            .lineage(pod_name)
+            .filter(|l| l.depth + 1 < zapc_ckpt::delta::MAX_CHAIN_DEPTH)
+    } else {
+        None
+    };
+    let cap_hint =
+        if lineage.is_some() { 16 * 1024 } else { pod.total_mem_bytes() + 4096 };
+    let mut w = ImageWriter::with_capacity(&header, cap_hint);
+    if let Some(l) = &lineage {
+        let parent = ParentRecord {
+            parent: l.label.clone(),
+            parent_digest: l.digest,
+            depth: l.depth + 1,
+        };
+        w.section(SectionTag::ParentRef, |r| parent.encode(r));
+    }
     w.section(SectionTag::NetMeta, |r| meta.encode(r));
     if fs_snapshot {
         // Snapshot the pod's chroot subtree on shared storage.
@@ -223,10 +250,17 @@ pub fn agent_checkpoint_ext(
     let net_payload = zapc_netckpt::records::encode_records(&records);
     w.section_bytes(SectionTag::NetState, net_payload.bytes());
     let network_bytes = net_payload.len() + meta.encoded_len();
-    if let Err(e) = checkpoint_standalone(&pod, &mut w) {
-        rollback(&format!("standalone checkpoint failed: {e}"));
-        return;
-    }
+    let save_opts = SaveOpts {
+        workers: ckpt.workers,
+        base_gens: lineage.as_ref().map(|l| l.gens.clone()),
+    };
+    let outcome = match checkpoint_standalone_with(&pod, &mut w, &save_opts) {
+        Ok(o) => o,
+        Err(e) => {
+            rollback(&format!("standalone checkpoint failed: {e}"));
+            return;
+        }
+    };
     let mut image = w.finish();
     // Fault site: image bytes damaged on their way out (bad disk, torn
     // write). Sections are CRC-framed, so the damage surfaces as a typed
@@ -289,7 +323,29 @@ pub fn agent_checkpoint_ext(
             }
         },
         Uri::Mem(label) => {
-            cluster.store.put(label, image.as_ref().clone());
+            if ckpt.incremental {
+                // File the image under an immutable chain label as well as
+                // the user's label, so later deltas can still resolve this
+                // parent after the user label is overwritten.
+                let seq = lineage.as_ref().map(|l| l.seq + 1).unwrap_or(0);
+                let chain_label = format!("{label}#g{seq}");
+                cluster.store.put_arc(label, Arc::clone(&image));
+                cluster.store.put_arc(&chain_label, Arc::clone(&image));
+                if finalize == Finalize::Resume {
+                    cluster.set_lineage(
+                        pod_name,
+                        Lineage {
+                            label: chain_label,
+                            digest: zapc_proto::crc::fnv1a64(&image),
+                            gens: outcome.gens.clone(),
+                            depth: lineage.as_ref().map_or(0, |l| l.depth + 1),
+                            seq,
+                        },
+                    );
+                }
+            } else {
+                cluster.store.put_arc(label, Arc::clone(&image));
+            }
             None
         }
         Uri::Agent { .. } => Some(Arc::clone(&image)),
@@ -304,6 +360,7 @@ pub fn agent_checkpoint_ext(
             blocked_us,
             image_bytes,
             network_bytes,
+            incremental: lineage.is_some(),
         }),
         streamed,
     );
@@ -417,5 +474,6 @@ fn agent_restart_inner(
         blocked_us: 0,
         image_bytes: inputs.image.len(),
         network_bytes: net_payload.len(),
+        incremental: false,
     })
 }

@@ -15,6 +15,36 @@ use zapc_net::{Netfilter, Network, NetworkConfig};
 use zapc_pod::{pod_vip, Pod, PodConfig};
 use zapc_sim::{ClusterClock, Node, NodeConfig, ProgramRegistry, SimFs};
 
+/// Checkpoint-engine knobs (PR 2): incremental images and intra-pod
+/// parallel serialization. Defaults are the paper's baseline — full
+/// images, serial encoding.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointOpts {
+    /// Write incremental images (parent reference + dirty regions only)
+    /// when a usable parent exists. Only `Uri::Mem` destinations chain;
+    /// file and streamed destinations always get standalone images.
+    pub incremental: bool,
+    /// Worker threads encoding process payloads inside one pod
+    /// (`0`/`1` = serial).
+    pub workers: usize,
+}
+
+/// Per-pod incremental-checkpoint lineage: what the latest image in the
+/// chain is and which address-space generations it captured.
+#[derive(Debug, Clone)]
+pub(crate) struct Lineage {
+    /// Immutable chain label of the latest image (`<user-label>#g<seq>`).
+    pub label: String,
+    /// FNV-1a 64 digest of those image bytes.
+    pub digest: u64,
+    /// Address-space generation per vpid at that checkpoint.
+    pub gens: HashMap<u32, u64>,
+    /// Chain depth of that image (0 = standalone base).
+    pub depth: u32,
+    /// Monotonic per-pod sequence for unique chain labels.
+    pub seq: u64,
+}
+
 /// Builder for [`Cluster`].
 pub struct ClusterBuilder {
     nodes: usize,
@@ -23,6 +53,7 @@ pub struct ClusterBuilder {
     virt_overhead_ns: u64,
     registry: ProgramRegistry,
     faults: Arc<FaultPlan>,
+    ckpt: CheckpointOpts,
 }
 
 impl ClusterBuilder {
@@ -65,6 +96,14 @@ impl ClusterBuilder {
         self
     }
 
+    /// Cluster-wide checkpoint-engine defaults (incremental images,
+    /// parallel serialization); individual operations can override via
+    /// `CheckpointOptions::ckpt`.
+    pub fn checkpoint_opts(mut self, opts: CheckpointOpts) -> Self {
+        self.ckpt = opts;
+        self
+    }
+
     /// Boots the cluster.
     pub fn build(self) -> Cluster {
         let net = Network::new(self.net);
@@ -93,6 +132,8 @@ impl ClusterBuilder {
             virt_overhead_ns: self.virt_overhead_ns,
             faults: self.faults,
             next_vip: AtomicU16::new(1),
+            ckpt: self.ckpt,
+            lineage: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -116,6 +157,13 @@ pub struct Cluster {
     /// The fault-injection plan every layer consults (inert by default).
     pub faults: Arc<FaultPlan>,
     next_vip: AtomicU16,
+    /// Cluster-wide checkpoint-engine defaults.
+    pub ckpt: CheckpointOpts,
+    /// Per-pod incremental lineage (keyed by pod name). Cleared whenever a
+    /// pod is destroyed, forgotten, or restarted — a restored address
+    /// space restarts its generation counters, so stale lineage would
+    /// mis-classify dirty regions as clean.
+    lineage: Mutex<HashMap<String, Lineage>>,
 }
 
 #[derive(Clone)]
@@ -135,6 +183,7 @@ impl Cluster {
             virt_overhead_ns: 150,
             registry: ProgramRegistry::new(),
             faults: Arc::new(FaultPlan::none()),
+            ckpt: CheckpointOpts::default(),
         }
     }
 
@@ -175,9 +224,11 @@ impl Cluster {
     }
 
     /// Registers a restarted pod (Agent restart path). Replaces any stale
-    /// entry with the same name.
+    /// entry with the same name. The pod's incremental lineage is reset:
+    /// restored address spaces restart their generation counters at zero.
     pub fn register_restarted_pod(&self, pod: &Arc<Pod>, node: usize) {
         self.net.set_route(pod.vip(), &self.nodes[node].stack);
+        self.lineage.lock().remove(&pod.name());
         self.pods.lock().insert(pod.name(), PodEntry { node, pod: Arc::clone(pod) });
     }
 
@@ -191,8 +242,9 @@ impl Cluster {
         self.pods.lock().get(name).map(|e| e.node)
     }
 
-    /// Destroys a pod and forgets it.
+    /// Destroys a pod and forgets it (including its incremental lineage).
     pub fn destroy_pod(&self, name: &str) {
+        self.lineage.lock().remove(name);
         if let Some(entry) = self.pods.lock().remove(name) {
             self.net.clear_route(entry.pod.vip());
             entry.pod.destroy();
@@ -202,7 +254,27 @@ impl Cluster {
     /// Drops a pod entry without destroying it (checkpoint-side bookkeeping
     /// when the Agent has already destroyed it locally).
     pub fn forget_pod(&self, name: &str) {
+        self.lineage.lock().remove(name);
         self.pods.lock().remove(name);
+    }
+
+    /// The pod's current incremental lineage, if any.
+    pub(crate) fn lineage(&self, pod: &str) -> Option<Lineage> {
+        self.lineage.lock().get(pod).cloned()
+    }
+
+    /// Records the latest image of a pod's incremental chain.
+    pub(crate) fn set_lineage(&self, pod: &str, l: Lineage) {
+        self.lineage.lock().insert(pod.to_owned(), l);
+    }
+
+    /// Materializes a standalone image from a (possibly incremental) image:
+    /// walks the parent chain through the in-memory store, verifies each
+    /// parent's digest, and squashes the deltas. Standalone inputs are
+    /// returned unchanged.
+    pub fn materialize_image(&self, bytes: &[u8]) -> Result<Vec<u8>, zapc_ckpt::CkptError> {
+        let fetch = |label: &str| self.store.get(label).map(|a| a.as_ref().clone());
+        zapc_ckpt::squash_image(bytes, &fetch)
     }
 
     /// Names of all live pods, sorted.

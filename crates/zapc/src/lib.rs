@@ -64,7 +64,7 @@ pub mod cluster;
 pub mod manager;
 pub mod uri;
 
-pub use cluster::{Cluster, ClusterBuilder};
+pub use cluster::{CheckpointOpts, Cluster, ClusterBuilder};
 pub use zapc_faults::{FaultAction, FaultPlan, TraceEvent};
 pub use manager::{
     checkpoint, migrate, restart, CheckpointReport, CheckpointTarget, PodReport, RestartReport,

@@ -20,7 +20,7 @@ use crate::agent::{
     agent_checkpoint, agent_restart, AgentReply, CtlMsg, Finalize, PodStats, RestartInputs,
     SyncPolicy,
 };
-use crate::cluster::Cluster;
+use crate::cluster::{CheckpointOpts, Cluster};
 use crate::uri::Uri;
 use crate::{ZapcError, ZapcResult};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
@@ -86,6 +86,9 @@ pub struct PodReport {
     pub image_bytes: usize,
     /// Network-state share of the image (bytes).
     pub network_bytes: usize,
+    /// Whether the image is an incremental delta against a parent
+    /// (checkpoint only; always `false` for restarts).
+    pub incremental: bool,
 }
 
 impl From<PodStats> for PodReport {
@@ -98,6 +101,7 @@ impl From<PodStats> for PodReport {
             blocked_ms: s.blocked_us as f64 / 1000.0,
             image_bytes: s.image_bytes,
             network_bytes: s.network_bytes,
+            incremental: s.incremental,
         }
     }
 }
@@ -144,6 +148,10 @@ pub struct CheckpointOptions {
     pub retries: u32,
     /// Base delay between retries (attempt `n` waits `n * backoff`).
     pub backoff: Duration,
+    /// Checkpoint-engine knobs for this operation (incremental images,
+    /// parallel serialization); `None` uses the cluster-wide defaults set
+    /// via [`crate::ClusterBuilder::checkpoint_opts`].
+    pub ckpt: Option<CheckpointOpts>,
 }
 
 impl Default for CheckpointOptions {
@@ -155,6 +163,7 @@ impl Default for CheckpointOptions {
             fail_manager_after_meta: false,
             retries: 0,
             backoff: Duration::from_millis(50),
+            ckpt: None,
         }
     }
 }
@@ -210,9 +219,10 @@ fn checkpoint_once(
             let policy = opts.policy;
             let fs_snapshot = opts.fs_snapshot;
             let ctl_timeout = opts.timeout;
+            let ckpt = opts.ckpt.unwrap_or(cluster.ckpt);
             scope.spawn(move || {
                 crate::agent::agent_checkpoint_ext(
-                    cluster, &t.pod, &t.uri, t.finalize, policy, fs_snapshot, ctl_timeout,
+                    cluster, &t.pod, &t.uri, t.finalize, policy, fs_snapshot, ckpt, ctl_timeout,
                     &reply_tx, &ctl_rx,
                 );
             });
@@ -377,6 +387,15 @@ pub fn restart_with(
                     "streamed images are consumed by migrate()".into(),
                 ))
             }
+        };
+        // Incremental images carry a parent reference: squash the chain
+        // through the store into a standalone image before restart. An
+        // unreadable image falls through to the plain restore path, which
+        // owns the canonical decode-error surface.
+        let image = if matches!(zapc_ckpt::parent_ref(&image), Ok(Some(_))) {
+            Arc::new(cluster.materialize_image(&image)?)
+        } else {
+            image
         };
         metas.push(extract_meta(&image)?);
         images.push(image);

@@ -50,6 +50,13 @@ impl MemStore {
         self.slots.lock().insert(label.to_owned(), Arc::new(image));
     }
 
+    /// Stores an already-shared image without copying — incremental chains
+    /// file one image under both the user's label and its immutable chain
+    /// label.
+    pub fn put_arc(&self, label: &str, image: Arc<Vec<u8>>) {
+        self.slots.lock().insert(label.to_owned(), image);
+    }
+
     /// Fetches an image.
     pub fn get(&self, label: &str) -> Option<Arc<Vec<u8>>> {
         self.slots.lock().get(label).cloned()

@@ -10,7 +10,7 @@ use zapc::manager::{
     checkpoint, checkpoint_with, migrate_with, restart, CheckpointOptions, CheckpointTarget,
     MigrateOptions, RestartTarget,
 };
-use zapc::{Cluster, FaultAction, FaultPlan, Uri, ZapcError};
+use zapc::{CheckpointOpts, Cluster, FaultAction, FaultPlan, Uri, ZapcError};
 use zapc_apps::launch::{full_registry, launch_app, AppKind, AppParams};
 
 const WAIT: Duration = Duration::from_secs(60);
@@ -307,6 +307,125 @@ fn restart_reconnection_survives_segment_drop_and_duplication() {
     let codes = app.wait(&c2, WAIT).unwrap();
     assert_eq!(codes, reference, "restarted run must produce the fault-free output");
     app.destroy(&c2);
+}
+
+// ---- incremental chains under faults ----------------------------------
+
+/// Builder preset for the incremental-checkpoint chaos tests.
+fn incremental_cluster(plan: FaultPlan) -> Cluster {
+    Cluster::builder()
+        .nodes(2)
+        .registry(full_registry())
+        .faults(plan)
+        .checkpoint_opts(CheckpointOpts { incremental: true, workers: 2 })
+        .build()
+}
+
+#[test]
+fn faulted_incremental_checkpoint_aborts_and_parent_chain_restores_intact() {
+    // Chain base → delta, then crash the Agent during the *third*
+    // (incremental) checkpoint. The abort must not advance the lineage or
+    // clobber stored chain links, and a restart from the surviving chain
+    // must reproduce the fault-free output exactly.
+    let reference = reference_codes(AppKind::Cpi, "inc", 2);
+    let plan = FaultPlan::script()
+        .inject("agent.pre_continue", Some("inc-0"), 2, FaultAction::Crash)
+        .build();
+    let c = incremental_cluster(plan);
+    let app = launch_app(&c, "inc", &small(AppKind::Cpi, 2));
+    std::thread::sleep(Duration::from_millis(5));
+
+    let targets = snapshots(&app.pods);
+    let r1 = checkpoint(&c, &targets).unwrap();
+    assert!(!r1.pods.iter().any(|p| p.incremental), "first images are full bases");
+    std::thread::sleep(Duration::from_millis(3));
+    let r2 = checkpoint(&c, &targets).unwrap();
+    assert!(r2.pods.iter().all(|p| p.incremental), "second images chain on the base");
+    std::thread::sleep(Duration::from_millis(3));
+
+    // Third checkpoint: the Agent for inc-0 crashes awaiting `continue`.
+    let err = checkpoint(&c, &targets).unwrap_err();
+    assert!(matches!(err, ZapcError::Aborted(_)), "got {err:?}");
+    assert!(c.faults.fired() > 0);
+
+    // The aborted attempt left the stored chain untouched: both the user
+    // labels and the immutable chain links are still there.
+    for p in &app.pods {
+        assert!(c.store.get(&format!("ckpt/{p}")).is_some());
+        assert!(c.store.get(&format!("ckpt/{p}#g0")).is_some());
+        assert!(c.store.get(&format!("ckpt/{p}#g1")).is_some());
+    }
+
+    // Restart from the surviving parent chain (base + delta, squashed at
+    // restart) reproduces the reference run bit-for-bit.
+    for p in &app.pods {
+        c.destroy_pod(p);
+    }
+    let rts: Vec<RestartTarget> = app
+        .pods
+        .iter()
+        .enumerate()
+        .map(|(i, p)| RestartTarget { pod: p.clone(), uri: Uri::mem(format!("ckpt/{p}")), node: i % 2 })
+        .collect();
+    restart(&c, &rts).unwrap();
+    let codes = app.wait(&c, WAIT).unwrap();
+    assert_eq!(codes, reference, "chain restore must match the fault-free output");
+    app.destroy(&c);
+}
+
+#[test]
+fn mangled_delta_image_fails_restart_with_typed_error() {
+    // Corrupt the *delta* image (second checkpoint) on its way to the
+    // store. The checkpoint itself cannot tell (a lying disk), but the
+    // restart-side squash walks the chain through CRC-framed sections and
+    // must surface a typed error — never a silent mis-restore.
+    let plan = FaultPlan::script()
+        .inject("agent.image", Some("incm-0"), 1, FaultAction::Corrupt { byte: 4_321 })
+        .build();
+    let c = incremental_cluster(plan);
+    let app = launch_app(&c, "incm", &small(AppKind::Cpi, 1));
+    std::thread::sleep(Duration::from_millis(5));
+
+    let targets = snapshots(&app.pods);
+    checkpoint(&c, &targets).unwrap();
+    std::thread::sleep(Duration::from_millis(3));
+    checkpoint(&c, &targets).unwrap();
+    assert_eq!(c.faults.fired(), 1, "the delta image must have been mangled");
+
+    c.destroy_pod("incm-0");
+    let rts =
+        [RestartTarget { pod: "incm-0".into(), uri: Uri::mem("ckpt/incm-0"), node: 0 }];
+    let err = restart(&c, &rts).unwrap_err();
+    match err {
+        ZapcError::Decode(_) | ZapcError::Ckpt(_) | ZapcError::Aborted(_) => {}
+        other => panic!("expected typed decode/ckpt failure, got {other:?}"),
+    }
+}
+
+#[test]
+fn clobbered_parent_link_detected_at_restart() {
+    // Overwrite a chain link between checkpoint and restart: the squash
+    // verifies each parent's digest and must refuse the forged parent.
+    let c = incremental_cluster(FaultPlan::none());
+    let app = launch_app(&c, "incp", &small(AppKind::Cpi, 1));
+    std::thread::sleep(Duration::from_millis(5));
+    let targets = snapshots(&app.pods);
+    checkpoint(&c, &targets).unwrap();
+    std::thread::sleep(Duration::from_millis(3));
+    checkpoint(&c, &targets).unwrap();
+
+    // Replace the base link with a different (well-formed!) image.
+    let decoy = c.store.get("ckpt/incp-0#g1").unwrap();
+    c.store.put("ckpt/incp-0#g0", decoy.as_ref().clone());
+
+    c.destroy_pod("incp-0");
+    let rts =
+        [RestartTarget { pod: "incp-0".into(), uri: Uri::mem("ckpt/incp-0"), node: 0 }];
+    let err = restart(&c, &rts).unwrap_err();
+    assert!(
+        matches!(err, ZapcError::Ckpt(zapc_ckpt::CkptError::ParentMismatch { .. })),
+        "got {err:?}"
+    );
 }
 
 // ---- seeded soak ------------------------------------------------------
