@@ -1,13 +1,15 @@
 //! Regenerates the paper's figures as text tables.
 //!
 //! ```sh
-//! cargo run --release -p zapc-bench --bin reproduce -- [--quick] [fig5|fig6a|fig6b|fig6c|inc|all]
+//! cargo run --release -p zapc-bench --bin reproduce -- [--quick] [fig5|fig6a|fig6b|fig6c|inc|phases|all]
 //! ```
 //!
 //! `--quick` uses miniature problem sizes (seconds); the default uses the
 //! ÷10-of-paper sizes documented in DESIGN.md (minutes on one core).
 //! `inc` (also part of `all`) runs the incremental-checkpoint ablation
-//! and writes its machine-readable results to `BENCH_2.json`.
+//! and writes its machine-readable results to `BENCH_2.json`; `phases`
+//! runs the per-phase cost decomposition under an enabled observer and
+//! writes `BENCH_4.json`.
 
 use zapc_apps::launch::AppKind;
 use zapc_bench::figures::{
@@ -15,6 +17,7 @@ use zapc_bench::figures::{
     ZAPC_OVERHEAD_NS,
 };
 use zapc_bench::incremental::{run_ablation, run_parallel, to_json, AblationRow, ParallelRow, MODES};
+use zapc_bench::phases::{phases_to_json, run_phases, OpBreakdown, PhasesReport};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,15 +40,17 @@ fn main() {
         "fig6b" => fig6b(&cfg),
         "fig6c" => fig6c(&cfg),
         "inc" => inc(&cfg, quick),
+        "phases" => phases(&cfg, quick),
         "all" => {
             fig5(&cfg);
             fig6a(&cfg);
             fig6b(&cfg);
             fig6c(&cfg);
             inc(&cfg, quick);
+            phases(&cfg, quick);
         }
         other => {
-            eprintln!("unknown figure {other:?}; use fig5|fig6a|fig6b|fig6c|inc|all");
+            eprintln!("unknown figure {other:?}; use fig5|fig6a|fig6b|fig6c|inc|phases|all");
             std::process::exit(2);
         }
     }
@@ -101,6 +106,61 @@ fn inc(cfg: &RunCfg, quick: bool) {
     match std::fs::write("BENCH_2.json", &json) {
         Ok(()) => println!("\nwrote BENCH_2.json ({} bytes)", json.len()),
         Err(e) => eprintln!("\nfailed to write BENCH_2.json: {e}"),
+    }
+}
+
+fn print_op(label: &str, op: &OpBreakdown) {
+    if op.count == 0 {
+        println!("  {label}: (no successful sample)");
+        return;
+    }
+    println!(
+        "  {label}: wall {:.3} ms over {} sample(s), late replies {}",
+        op.wall_ms, op.count, op.late_replies
+    );
+    println!("    manager partition (tiles the wall):");
+    for p in &op.mgr {
+        println!(
+            "      {:<14} {:>9.3} ms  {:>5.1}%",
+            p.name,
+            p.total_ms,
+            p.total_ms / op.wall_ms.max(1e-9) * 100.0
+        );
+    }
+    println!("      {:<14} {:>9.3} ms  (sum)", "", op.mgr_sum_ms());
+    println!("    agent spans (overlapping across pods):");
+    for p in &op.agent {
+        println!("      {:<20} ×{:<4} {:>9.3} ms", p.name, p.count, p.total_ms);
+    }
+}
+
+fn phases(cfg: &RunCfg, quick: bool) {
+    println!("== Per-phase cost decomposition (observer enabled) ==");
+    println!("   (manager phases partition wall_ms; agent spans overlap across pods)\n");
+    let mut reports: Vec<PhasesReport> = Vec::new();
+    for (kind, ranks) in [(AppKind::Bratu, 2), (AppKind::Bt, 4)] {
+        let r = run_phases(kind, ranks, cfg);
+        println!("{} × {} endpoints:", r.app, r.ranks);
+        print_op("checkpoint", &r.ckpt);
+        print_op("restart", &r.rst);
+        if !r.counters.is_empty() {
+            println!("  counters:");
+            for c in &r.counters {
+                println!("      {:<22} {:>12.0}", c.name, c.total_ms);
+            }
+        }
+        println!(
+            "  observer overhead: disabled {:.3} ms → enabled {:.3} ms ({:+.1}%)\n",
+            r.overhead.disabled_ms,
+            r.overhead.enabled_ms,
+            r.overhead.pct()
+        );
+        reports.push(r);
+    }
+    let json = phases_to_json(quick, &reports);
+    match std::fs::write("BENCH_4.json", &json) {
+        Ok(()) => println!("wrote BENCH_4.json ({} bytes)", json.len()),
+        Err(e) => eprintln!("failed to write BENCH_4.json: {e}"),
     }
 }
 

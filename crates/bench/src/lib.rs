@@ -10,9 +10,15 @@
 //!   sets, plus intra-pod parallel-serialization scaling, emitted as
 //!   `BENCH_2.json`.
 //!
+//! * [`phases`] — the PR 4 per-phase cost decomposition: Manager- and
+//!   Agent-side span breakdowns of checkpoint and restart under an
+//!   enabled observer, plus the disabled-observer overhead contract,
+//!   emitted as `BENCH_4.json`.
+//!
 //! Criterion benches under `benches/` and the `reproduce` binary both
 //! drive this module; `reproduce` prints the paper-style tables recorded
 //! in EXPERIMENTS.md.
 
 pub mod figures;
 pub mod incremental;
+pub mod phases;

@@ -1,0 +1,400 @@
+//! Per-phase cost decomposition (the PR 4 `BENCH_4.json` experiment).
+//!
+//! The paper's Figures 4 and 6 quote *total* checkpoint and restart
+//! latencies; the prose of §4–§5 attributes the cost to phases (quiesce,
+//! network-state save, the single synchronization, memory dump, resume).
+//! This harness turns that attribution into numbers: it runs one
+//! application under an enabled [`zapc_obs::Observer`], checkpoints and
+//! restarts it, and reports
+//!
+//! * the Manager-side partition of the wall time (`mgr.meta` /
+//!   `mgr.sync` / `mgr.commit` for checkpoints; `mgr.prepare` /
+//!   `mgr.schedule` / `mgr.restore` for restarts) — these tile the
+//!   reported `wall_ms` exactly, by construction;
+//! * the Agent-side span totals collected through the ring
+//!   (`ckpt.quiesce` … `ckpt.commit`, `rst.create` … `rst.resume`,
+//!   `netckpt.sock_save` / `netckpt.sock_restore`, `ckpt.worker` /
+//!   `ckpt.merge`), which overlap across Agents and so *exceed* the wall
+//!   partition on multi-pod runs;
+//! * the byte counters the network mechanism emits; and
+//! * the disabled-vs-enabled observer overhead on the same workload —
+//!   the < 5 % contract DESIGN.md promises for the disabled path.
+
+use crate::figures::RunCfg;
+use std::time::Duration;
+use zapc::agent::Finalize;
+use zapc::manager::{CheckpointTarget, RestartTarget};
+use zapc::{checkpoint, restart, Cluster, Uri};
+use zapc_apps::launch::{full_registry, launch_app, AppKind, AppParams};
+use zapc_obs::Observer;
+
+/// One aggregated phase or counter line.
+#[derive(Debug, Clone)]
+pub struct PhaseRow {
+    /// Phase or counter name from the fixed taxonomy.
+    pub name: String,
+    /// Spans closed (or counter events) under this name.
+    pub count: u64,
+    /// Total milliseconds (for counters: the raw total, in `count` units).
+    pub total_ms: f64,
+}
+
+/// Breakdown of one operation (checkpoint or restart).
+#[derive(Debug, Clone, Default)]
+pub struct OpBreakdown {
+    /// Mean Manager-observed wall latency (ms).
+    pub wall_ms: f64,
+    /// Mean Manager-side phase partition; sums to `wall_ms`.
+    pub mgr: Vec<PhaseRow>,
+    /// Agent-side span totals over all samples (overlapping across pods).
+    pub agent: Vec<PhaseRow>,
+    /// Replies that arrived after the Manager had given up waiting.
+    pub late_replies: u64,
+    /// Samples averaged.
+    pub count: usize,
+}
+
+impl OpBreakdown {
+    /// Sum of the Manager-side partition (ms) — the acceptance check
+    /// compares this against `wall_ms`.
+    pub fn mgr_sum_ms(&self) -> f64 {
+        self.mgr.iter().map(|p| p.total_ms).sum()
+    }
+}
+
+/// Disabled-vs-enabled observer cost on the same workload.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Overhead {
+    /// Mean checkpoint latency with `Observer::disabled()` (ms).
+    pub disabled_ms: f64,
+    /// Mean checkpoint latency with the ring observer attached (ms).
+    pub enabled_ms: f64,
+}
+
+impl Overhead {
+    /// Enabled-over-disabled regression in percent (negative = noise).
+    pub fn pct(&self) -> f64 {
+        if self.disabled_ms > 0.0 {
+            (self.enabled_ms - self.disabled_ms) / self.disabled_ms * 100.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The whole experiment.
+#[derive(Debug, Clone)]
+pub struct PhasesReport {
+    /// Application name.
+    pub app: String,
+    /// Endpoint count.
+    pub ranks: usize,
+    /// Checkpoint breakdown.
+    pub ckpt: OpBreakdown,
+    /// Restart breakdown.
+    pub rst: OpBreakdown,
+    /// Counter totals over the whole run, aggregated across keys.
+    pub counters: Vec<PhaseRow>,
+    /// Events evicted from the ring (aggregations still saw them).
+    pub ring_dropped: u64,
+    /// Observer cost contract measurement.
+    pub overhead: Overhead,
+}
+
+fn params(kind: AppKind, ranks: usize, cfg: &RunCfg) -> AppParams {
+    AppParams { kind, ranks, scale: cfg.scale, work: cfg.work * 4.0 }
+}
+
+/// Aggregates the ring's `(key, phase) → (count, µs)` totals by phase
+/// name, dropping the per-pod keys. `mgr.*` spans are excluded — the
+/// Manager partition already reports them, un-overlapped.
+fn agent_rows(ring: &zapc_obs::RingCollector) -> Vec<PhaseRow> {
+    let mut by_name: Vec<PhaseRow> = Vec::new();
+    for ((_key, phase), (count, us)) in ring.phase_totals() {
+        if phase.starts_with("mgr.") {
+            continue;
+        }
+        match by_name.iter_mut().find(|r| r.name == phase) {
+            Some(r) => {
+                r.count += count;
+                r.total_ms += us as f64 / 1000.0;
+            }
+            None => by_name.push(PhaseRow {
+                name: phase.to_owned(),
+                count,
+                total_ms: us as f64 / 1000.0,
+            }),
+        }
+    }
+    by_name
+}
+
+fn counter_rows(ring: &zapc_obs::RingCollector) -> Vec<PhaseRow> {
+    let mut by_name: Vec<PhaseRow> = Vec::new();
+    for ((_key, name), total) in ring.counter_totals() {
+        match by_name.iter_mut().find(|r| r.name == name) {
+            Some(r) => {
+                r.count += 1;
+                r.total_ms += total as f64;
+            }
+            None => by_name.push(PhaseRow { name: name.to_owned(), count: 1, total_ms: total as f64 }),
+        }
+    }
+    by_name
+}
+
+/// Repeated plain checkpoints; returns the mean wall latency (ms). Used
+/// for both arms of the overhead comparison.
+fn mean_ckpt_ms(cluster: &Cluster, targets: &[CheckpointTarget], n: usize) -> f64 {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for i in 0..n {
+        if i > 0 {
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        if let Ok(report) = checkpoint(cluster, targets) {
+            total += report.wall_ms;
+            count += 1;
+        }
+    }
+    if count > 0 {
+        total / count as f64
+    } else {
+        0.0
+    }
+}
+
+/// Runs the full phases experiment for one application.
+pub fn run_phases(kind: AppKind, ranks: usize, cfg: &RunCfg) -> PhasesReport {
+    let n_ckpts = (cfg.trials.max(1) * 2).max(2);
+    let (obs, ring) = Observer::ring(8192);
+    let cluster = Cluster::builder()
+        .nodes(ranks.max(1))
+        .registry(full_registry())
+        .observer(obs)
+        .build();
+    let app = launch_app(&cluster, "ph", &params(kind, ranks, cfg));
+    std::thread::sleep(Duration::from_millis(25));
+
+    // -- Checkpoint breakdown: repeated snapshots, app keeps running. --
+    let snap: Vec<CheckpointTarget> =
+        app.pods.iter().map(|p| CheckpointTarget::snapshot(p)).collect();
+    ring.reset();
+    let mut ckpt = OpBreakdown::default();
+    for i in 0..n_ckpts {
+        if i > 0 {
+            std::thread::sleep(Duration::from_millis(3));
+        }
+        let Ok(report) = checkpoint(&cluster, &snap) else { break };
+        ckpt.count += 1;
+        ckpt.wall_ms += report.wall_ms;
+        ckpt.late_replies += report.late_replies;
+        for p in &report.phases.phases {
+            match ckpt.mgr.iter_mut().find(|r| r.name == p.name) {
+                Some(r) => {
+                    r.count += 1;
+                    r.total_ms += p.ms;
+                }
+                None => {
+                    ckpt.mgr.push(PhaseRow { name: p.name.to_owned(), count: 1, total_ms: p.ms })
+                }
+            }
+        }
+    }
+    if ckpt.count > 0 {
+        let n = ckpt.count as f64;
+        ckpt.wall_ms /= n;
+        for r in &mut ckpt.mgr {
+            r.total_ms /= n;
+        }
+    }
+    ckpt.agent = agent_rows(&ring);
+    let ckpt_counters = counter_rows(&ring);
+
+    // -- Restart breakdown: destroy-checkpoint into memory, restart. --
+    let dests: Vec<CheckpointTarget> = app
+        .pods
+        .iter()
+        .map(|p| CheckpointTarget {
+            pod: p.clone(),
+            uri: Uri::mem(format!("ph/{p}")),
+            finalize: Finalize::Destroy,
+        })
+        .collect();
+    let mut rst = OpBreakdown::default();
+    if checkpoint(&cluster, &dests).is_ok() {
+        ring.reset();
+        let rts: Vec<RestartTarget> = app
+            .pods
+            .iter()
+            .enumerate()
+            .map(|(i, p)| RestartTarget {
+                pod: p.clone(),
+                uri: Uri::mem(format!("ph/{p}")),
+                node: i % cluster.node_count(),
+            })
+            .collect();
+        if let Ok(report) = restart(&cluster, &rts) {
+            rst.count = 1;
+            rst.wall_ms = report.wall_ms;
+            rst.late_replies = report.late_replies;
+            rst.mgr = report
+                .phases
+                .phases
+                .iter()
+                .map(|p| PhaseRow { name: p.name.to_owned(), count: 1, total_ms: p.ms })
+                .collect();
+            rst.agent = agent_rows(&ring);
+            let _ = app.wait(&cluster, Duration::from_secs(1800));
+        }
+    }
+    let mut counters = ckpt_counters;
+    for extra in counter_rows(&ring) {
+        match counters.iter_mut().find(|r| r.name == extra.name) {
+            Some(r) => {
+                r.count += extra.count;
+                r.total_ms += extra.total_ms;
+            }
+            None => counters.push(extra),
+        }
+    }
+    let ring_dropped = ring.dropped();
+    app.destroy(&cluster);
+    drop(cluster);
+
+    // -- Overhead contract: same workload, observer disabled vs enabled. --
+    let overhead = run_overhead(kind, ranks, cfg, n_ckpts);
+
+    PhasesReport {
+        app: kind.name().to_owned(),
+        ranks,
+        ckpt,
+        rst,
+        counters,
+        ring_dropped,
+        overhead,
+    }
+}
+
+fn run_overhead(kind: AppKind, ranks: usize, cfg: &RunCfg, n_ckpts: usize) -> Overhead {
+    let mut overhead = Overhead::default();
+    for enabled in [false, true] {
+        let mut builder = Cluster::builder().nodes(ranks.max(1)).registry(full_registry());
+        let _ring_alive;
+        if enabled {
+            let (obs, ring) = Observer::ring(8192);
+            _ring_alive = Some(ring);
+            builder = builder.observer(obs);
+        } else {
+            _ring_alive = None;
+        }
+        let cluster = builder.build();
+        let app = launch_app(&cluster, "ovh", &params(kind, ranks, cfg));
+        std::thread::sleep(Duration::from_millis(25));
+        let targets: Vec<CheckpointTarget> =
+            app.pods.iter().map(|p| CheckpointTarget::snapshot(p)).collect();
+        let ms = mean_ckpt_ms(&cluster, &targets, n_ckpts);
+        if enabled {
+            overhead.enabled_ms = ms;
+        } else {
+            overhead.disabled_ms = ms;
+        }
+        app.destroy(&cluster);
+    }
+    overhead
+}
+
+fn json_rows(rows: &[PhaseRow]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"name\": \"{}\", \"count\": {}, \"total_ms\": {:.4}}}",
+            r.name, r.count, r.total_ms
+        ));
+    }
+    out.push(']');
+    out
+}
+
+fn json_op(op: &OpBreakdown) -> String {
+    format!(
+        "{{\"wall_ms\": {:.4}, \"mgr_sum_ms\": {:.4}, \"late_replies\": {}, \"samples\": {}, \"mgr\": {}, \"agent\": {}}}",
+        op.wall_ms,
+        op.mgr_sum_ms(),
+        op.late_replies,
+        op.count,
+        json_rows(&op.mgr),
+        json_rows(&op.agent)
+    )
+}
+
+/// Serializes the experiment to the `BENCH_4.json` schema.
+pub fn phases_to_json(quick: bool, reports: &[PhasesReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"zapc-bench-4\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str("  \"apps\": [\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"app\": \"{}\", \"ranks\": {}, \"checkpoint\": {}, \"restart\": {}, \"counters\": {}, \"ring_dropped\": {}, \"overhead\": {{\"disabled_ms\": {:.4}, \"enabled_ms\": {:.4}, \"pct\": {:.2}}}}}{}\n",
+            r.app,
+            r.ranks,
+            json_op(&r.ckpt),
+            json_op(&r.rst),
+            json_rows(&r.counters),
+            r.ring_dropped,
+            r.overhead.disabled_ms,
+            r.overhead.enabled_ms,
+            r.overhead.pct(),
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let reports = vec![PhasesReport {
+            app: "bratu".into(),
+            ranks: 2,
+            ckpt: OpBreakdown {
+                wall_ms: 2.0,
+                mgr: vec![PhaseRow { name: "mgr.meta".into(), count: 2, total_ms: 1.5 }],
+                agent: vec![PhaseRow { name: "ckpt.dump".into(), count: 4, total_ms: 1.0 }],
+                late_replies: 0,
+                count: 2,
+            },
+            rst: OpBreakdown::default(),
+            counters: vec![PhaseRow { name: "netckpt.recv_bytes".into(), count: 2, total_ms: 9.0 }],
+            ring_dropped: 0,
+            overhead: Overhead { disabled_ms: 1.0, enabled_ms: 1.02 },
+        }];
+        let j = phases_to_json(true, &reports);
+        assert!(j.contains("\"zapc-bench-4\""));
+        assert!(j.contains("\"mgr.meta\""));
+        assert!(j.contains("\"pct\": 2.00"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn mgr_partition_tiles_the_wall() {
+        let cfg = RunCfg::quick();
+        let r = run_phases(AppKind::Bratu, 2, &cfg);
+        assert!(r.ckpt.count > 0, "no checkpoint succeeded");
+        let sum = r.ckpt.mgr_sum_ms();
+        let err = (sum - r.ckpt.wall_ms).abs() / r.ckpt.wall_ms.max(1e-9);
+        assert!(err < 0.10, "mgr phases sum {sum} vs wall {} ({:.1}% off)", r.ckpt.wall_ms, err * 100.0);
+        assert!(!r.ckpt.agent.is_empty(), "no agent spans collected");
+        assert!(r.ckpt.agent.iter().any(|p| p.name == "ckpt.dump"));
+    }
+}

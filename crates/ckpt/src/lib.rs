@@ -28,7 +28,7 @@ pub mod save;
 
 pub use delta::{parent_ref, squash_image, MemoryDeltaRecord, ParentRecord};
 pub use records::{FdRecord, ProcRecord};
-pub use restore::{restore_standalone, RestoredPod, RestoredSockets};
+pub use restore::{restore_standalone, restore_standalone_obs, RestoredPod, RestoredSockets};
 pub use save::{checkpoint_standalone, checkpoint_standalone_with, SaveOpts, SaveOutcome};
 
 /// Errors of the standalone checkpoint-restart paths.

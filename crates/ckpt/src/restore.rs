@@ -45,6 +45,25 @@ pub fn decode_namespace(payload: &[u8]) -> CkptResult<Namespace> {
     Ok(ns)
 }
 
+/// [`restore_standalone`] with observability: the whole reinstatement runs
+/// under a `ckpt.restore` span and the reinstated process count lands on
+/// the `ckpt.restore_procs` counter.
+pub fn restore_standalone_obs(
+    sections: &[Section<'_>],
+    pod: &Arc<Pod>,
+    registry: &ProgramRegistry,
+    sockets: &RestoredSockets,
+    obs: &zapc_obs::Observer,
+) -> CkptResult<RestoredPod> {
+    let key = pod.name();
+    let _span = obs.span(&key, "ckpt.restore");
+    let out = restore_standalone(sections, pod, registry, sockets)?;
+    if obs.enabled() {
+        obs.counter(&key, "ckpt.restore_procs", out.processes as u64);
+    }
+    Ok(out)
+}
+
 /// Reinstates the standalone state carried by `sections` into `pod`
 /// (created beforehand from the image's namespace). Network sections are
 /// ignored here — `zapc-netckpt` consumes them. Restored processes are

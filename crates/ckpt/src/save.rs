@@ -22,6 +22,10 @@ pub struct SaveOpts {
     /// section with only the regions dirtied since; vpids not in the map
     /// (e.g. forked after the parent) are written in full.
     pub base_gens: Option<HashMap<u32, u64>>,
+    /// Event observer: per-worker `ckpt.worker` spans, a `ckpt.merge`
+    /// span, and `ckpt.full_bytes`/`ckpt.delta_bytes` counters. Disabled
+    /// by default (one branch per site).
+    pub obs: zapc_obs::Observer,
 }
 
 /// What a checkpoint actually wrote, fed back into the caller's lineage
@@ -86,8 +90,11 @@ pub fn checkpoint_standalone_with(
 
     let vpids: Vec<(u32, Pid)> = pod.vpid_pids();
     let workers = opts.workers.max(1).min(vpids.len().max(1));
+    let obs = &opts.obs;
+    let key = pod.name();
 
     let payloads: Vec<ProcPayload> = if workers <= 1 {
+        let _span = obs.span(&key, "ckpt.worker");
         let mut out = Vec::with_capacity(vpids.len());
         for &(vpid, pid) in &vpids {
             out.push(encode_process(pod, vpid, pid, &ordinals, opts.base_gens.as_ref())?);
@@ -104,7 +111,9 @@ pub fn checkpoint_standalone_with(
                 .map(|part| {
                     let ordinals = &ordinals;
                     let base = opts.base_gens.as_ref();
+                    let key = &key;
                     s.spawn(move || {
+                        let _span = obs.span(key, "ckpt.worker");
                         part.iter()
                             .map(|&(vpid, pid)| encode_process(pod, vpid, pid, ordinals, base))
                             .collect::<CkptResult<Vec<_>>>()
@@ -122,6 +131,7 @@ pub fn checkpoint_standalone_with(
 
     // Merge: pod-wide pipe table deduplicated in vpid order, then the
     // per-process sections stitched deterministically.
+    let _merge_span = obs.span(&key, "ckpt.merge");
     let mut pipe_table = PipeTable::default();
     let mut seen_pipes: HashSet<u64> = HashSet::new();
     for p in &payloads {
@@ -139,6 +149,14 @@ pub fn checkpoint_standalone_with(
         outcome.memory_payload_bytes += p.mem_bytes.len();
         if p.mem_tag == SectionTag::MemoryDelta {
             outcome.delta_sections += 1;
+        }
+        if obs.enabled() {
+            let name = if p.mem_tag == SectionTag::MemoryDelta {
+                "ckpt.delta_bytes"
+            } else {
+                "ckpt.full_bytes"
+            };
+            obs.counter(&key, name, p.mem_bytes.len() as u64);
         }
         w.section_bytes(SectionTag::Process, &p.proc_bytes);
         w.section_bytes(p.mem_tag, &p.mem_bytes);

@@ -167,7 +167,7 @@ fn incremental_writes_far_fewer_bytes_and_squash_matches_full() {
 
     // Same suspended instant: a reference full image and an incremental.
     let (full2, of) = checkpoint(&pod, &SaveOpts::default(), None);
-    let inc_opts = SaveOpts { workers: 1, base_gens: Some(o1.gens.clone()) };
+    let inc_opts = SaveOpts { workers: 1, base_gens: Some(o1.gens.clone()), ..Default::default() };
     let (inc2, oi) = checkpoint(&pod, &inc_opts, Some(("inc1#base", &full1)));
     assert!(oi.delta_sections >= 1);
     assert!(
@@ -203,8 +203,8 @@ fn parallel_encoding_is_deterministic() {
     std::thread::sleep(Duration::from_millis(15));
     pod.suspend().unwrap();
 
-    let (serial, _) = checkpoint(&pod, &SaveOpts { workers: 1, base_gens: None }, None);
-    let (parallel, _) = checkpoint(&pod, &SaveOpts { workers: 4, base_gens: None }, None);
+    let (serial, _) = checkpoint(&pod, &SaveOpts { workers: 1, base_gens: None, ..Default::default() }, None);
+    let (parallel, _) = checkpoint(&pod, &SaveOpts { workers: 4, base_gens: None, ..Default::default() }, None);
     assert_eq!(
         stable_sections(&serial),
         stable_sections(&parallel),
@@ -224,7 +224,7 @@ fn restore_rejects_unsquashed_incremental() {
     pod.resume().unwrap();
     std::thread::sleep(Duration::from_millis(5));
     pod.suspend().unwrap();
-    let inc_opts = SaveOpts { workers: 1, base_gens: Some(o1.gens) };
+    let inc_opts = SaveOpts { workers: 1, base_gens: Some(o1.gens), ..Default::default() };
     let (inc, _) = checkpoint(&pod, &inc_opts, Some(("inc3#base", &full1)));
     pod.destroy();
 
@@ -253,7 +253,7 @@ fn new_process_after_base_still_checkpoints_in_full() {
     pod.spawn("w1", Box::new(SkewWriter::fresh(100_000)));
     std::thread::sleep(Duration::from_millis(10));
     pod.suspend().unwrap();
-    let inc_opts = SaveOpts { workers: 2, base_gens: Some(o1.gens) };
+    let inc_opts = SaveOpts { workers: 2, base_gens: Some(o1.gens), ..Default::default() };
     let (inc, oi) = checkpoint(&pod, &inc_opts, Some(("inc4#base", &full1)));
     pod.destroy();
     assert_eq!(oi.delta_sections, 1, "only the pre-existing process is delta-encoded");

@@ -206,16 +206,29 @@ impl SendSnapshot {
     /// Splits the snapshot into `(normal, urgent)` byte runs after
     /// discarding the first `discard` bytes (the receive-queue overlap fix
     /// of §5, Figure 4), preserving stream order of the normal data.
+    ///
+    /// Total for *any* input: restore feeds this sequence numbers and
+    /// urgent marks decoded from a checkpoint image, so marks are clamped
+    /// into the data span and all arithmetic is done in offset space —
+    /// a hostile image degrades to a shorter plan, never to a panic.
     pub fn resend_plan(&self, discard: u64) -> (Vec<u8>, Vec<u8>) {
-        let from = self.una + discard.min(self.data.len() as u64);
+        let len = self.data.len() as u64;
+        // Offsets relative to `una`, clamped to the actual data; empty or
+        // inverted marks vanish.
+        let mut marks: Vec<(u64, u64)> = self
+            .urgent_marks
+            .iter()
+            .map(|&(s, e)| (s.saturating_sub(self.una).min(len), e.saturating_sub(self.una).min(len)))
+            .filter(|&(s, e)| s < e)
+            .collect();
+        marks.sort_unstable();
         let mut normal = Vec::new();
         let mut urgent = Vec::new();
-        let mut pos = from;
-        let end = self.una + self.data.len() as u64;
-        while pos < end {
-            let mut stop = end;
+        let mut pos = discard.min(len);
+        while pos < len {
+            let mut stop = len;
             let mut urg = false;
-            for &(s, e) in &self.urgent_marks {
+            for &(s, e) in &marks {
                 if pos >= s && pos < e {
                     urg = true;
                     stop = stop.min(e);
@@ -226,12 +239,11 @@ impl SendSnapshot {
                     break;
                 }
             }
-            let a = (pos - self.una) as usize;
-            let b = (stop - self.una) as usize;
+            let run = &self.data[pos as usize..stop as usize];
             if urg {
-                urgent.extend_from_slice(&self.data[a..b]);
+                urgent.extend_from_slice(run);
             } else {
-                normal.extend_from_slice(&self.data[a..b]);
+                normal.extend_from_slice(run);
             }
             pos = stop;
         }

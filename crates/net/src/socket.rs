@@ -871,10 +871,16 @@ impl Socket {
         tcb.on_rtx_timer(&mut out);
         let needs = tcb.needs_rtx();
         let backoff = tcb.rtx_backoff;
+        let local = tcb.local;
         if needs {
             inner.rtx_scheduled = true;
         }
         drop(inner);
+        if !out.is_empty() {
+            self.net.obs_counter_with("net.retransmit", out.len() as u64, || {
+                format!("{:08x}:{}", local.ip, local.port)
+            });
+        }
         for s in out {
             self.net.send(s);
         }
@@ -892,7 +898,10 @@ impl Socket {
         let Some(tcb) = &mut inner.tcb else { return };
         tcb.rx_vt = tcb.rx_vt.max(seg.vt + vt_lat);
         let mut out = Vec::new();
+        let pre_backlog = tcb.recv.backlog_segments();
         let ev = tcb.input(&seg, &mut out);
+        let ooo_grew = tcb.recv.backlog_segments() > pre_backlog;
+        let local = tcb.local;
         if ev.reset {
             inner.err = Some(if inner.phase == SocketState::Connecting {
                 NetError::ConnRefused
@@ -912,6 +921,15 @@ impl Socket {
         let reap = (inner.detached || inner.parent.is_some())
             && inner.tcb.as_ref().map(|t| t.state == TcpState::Closed).unwrap_or(true);
         drop(inner);
+        if ev.reset {
+            self.net
+                .obs_counter_with("net.reset", 1, || format!("{:08x}:{}", local.ip, local.port));
+        }
+        if ooo_grew {
+            self.net.obs_counter_with("net.ooo_segment", 1, || {
+                format!("{:08x}:{}", local.ip, local.port)
+            });
+        }
         for s in out {
             self.net.send(s);
         }

@@ -134,9 +134,20 @@ pub struct NetShared {
     seqno: AtomicU64,
     stopped: AtomicBool,
     faults: RwLock<Arc<FaultPlan>>,
+    obs: RwLock<zapc_obs::Observer>,
 }
 
 impl NetShared {
+    /// Emits a counter through the installed observer. The key closure
+    /// runs only when an observer is attached, so the disabled path pays
+    /// one lock-read and a branch — no string formatting.
+    pub fn obs_counter_with(&self, name: &'static str, delta: u64, key: impl FnOnce() -> String) {
+        let obs = self.obs.read();
+        if obs.enabled() {
+            obs.counter(&key(), name, delta);
+        }
+    }
+
     fn push(&self, at: Instant, ev: Event) {
         let seq = self.seqno.fetch_add(1, Ordering::Relaxed);
         self.queue.lock().push(Reverse(Entry { at, seq, ev }));
@@ -268,6 +279,7 @@ impl Network {
             seqno: AtomicU64::new(0),
             stopped: AtomicBool::new(false),
             faults: RwLock::new(Arc::new(FaultPlan::none())),
+            obs: RwLock::new(zapc_obs::Observer::disabled()),
         });
         let pump_shared = Arc::clone(&shared);
         let pump = std::thread::Builder::new()
@@ -306,6 +318,12 @@ impl Network {
     /// `src->dst`) for every segment entering the wire.
     pub fn set_faults(&self, plan: Arc<FaultPlan>) {
         *self.shared.faults.write() = plan;
+    }
+
+    /// Installs an event observer; sockets emit `net.*` counters through
+    /// it. Disabled observers cost one branch per emission site.
+    pub fn set_observer(&self, obs: zapc_obs::Observer) {
+        *self.shared.obs.write() = obs;
     }
 }
 

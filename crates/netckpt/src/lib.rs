@@ -55,7 +55,7 @@ pub mod schedule;
 pub use merge::merge_send_queues;
 pub use records::SockRecord;
 pub use restore::{restore_network, NetworkRestorePlan};
-pub use save::checkpoint_network;
+pub use save::{checkpoint_network, checkpoint_network_obs};
 pub use schedule::assign_roles;
 
 /// Errors of the network checkpoint-restart paths.

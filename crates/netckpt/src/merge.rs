@@ -52,8 +52,11 @@ pub fn merge_send_queues(metas: &[MetaData], records: &mut [Vec<SockRecord>]) ->
             if !s.send_urgent_marks.is_empty() {
                 (None, true)
             } else {
-                let pcb = s.pcb.expect("indexed with pcb");
-                let peer_recv = records[rp][ri].pcb.expect("indexed with pcb").recv;
+                // The index only holds records with PCBs, but the records
+                // come off the wire — skip rather than trust that.
+                let Some(pcb) = s.pcb else { continue };
+                let Some(peer_pcb) = records[rp][ri].pcb else { continue };
+                let peer_recv = peer_pcb.recv;
                 let snap = SendSnapshot {
                     una: pcb.acked,
                     nxt: pcb.sent,

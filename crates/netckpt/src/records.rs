@@ -1,6 +1,9 @@
 //! Per-socket network-state records (the `NetState` image section).
 
-use zapc_proto::{Decode, DecodeError, DecodeResult, Encode, Endpoint, RecordReader, RecordWriter, Transport};
+use zapc_proto::{
+    seq_capacity, Decode, DecodeError, DecodeResult, Encode, Endpoint, RecordReader, RecordWriter,
+    Transport,
+};
 use zapc_net::tcp::PcbExtract;
 use zapc_net::SockOpts;
 
@@ -83,6 +86,36 @@ impl SockRecord {
         let mut w = RecordWriter::new();
         self.encode(&mut w);
         w.len()
+    }
+
+    /// Semantic validation beyond what decoding enforces: restore and
+    /// merge consume these fields arithmetically (sequence-number offsets,
+    /// urgent-mark ranges), so a record that decoded fine can still be
+    /// hostile. Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if let Some(pcb) = &self.pcb {
+            if pcb.sent < pcb.acked {
+                return Err("pcb: sent behind acked");
+            }
+            if pcb.sent - pcb.acked > self.send_data.len() as u64 {
+                return Err("pcb: in-flight span exceeds saved send queue");
+            }
+        }
+        let len = self.send_data.len() as u64;
+        let mut prev_end = 0u64;
+        for &(a, b) in &self.send_urgent_marks {
+            if a > b || b > len {
+                return Err("urgent mark outside send queue");
+            }
+            if a < prev_end {
+                return Err("urgent marks unordered or overlapping");
+            }
+            prev_end = b;
+        }
+        if self.listening && self.pcb.is_some() {
+            return Err("listener with a connection PCB");
+        }
+        Ok(())
     }
 }
 
@@ -177,7 +210,8 @@ impl Decode for SockRecord {
         if nmarks > (r.remaining() as u64) {
             return Err(DecodeError::LengthOverflow { declared: nmarks });
         }
-        let mut send_urgent_marks = Vec::with_capacity(nmarks as usize);
+        let mut send_urgent_marks =
+            Vec::with_capacity(seq_capacity(nmarks, r.remaining() / 16, 16));
         for _ in 0..nmarks {
             send_urgent_marks.push((r.get_u64()?, r.get_u64()?));
         }
@@ -185,7 +219,11 @@ impl Decode for SockRecord {
         if nd > (r.remaining() as u64) {
             return Err(DecodeError::LengthOverflow { declared: nd });
         }
-        let mut dgrams = Vec::with_capacity(nd as usize);
+        let mut dgrams: Vec<(Endpoint, Vec<u8>)> = Vec::with_capacity(seq_capacity(
+            nd,
+            r.remaining(),
+            std::mem::size_of::<(Endpoint, Vec<u8>)>(),
+        ));
         for _ in 0..nd {
             let src = r.get()?;
             dgrams.push((src, r.get_bytes_owned()?));
@@ -241,7 +279,8 @@ pub fn decode_records(payload: &[u8]) -> DecodeResult<Vec<SockRecord>> {
     if n > payload.len() as u64 {
         return Err(DecodeError::LengthOverflow { declared: n });
     }
-    let mut out = Vec::with_capacity(n as usize);
+    let mut out =
+        Vec::with_capacity(seq_capacity(n, payload.len(), std::mem::size_of::<SockRecord>()));
     for _ in 0..n {
         out.push(SockRecord::decode(&mut r)?);
     }

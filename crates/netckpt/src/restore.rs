@@ -44,6 +44,9 @@ pub struct NetworkRestorePlan<'a> {
     pub records: &'a [SockRecord],
     /// Overall deadline for reconnection.
     pub timeout: Duration,
+    /// Event observer; per-socket `netckpt.sock_restore` spans and
+    /// resend-byte counters flow through it.
+    pub obs: zapc_obs::Observer,
 }
 
 /// Restores the pod's network state; returns the reconstructed sockets by
@@ -57,6 +60,12 @@ pub fn restore_network(
     let entries = &plan.my_meta.entries;
     if records.len() != entries.len() {
         return Err(NetCkptError::Inconsistent("meta/record length mismatch"));
+    }
+    // Reject semantically hostile records up front: everything below does
+    // sequence-number arithmetic on these fields, and a malformed image
+    // must surface as an error, never a panic.
+    for rec in records {
+        rec.validate().map_err(NetCkptError::Inconsistent)?;
     }
     let stack = Arc::clone(&pod.node().stack);
     let vip = pod.vip();
@@ -211,8 +220,10 @@ pub fn restore_network(
             }
             let mut matched = None;
             for &i in waiting.iter() {
-                let local = records[i].local.expect("checked in phase 2");
-                let listener = listeners.get(&local).expect("listener exists");
+                // Phase 2 guarantees both of these for well-formed plans;
+                // degrade to the timeout path rather than panic otherwise.
+                let Some(local) = records[i].local else { continue };
+                let Some(listener) = listeners.get(&local) else { continue };
                 match listener.accept() {
                     Ok(child) => {
                         // Match the child to the expected entry by peer.
@@ -267,6 +278,8 @@ pub fn restore_network(
     }
 
     // ---- Phase 4/5: reinstate queue + protocol state ---------------------
+    let obs = &plan.obs;
+    let key = &pod.name();
     let mut out = out.into_inner();
     for (i, rec) in records.iter().enumerate() {
         if rec.transport != Transport::Tcp || rec.pcb.is_none() {
@@ -274,7 +287,8 @@ pub fn restore_network(
         }
         let Some(s) = &out[i] else { continue };
         let entry = &entries[i];
-        let pcb = rec.pcb.expect("checked");
+        let Some(pcb) = rec.pcb else { continue };
+        let _span = obs.span(key, "netckpt.sock_restore");
 
         // Pending asynchronous errors are observable application state.
         if rec.err.is_some() {
@@ -303,10 +317,13 @@ pub fn restore_network(
             urgent_marks: rec
                 .send_urgent_marks
                 .iter()
-                .map(|&(a, b)| (a + pcb.acked, b + pcb.acked))
+                .map(|&(a, b)| (a.saturating_add(pcb.acked), b.saturating_add(pcb.acked)))
                 .collect(),
         };
         let (normal, urgent) = snap.resend_plan(discard);
+        if obs.enabled() {
+            obs.counter(key, "netckpt.resend_bytes", (normal.len() + urgent.len()) as u64);
+        }
         // A connection saved in the Closed state was already dead; if its
         // replay hits a reset (e.g. the peer pod has no matching half —
         // the handshake had failed asymmetrically), the application will

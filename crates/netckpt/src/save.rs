@@ -23,8 +23,19 @@ use zapc_proto::{ConnEntry, ConnState, Endpoint, MetaData, RestartRole, Transpor
 /// image's `NetState` section. Index `i` of both outputs describes the
 /// socket with checkpoint ordinal `i`.
 pub fn checkpoint_network(pod: &Pod) -> (MetaData, Vec<SockRecord>) {
+    checkpoint_network_obs(pod, &zapc_obs::Observer::disabled())
+}
+
+/// [`checkpoint_network`] with observability: one `netckpt.sock_save` span
+/// per socket (keyed by pod name) and `netckpt.recv_bytes` /
+/// `netckpt.send_bytes` counters for the captured queue contents.
+pub fn checkpoint_network_obs(
+    pod: &Pod,
+    obs: &zapc_obs::Observer,
+) -> (MetaData, Vec<SockRecord>) {
     let sockets = pod.sockets();
-    let mut meta = MetaData::new(pod.name());
+    let key = pod.name();
+    let mut meta = MetaData::new(key.clone());
     let mut records = Vec::with_capacity(sockets.len());
 
     // Ordinal lookup for pending-child attribution.
@@ -33,6 +44,7 @@ pub fn checkpoint_network(pod: &Pod) -> (MetaData, Vec<SockRecord>) {
 
     for (ordinal, sock) in sockets.iter().enumerate() {
         let ordinal = ordinal as u32;
+        let span = obs.span(&key, "netckpt.sock_save");
         let (rec, entry) = sock.with_inner(|inner| {
             let mut rec = SockRecord::empty(ordinal, inner.transport);
             rec.opts = inner.opts.clone();
@@ -116,6 +128,14 @@ pub fn checkpoint_network(pod: &Pod) -> (MetaData, Vec<SockRecord>) {
             };
             (rec, entry)
         });
+        drop(span);
+        if obs.enabled() {
+            let recv = rec.recv_stream.len() + rec.recv_urgent.len();
+            let sent = rec.send_data.len();
+            let dgram: usize = rec.dgrams.iter().map(|(_, d)| d.len()).sum();
+            obs.counter(&key, "netckpt.recv_bytes", (recv + dgram) as u64);
+            obs.counter(&key, "netckpt.send_bytes", sent as u64);
+        }
         records.push(rec);
         meta.entries.push(entry);
     }

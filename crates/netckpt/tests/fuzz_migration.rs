@@ -188,14 +188,14 @@ fn run_scenario(seed: u64) {
         let ha = s.spawn(|| {
             restore_network(
                 &a2,
-                &NetworkRestorePlan { my_meta: &metas[0], all_meta: &metas, records: &ra, timeout: TIMEOUT },
+                &NetworkRestorePlan { my_meta: &metas[0], all_meta: &metas, records: &ra, timeout: TIMEOUT, obs: zapc_obs::Observer::disabled() },
             )
             .expect("restore a")
         });
         let hb = s.spawn(|| {
             restore_network(
                 &b2,
-                &NetworkRestorePlan { my_meta: &metas[1], all_meta: &metas, records: &rb, timeout: TIMEOUT },
+                &NetworkRestorePlan { my_meta: &metas[1], all_meta: &metas, records: &rb, timeout: TIMEOUT, obs: zapc_obs::Observer::disabled() },
             )
             .expect("restore b")
         });

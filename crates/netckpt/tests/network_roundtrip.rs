@@ -124,6 +124,7 @@ fn migrate_network(
                         all_meta: all,
                         records: rcs,
                         timeout: TIMEOUT,
+                        obs: zapc_obs::Observer::disabled(),
                     };
                     restore_network(pod, &plan).unwrap()
                 })
@@ -235,6 +236,66 @@ fn urgent_data_survives_checkpoint() {
     assert_eq!(oob, b"U", "urgent data restored to the OOB queue");
     for p in pods {
         p.destroy();
+    }
+}
+
+/// Urgent data across checkpoint-restart under *both* `SO_OOBINLINE`
+/// settings, byte-exactly: with inlining off the urgent bytes restore to
+/// the OOB queue and the normal stream is seamless around them; with
+/// inlining on they restore embedded at their exact position in the
+/// stream. The option itself must also survive (§5: "the entire set of
+/// socket parameters").
+#[test]
+fn urgent_data_byte_exact_under_both_oob_inline_settings() {
+    use zapc_net::{OptValue, SockOpt};
+    for (i, inline) in [false, true].into_iter().enumerate() {
+        let r = rig(4);
+        let vipn = 21 + 2 * i as u16;
+        let a = make_pod(&r, "A", vipn, 0);
+        let b = make_pod(&r, "B", vipn + 1, 1);
+        let (client, _l, server) = connect_pods(&a, &b, 5400 + i as u16);
+        server.setsockopt(SockOpt::OobInline, OptValue::Bool(inline)).unwrap();
+
+        client.write_all_wait(b"pre-", TIMEOUT).unwrap();
+        client.send_oob(b"XY").unwrap();
+        client.write_all_wait(b"-post", TIMEOUT).unwrap();
+        // Wait for full delivery: 11 bytes total, routed by the option.
+        let (want_stream, want_oob) = if inline { (11, 0) } else { (9, 2) };
+        let dl = std::time::Instant::now() + TIMEOUT;
+        loop {
+            let (s, o) = server.with_inner(|inner| {
+                let t = inner.tcb.as_ref().unwrap();
+                (t.recv.readable(), t.recv.urgent_len())
+            });
+            if s == want_stream && o == want_oob {
+                break;
+            }
+            assert!(std::time::Instant::now() < dl, "delivery stalled at {s}/{o} (inline={inline})");
+            std::thread::sleep(Duration::from_micros(200));
+        }
+
+        let (pods, socks) = migrate_network(&r, vec![a, b], vec![2, 3]);
+        let server2 = socks[1][1].clone().unwrap();
+        // The option survived the restore.
+        assert_eq!(
+            server2.getsockopt(SockOpt::OobInline),
+            OptValue::Bool(inline),
+            "SO_OOBINLINE lost across restart"
+        );
+        if inline {
+            assert_eq!(drain(&server2, 11), b"pre-XY-post", "inline urgent bytes misplaced");
+        } else {
+            assert_eq!(drain(&server2, 9), b"pre--post", "normal stream not seamless");
+            let oob = server2.recv(8, RecvFlags { oob: true, peek: false }).unwrap();
+            assert_eq!(oob, b"XY", "urgent bytes lost from the OOB queue");
+        }
+        // Still a live connection either way.
+        server2.write_all_wait(b"ack", TIMEOUT).unwrap();
+        let client2 = socks[0][0].clone().unwrap();
+        assert_eq!(drain(&client2, 3), b"ack");
+        for p in pods {
+            p.destroy();
+        }
     }
 }
 
@@ -387,6 +448,7 @@ fn closed_connection_restore_tolerates_late_acceptor() {
                         all_meta: all,
                         records: rcs,
                         timeout: TIMEOUT,
+                        obs: zapc_obs::Observer::disabled(),
                     };
                     restore_network(pod, &plan).unwrap()
                 })

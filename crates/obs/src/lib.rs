@@ -1,0 +1,454 @@
+//! # zapc-obs — structured event tracing and per-phase metrics
+//!
+//! The paper's evaluation (§6, Figures 4–6) decomposes checkpoint and
+//! restart cost into per-phase components; this crate is the substrate
+//! that makes those decompositions observable in a running cluster:
+//!
+//! * [`Event`] — one structured observation: a span boundary or a
+//!   monotonic counter increment, stamped with a sequence number and a
+//!   timestamp (the simulated cluster clock when one is attached, a
+//!   process-relative monotonic clock otherwise).
+//! * [`EventSink`] — where events go. The built-in [`RingCollector`]
+//!   keeps the last N events behind a single mutex and aggregates
+//!   per-phase durations and counter totals; callers can substitute any
+//!   `Send + Sync` sink.
+//! * [`Observer`] — the cheap cloneable handle threaded through the
+//!   Manager/Agent protocol, the checkpoint engines, and the network
+//!   stack. A disabled observer is a `None`: every instrumentation site
+//!   pays exactly one branch and allocates nothing.
+//!
+//! The overhead contract, relied on by the hot paths that carry this
+//! handle: **when disabled, an instrumentation site must not allocate,
+//! format, lock, or read a clock** — [`Observer::enabled`],
+//! [`Observer::span`], and [`Observer::counter`] all short-circuit on the
+//! `Option` before doing anything else. Keys are `&str` precisely so call
+//! sites never build a `String` ahead of the branch.
+//!
+//! This crate is intentionally dependency-free (std only): it sits below
+//! every other crate in the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// What one [`Event`] records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A phase span opened (e.g. an Agent entering `ckpt.dump`).
+    SpanStart {
+        /// Phase name from the fixed taxonomy (see DESIGN.md).
+        phase: &'static str,
+    },
+    /// A phase span closed; `dur_us` is its wall duration.
+    SpanEnd {
+        /// Phase name matching the corresponding `SpanStart`.
+        phase: &'static str,
+        /// Span duration in microseconds (monotonic clock).
+        dur_us: u64,
+    },
+    /// A monotonic counter advanced by `delta`.
+    Counter {
+        /// Counter name (e.g. `net.retransmit`).
+        name: &'static str,
+        /// Increment (≥ 1).
+        delta: u64,
+    },
+}
+
+/// One structured observation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Global sequence number (per observer, monotonic).
+    pub seq: u64,
+    /// Timestamp in microseconds: the attached simulated clock when the
+    /// observer has one ([`Observer::with_clock`]), else microseconds
+    /// since the observer was created.
+    pub t_us: u64,
+    /// Subject of the observation: a pod name, `"manager"`, or a
+    /// composite like `"w0/3"` (pod `w0`, socket ordinal 3).
+    pub key: String,
+    /// The observation itself.
+    pub kind: EventKind,
+}
+
+/// Destination for events. Implementations must be cheap: sinks are
+/// invoked from Agent threads and (for net counters) pump-thread context.
+pub trait EventSink: Send + Sync {
+    /// Records one event. Must not block for long; dropping is allowed.
+    fn record(&self, ev: Event);
+}
+
+/// Bounded in-memory sink: keeps the most recent `capacity` events behind
+/// one mutex and counts what it evicted. Also aggregates per-phase span
+/// totals and counter totals so reports don't have to replay the ring.
+pub struct RingCollector {
+    capacity: usize,
+    ring: Mutex<VecDeque<Event>>,
+    /// (key, phase) → (span count, total µs).
+    spans: Mutex<HashMap<AggKey, SpanTotal>>,
+    /// (key, counter name) → total.
+    counters: Mutex<HashMap<AggKey, u64>>,
+    dropped: AtomicU64,
+}
+
+/// Aggregation key: `(subject key, phase or counter name)`.
+pub type AggKey = (String, &'static str);
+/// Span aggregate: `(span count, total µs)`.
+pub type SpanTotal = (u64, u64);
+
+impl RingCollector {
+    /// A collector retaining the last `capacity` events (min 16).
+    pub fn new(capacity: usize) -> Arc<RingCollector> {
+        Arc::new(RingCollector {
+            capacity: capacity.max(16),
+            ring: Mutex::new(VecDeque::new()),
+            spans: Mutex::new(HashMap::new()),
+            counters: Mutex::new(HashMap::new()),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        self.ring.lock().expect("ring poisoned").iter().cloned().collect()
+    }
+
+    /// Number of events evicted by the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Per-phase aggregation over *all* events seen (not just the ones
+    /// still in the ring): `(key, phase) → (count, total µs)`, sorted.
+    pub fn phase_totals(&self) -> Vec<(AggKey, SpanTotal)> {
+        let mut v: Vec<_> =
+            self.spans.lock().expect("spans poisoned").iter().map(|(k, t)| (k.clone(), *t)).collect();
+        v.sort();
+        v
+    }
+
+    /// Counter totals over all events seen: `(key, name) → total`, sorted.
+    pub fn counter_totals(&self) -> Vec<(AggKey, u64)> {
+        let mut v: Vec<_> =
+            self.counters.lock().expect("counters poisoned").iter().map(|(k, t)| (k.clone(), *t)).collect();
+        v.sort();
+        v
+    }
+
+    /// Sum of one counter across every key.
+    pub fn counter_sum(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("counters poisoned")
+            .iter()
+            .filter(|((_, n), _)| *n == name)
+            .map(|(_, t)| *t)
+            .sum()
+    }
+
+    /// Total microseconds spent in `phase` across every key.
+    pub fn phase_us(&self, phase: &str) -> u64 {
+        self.spans
+            .lock()
+            .expect("spans poisoned")
+            .iter()
+            .filter(|((_, p), _)| *p == phase)
+            .map(|(_, (_, us))| *us)
+            .sum()
+    }
+
+    /// Clears the ring and the aggregations.
+    pub fn reset(&self) {
+        self.ring.lock().expect("ring poisoned").clear();
+        self.spans.lock().expect("spans poisoned").clear();
+        self.counters.lock().expect("counters poisoned").clear();
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+}
+
+impl EventSink for RingCollector {
+    fn record(&self, ev: Event) {
+        match ev.kind {
+            EventKind::SpanEnd { phase, dur_us } => {
+                let mut spans = self.spans.lock().expect("spans poisoned");
+                let e = spans.entry((ev.key.clone(), phase)).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += dur_us;
+            }
+            EventKind::Counter { name, delta } => {
+                *self
+                    .counters
+                    .lock()
+                    .expect("counters poisoned")
+                    .entry((ev.key.clone(), name))
+                    .or_insert(0) += delta;
+            }
+            EventKind::SpanStart { .. } => {}
+        }
+        let mut ring = self.ring.lock().expect("ring poisoned");
+        if ring.len() >= self.capacity {
+            ring.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        ring.push_back(ev);
+    }
+}
+
+impl std::fmt::Debug for RingCollector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RingCollector")
+            .field("capacity", &self.capacity)
+            .field("len", &self.ring.lock().map(|r| r.len()).unwrap_or(0))
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+struct ObsInner {
+    sink: Arc<dyn EventSink>,
+    seq: AtomicU64,
+    t0: Instant,
+    /// Microsecond source; `None` uses `t0.elapsed()`.
+    clock: Option<Arc<dyn Fn() -> u64 + Send + Sync>>,
+}
+
+/// Cheap cloneable observation handle. The default ([`Observer::disabled`])
+/// carries no state: every instrumentation site costs one branch.
+#[derive(Clone, Default)]
+pub struct Observer {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl Observer {
+    /// The inert observer (events off — the default everywhere).
+    pub fn disabled() -> Observer {
+        Observer { inner: None }
+    }
+
+    /// An observer recording into `sink`.
+    pub fn new(sink: Arc<dyn EventSink>) -> Observer {
+        Observer {
+            inner: Some(Arc::new(ObsInner {
+                sink,
+                seq: AtomicU64::new(0),
+                t0: Instant::now(),
+                clock: None,
+            })),
+        }
+    }
+
+    /// Convenience: a ring-buffered observer plus its collector.
+    pub fn ring(capacity: usize) -> (Observer, Arc<RingCollector>) {
+        let ring = RingCollector::new(capacity);
+        (Observer::new(Arc::<RingCollector>::clone(&ring)), ring)
+    }
+
+    /// Attaches a microsecond timestamp source (e.g. the simulated cluster
+    /// clock), so event times are keyed on simulated time instead of the
+    /// process-relative monotonic clock. No-op on a disabled observer.
+    pub fn with_clock(self, clock: impl Fn() -> u64 + Send + Sync + 'static) -> Observer {
+        match self.inner {
+            Some(i) => Observer {
+                inner: Some(Arc::new(ObsInner {
+                    sink: Arc::clone(&i.sink),
+                    seq: AtomicU64::new(i.seq.load(Ordering::Relaxed)),
+                    t0: i.t0,
+                    clock: Some(Arc::new(clock)),
+                })),
+            },
+            None => self,
+        }
+    }
+
+    /// Whether events are being recorded. `#[inline]` so the disabled
+    /// path is the promised single branch.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn now_us(inner: &ObsInner) -> u64 {
+        match &inner.clock {
+            Some(c) => c(),
+            None => inner.t0.elapsed().as_micros() as u64,
+        }
+    }
+
+    fn emit(inner: &ObsInner, key: &str, kind: EventKind) {
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        inner.sink.record(Event { seq, t_us: Self::now_us(inner), key: key.to_owned(), kind });
+    }
+
+    /// Advances monotonic counter `name` (keyed by `key`) by `delta`.
+    #[inline]
+    pub fn counter(&self, key: &str, name: &'static str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            Self::emit(inner, key, EventKind::Counter { name, delta });
+        }
+    }
+
+    /// Opens a phase span. The returned guard emits `SpanEnd` when
+    /// dropped or [`Span::end`]ed; on a disabled observer it is inert.
+    #[inline]
+    pub fn span(&self, key: &str, phase: &'static str) -> Span {
+        match &self.inner {
+            Some(inner) => {
+                Self::emit(inner, key, EventKind::SpanStart { phase });
+                Span {
+                    state: Some((Arc::clone(inner), key.to_owned(), phase, Instant::now())),
+                }
+            }
+            None => Span { state: None },
+        }
+    }
+}
+
+impl std::fmt::Debug for Observer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Observer({})", if self.enabled() { "enabled" } else { "disabled" })
+    }
+}
+
+/// Guard for one open phase span. Durations use the monotonic clock (the
+/// simulated clock, when attached, stamps the *event times* instead — it
+/// is too coarse for sub-millisecond phases).
+#[must_use = "a span measures the scope it lives in; bind it to a variable"]
+pub struct Span {
+    state: Option<(Arc<ObsInner>, String, &'static str, Instant)>,
+}
+
+impl Span {
+    /// Closes the span explicitly, returning its duration in µs (0 when
+    /// the observer is disabled).
+    pub fn end(mut self) -> u64 {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> u64 {
+        match self.state.take() {
+            Some((inner, key, phase, start)) => {
+                let dur_us = start.elapsed().as_micros() as u64;
+                Observer::emit(&inner, &key, EventKind::SpanEnd { phase, dur_us });
+                dur_us
+            }
+            None => 0,
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_observer_is_inert() {
+        let obs = Observer::disabled();
+        assert!(!obs.enabled());
+        obs.counter("k", "c", 3);
+        let s = obs.span("k", "p");
+        assert_eq!(s.end(), 0);
+    }
+
+    #[test]
+    fn counters_aggregate() {
+        let (obs, ring) = Observer::ring(64);
+        obs.counter("a", "net.retransmit", 2);
+        obs.counter("a", "net.retransmit", 3);
+        obs.counter("b", "net.retransmit", 1);
+        obs.counter("a", "net.reset", 1);
+        assert_eq!(ring.counter_sum("net.retransmit"), 6);
+        let totals = ring.counter_totals();
+        assert_eq!(
+            totals,
+            vec![
+                (("a".into(), "net.reset"), 1),
+                (("a".into(), "net.retransmit"), 5),
+                (("b".into(), "net.retransmit"), 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_emit_start_and_end() {
+        let (obs, ring) = Observer::ring(64);
+        {
+            let _s = obs.span("pod", "ckpt.dump");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let evs = ring.events();
+        assert_eq!(evs.len(), 2);
+        assert!(matches!(evs[0].kind, EventKind::SpanStart { phase: "ckpt.dump" }));
+        match evs[1].kind {
+            EventKind::SpanEnd { phase, dur_us } => {
+                assert_eq!(phase, "ckpt.dump");
+                assert!(dur_us >= 1000, "span too short: {dur_us}");
+            }
+            ref k => panic!("unexpected {k:?}"),
+        }
+        let totals = ring.phase_totals();
+        assert_eq!(totals.len(), 1);
+        assert_eq!(totals[0].0, ("pod".into(), "ckpt.dump"));
+        assert_eq!(totals[0].1 .0, 1);
+        assert!(ring.phase_us("ckpt.dump") >= 1000);
+    }
+
+    #[test]
+    fn explicit_end_returns_duration_once() {
+        let (obs, ring) = Observer::ring(8);
+        let s = obs.span("k", "p");
+        let d = s.end();
+        // Drop already ran inside end(); exactly one SpanEnd recorded.
+        let ends = ring
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SpanEnd { .. }))
+            .count();
+        assert_eq!(ends, 1);
+        assert!(d < 1_000_000);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let (obs, ring) = Observer::ring(16);
+        for i in 0..40 {
+            obs.counter("k", "c", i);
+        }
+        assert_eq!(ring.events().len(), 16);
+        assert_eq!(ring.dropped(), 24);
+        // Aggregation still saw everything.
+        assert_eq!(ring.counter_sum("c"), (0..40).sum::<u64>());
+        ring.reset();
+        assert!(ring.events().is_empty());
+        assert_eq!(ring.counter_sum("c"), 0);
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic() {
+        let (obs, ring) = Observer::ring(64);
+        for _ in 0..10 {
+            obs.counter("k", "c", 1);
+        }
+        let evs = ring.events();
+        for w in evs.windows(2) {
+            assert!(w[1].seq > w[0].seq);
+        }
+    }
+
+    #[test]
+    fn attached_clock_stamps_events() {
+        let (obs, ring) = Observer::ring(8);
+        let obs = obs.with_clock(|| 42_000_000);
+        obs.counter("k", "c", 1);
+        assert_eq!(ring.events()[0].t_us, 42_000_000);
+    }
+}

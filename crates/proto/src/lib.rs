@@ -32,4 +32,4 @@ pub mod rw;
 pub use error::{DecodeError, DecodeResult};
 pub use image::{ImageReader, ImageWriter, SectionTag, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
 pub use meta::{ConnEntry, ConnState, Endpoint, MetaData, RestartRole, Transport};
-pub use rw::{Decode, Encode, RecordReader, RecordWriter};
+pub use rw::{seq_capacity, Decode, Encode, RecordReader, RecordWriter, MAX_PREALLOC_BYTES};

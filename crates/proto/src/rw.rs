@@ -276,7 +276,7 @@ impl<'a> RecordReader<'a> {
         if len.checked_mul(8).is_none_or(|b| b > self.remaining() as u64) {
             return Err(DecodeError::LengthOverflow { declared: len });
         }
-        let mut out = Vec::with_capacity(len as usize);
+        let mut out = Vec::with_capacity(seq_capacity(len, self.remaining() / 8, 8));
         for _ in 0..len {
             out.push(self.get_f64()?);
         }
@@ -289,7 +289,7 @@ impl<'a> RecordReader<'a> {
         if len.checked_mul(8).is_none_or(|b| b > self.remaining() as u64) {
             return Err(DecodeError::LengthOverflow { declared: len });
         }
-        let mut out = Vec::with_capacity(len as usize);
+        let mut out = Vec::with_capacity(seq_capacity(len, self.remaining() / 8, 8));
         for _ in 0..len {
             out.push(self.get_u64()?);
         }
@@ -308,12 +308,32 @@ impl<'a> RecordReader<'a> {
         if len > self.remaining() as u64 {
             return Err(DecodeError::LengthOverflow { declared: len });
         }
-        let mut out = Vec::with_capacity(len as usize);
+        let mut out =
+            Vec::with_capacity(seq_capacity(len, self.remaining(), std::mem::size_of::<T>()));
         for _ in 0..len {
             out.push(T::decode(self)?);
         }
         Ok(out)
     }
+}
+
+/// Upper bound on what a decoder reserves ahead of validation.
+pub const MAX_PREALLOC_BYTES: usize = 64 * 1024;
+
+/// Preallocation clamp for length-prefixed sequences (the
+/// allocation-amplification guard): trust a declared element count only
+/// up to the number of elements the *remaining input* could actually
+/// encode, and never reserve more than [`MAX_PREALLOC_BYTES`] of element
+/// memory up front. The count itself is still validated by the caller —
+/// this bounds only the speculative reserve, so a hostile length prefix
+/// on a tiny payload cannot turn `Vec::with_capacity` into a huge
+/// allocation (the in-memory element size can be far larger than its
+/// wire size, which is what amplifies). `Vec` grows geometrically past
+/// the clamp, so honest decodes lose nothing but a few reallocations.
+pub fn seq_capacity(declared: u64, max_encodable: usize, elem_mem_bytes: usize) -> usize {
+    (declared as usize)
+        .min(max_encodable)
+        .min(MAX_PREALLOC_BYTES / elem_mem_bytes.max(1))
 }
 
 /// Streaming reader over a sequence of framed records.

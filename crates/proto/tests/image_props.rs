@@ -8,7 +8,8 @@ use proptest::prelude::*;
 use zapc_proto::image::Header;
 use zapc_proto::rw::frame_record_into;
 use zapc_proto::{
-    DecodeError, ImageReader, ImageWriter, RecordWriter, SectionTag, FORMAT_VERSION, MAGIC,
+    seq_capacity, Decode, DecodeError, DecodeResult, ImageReader, ImageWriter, RecordReader,
+    RecordWriter, SectionTag, FORMAT_VERSION, MAGIC, MAX_PREALLOC_BYTES,
 };
 
 /// Builds a well-formed image with `n` body sections of the given sizes.
@@ -176,6 +177,100 @@ proptest! {
             prop_assert!(out.is_err(), "corrupt byte {at} accepted: {out:?}");
         }
     }
+}
+
+/// A decode target whose in-memory footprint (4 KiB) vastly exceeds its
+/// wire footprint (8 bytes): the shape that turns a trusted length prefix
+/// into allocation amplification. 512× per element, so a hostile 64 KiB
+/// payload once drove a ~128 MiB `Vec::with_capacity` before a single
+/// element had been validated.
+#[allow(dead_code)]
+struct FatElem([u64; 512]);
+
+impl Decode for FatElem {
+    fn decode(r: &mut RecordReader<'_>) -> DecodeResult<Self> {
+        let seed = r.get_u64()?;
+        Ok(FatElem([seed; 512]))
+    }
+}
+
+proptest! {
+    /// The clamp itself: whatever is declared, the speculative reserve is
+    /// bounded by the remaining input *and* by [`MAX_PREALLOC_BYTES`] of
+    /// element memory — and honest declarations are never under-served
+    /// below what those bounds allow.
+    #[test]
+    fn seq_capacity_is_bounded_and_faithful(
+        declared in any::<u64>(),
+        max_encodable in 0usize..1 << 20,
+        elem in 0usize..1 << 16,
+    ) {
+        let cap = seq_capacity(declared, max_encodable, elem);
+        prop_assert!(cap <= max_encodable);
+        prop_assert!(cap as u64 <= declared);
+        prop_assert!(cap.saturating_mul(elem.max(1)) <= MAX_PREALLOC_BYTES.max(max_encodable * elem.max(1)));
+        prop_assert!(cap <= MAX_PREALLOC_BYTES / elem.max(1));
+        // Faithful: small honest counts are reserved exactly.
+        if declared as usize <= max_encodable && declared as usize <= MAX_PREALLOC_BYTES / elem.max(1) {
+            prop_assert_eq!(cap as u64, declared);
+        }
+    }
+
+    /// Adversarial length prefixes on sequence readers: any declared
+    /// count over any small payload either decodes or fails typed —
+    /// without the pre-validation allocation ever exceeding the payload
+    /// bound (a hostile `u64::MAX` prefix used to reach
+    /// `Vec::with_capacity` unclamped and abort the process).
+    #[test]
+    fn hostile_length_prefixes_never_amplify(
+        declared in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        which in 0usize..4,
+    ) {
+        let mut w = RecordWriter::new();
+        w.put_u64(declared);
+        let mut buf = w.into_bytes();
+        buf.extend_from_slice(&payload);
+
+        let mut r = RecordReader::new(&buf);
+        match which {
+            0 => { let _ = r.get_u64_slice(); }
+            1 => { let _ = r.get_f64_slice(); }
+            2 => { let _ = r.get_bytes_owned(); }
+            _ => { let _ = r.get_seq::<FatElem>(); }
+        }
+        // Reaching here at all is the property: no abort, no huge reserve.
+        // Cross-check the only success case that could still over-reserve:
+        // a *valid* FatElem count must not have been amplified 512×.
+        let mut r = RecordReader::new(&buf);
+        if let Ok(v) = r.get_seq::<FatElem>() {
+            prop_assert!(v.len() * 8 <= payload.len());
+        }
+    }
+}
+
+/// The concrete amplification scenario, end to end: a declared element
+/// count that matches the payload byte count (so the pre-existing
+/// `LengthOverflow` guard cannot reject it) over elements 512× larger in
+/// memory than on the wire. Unclamped, the reader would reserve
+/// `64 Ki × 4 KiB = 256 MiB` before validating a single element; clamped,
+/// it reserves at most [`MAX_PREALLOC_BYTES`] and fails typed when the
+/// payload runs dry.
+#[test]
+fn fat_element_amplification_is_clamped() {
+    let n = 64 * 1024u64;
+    let mut w = RecordWriter::new();
+    w.put_u64(n);
+    let mut buf = w.into_bytes();
+    buf.extend_from_slice(&vec![0xAAu8; n as usize]);
+
+    let mut r = RecordReader::new(&buf);
+    let out = r.get_seq::<FatElem>();
+    assert!(
+        matches!(out, Err(DecodeError::UnexpectedEof { .. })),
+        "hostile fat-element count must fail typed: {:?}",
+        out.map(|v| v.len())
+    );
 }
 
 #[test]

@@ -14,9 +14,9 @@ use crate::{ZapcError, ZapcResult};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use zapc_ckpt::{checkpoint_standalone_with, restore_standalone, ParentRecord, RestoredSockets,
-    SaveOpts};
-use zapc_netckpt::{checkpoint_network, restore_network, NetworkRestorePlan};
+use zapc_ckpt::{checkpoint_standalone_with, restore_standalone_obs, ParentRecord,
+    RestoredSockets, SaveOpts};
+use zapc_netckpt::{checkpoint_network_obs, restore_network, NetworkRestorePlan};
 use zapc_pod::Pod;
 use zapc_proto::image::Header;
 use zapc_proto::{Encode, ImageReader, ImageWriter, MetaData, SectionTag};
@@ -70,6 +70,15 @@ pub struct PodStats {
     pub standalone_us: u64,
     /// Time the pod's network stayed blocked (µs; checkpoint only).
     pub blocked_us: u64,
+    /// Suspend + network-block phase (checkpoint) or pod-creation phase
+    /// (restart), in µs.
+    pub quiesce_us: u64,
+    /// Time spent waiting on the Manager's `continue` (µs).
+    pub sync_us: u64,
+    /// Image-delivery (commit) phase time (µs).
+    pub commit_us: u64,
+    /// Resume (or destroy) phase time (µs).
+    pub resume_us: u64,
     /// Encoded image size in bytes.
     pub image_bytes: usize,
     /// Bytes of the image attributable to network state.
@@ -151,13 +160,16 @@ pub fn agent_checkpoint_ext(
         return;
     };
 
+    let obs = &cluster.obs;
     let t0 = Instant::now();
     // Step 1: suspend the pod; block its network.
+    let quiesce_span = obs.span(pod_name, "ckpt.quiesce");
     if let Err(e) = pod.suspend() {
         send_done(Err(format!("suspend failed: {e}")), None);
         return;
     }
     cluster.filter().block_ip(pod.vip());
+    let quiesce_us = quiesce_span.end();
     let blocked_at = Instant::now();
 
     let rollback = |why: &str| {
@@ -177,7 +189,9 @@ pub fn agent_checkpoint_ext(
 
     // Step 2: network-state checkpoint; 2a: report meta-data.
     let tnet = Instant::now();
-    let (meta, records) = checkpoint_network(&pod);
+    let net_span = obs.span(pod_name, "ckpt.net_save");
+    let (meta, records) = checkpoint_network_obs(&pod, obs);
+    net_span.end();
     let net_us = tnet.elapsed().as_micros() as u64;
     if reply
         .send(AgentReply::Meta { pod: pod_name.to_owned(), meta: meta.clone(), net_us })
@@ -193,8 +207,12 @@ pub fn agent_checkpoint_ext(
     }
 
     // Strawman policy: hold everything until the Manager's barrier.
+    let mut sync_us = 0u64;
     if policy == SyncPolicy::GlobalBarrier {
-        match ctl.recv_timeout(ctl_timeout) {
+        let sync_span = obs.span(pod_name, "ckpt.sync");
+        let waited = ctl.recv_timeout(ctl_timeout);
+        sync_us = sync_span.end();
+        match waited {
             Ok(CtlMsg::Continue) => {}
             Ok(CtlMsg::Abort) => {
                 rollback("aborted at barrier");
@@ -214,6 +232,7 @@ pub fn agent_checkpoint_ext(
     // Step 3: standalone checkpoint (concurrent with the Manager sync in
     // the paper's policy).
     let tsa = Instant::now();
+    let dump_span = obs.span(pod_name, "ckpt.dump");
     let header = Header {
         pod: pod_name.to_owned(),
         host: format!("node-{}", pod.node().id),
@@ -253,6 +272,7 @@ pub fn agent_checkpoint_ext(
     let save_opts = SaveOpts {
         workers: ckpt.workers,
         base_gens: lineage.as_ref().map(|l| l.gens.clone()),
+        obs: obs.clone(),
     };
     let outcome = match checkpoint_standalone_with(&pod, &mut w, &save_opts) {
         Ok(o) => o,
@@ -268,6 +288,7 @@ pub fn agent_checkpoint_ext(
     if let Some(a) = cluster.faults.hit("agent.image", pod_name) {
         zapc_faults::FaultPlan::mangle(a, &mut image);
     }
+    dump_span.end();
     let standalone_us = tsa.elapsed().as_micros() as u64;
 
     if cluster.faults.hit("agent.pre_continue", pod_name).is_some() {
@@ -277,7 +298,10 @@ pub fn agent_checkpoint_ext(
     // Steps 3a/4a: the Agent only finishes after it received `continue`.
     // Bounded wait: a lost `continue` must not wedge the Agent forever.
     if policy == SyncPolicy::SingleSync {
-        match ctl.recv_timeout(ctl_timeout) {
+        let sync_span = obs.span(pod_name, "ckpt.sync");
+        let waited = ctl.recv_timeout(ctl_timeout);
+        sync_us = sync_span.end();
+        match waited {
             Ok(CtlMsg::Continue) => {}
             Ok(CtlMsg::Abort) => {
                 rollback("aborted while awaiting continue");
@@ -298,6 +322,7 @@ pub fn agent_checkpoint_ext(
     // its teardown segments (RST/FIN) can never chase the pod to its new
     // home — the restart Agent lifts the block once the pod is re-routed.
     let blocked_us;
+    let resume_span = obs.span(pod_name, "ckpt.resume");
     match finalize {
         Finalize::Resume => {
             cluster.filter().unblock_ip(pod.vip());
@@ -310,8 +335,10 @@ pub fn agent_checkpoint_ext(
             blocked_us = blocked_at.elapsed().as_micros() as u64;
         }
     }
+    let resume_us = resume_span.end();
 
     // Deliver the image to its destination.
+    let commit_span = obs.span(pod_name, "ckpt.commit");
     let image_bytes = image.len();
     let image = Arc::new(image);
     let streamed = match dest {
@@ -350,6 +377,7 @@ pub fn agent_checkpoint_ext(
         }
         Uri::Agent { .. } => Some(Arc::clone(&image)),
     };
+    let commit_us = commit_span.end();
 
     send_done(
         Ok(PodStats {
@@ -358,6 +386,10 @@ pub fn agent_checkpoint_ext(
             net_us,
             standalone_us,
             blocked_us,
+            quiesce_us,
+            sync_us,
+            commit_us,
+            resume_us,
             image_bytes,
             network_bytes,
             incremental: lineage.is_some(),
@@ -405,12 +437,14 @@ fn agent_restart_inner(
     inputs: &RestartInputs,
     timeout: Duration,
 ) -> ZapcResult<PodStats> {
+    let obs = &cluster.obs;
     let t0 = Instant::now();
     let rd = ImageReader::open(&inputs.image)?;
     let sections = rd.sections()?;
 
     // Step 1: create a new (empty) pod from the image's namespace; route
     // its virtual address to this node before reconnection begins.
+    let create_span = obs.span(&inputs.my_meta.pod, "rst.create");
     let ns_payload = sections
         .iter()
         .find(|s| s.tag == SectionTag::Namespace)
@@ -436,8 +470,10 @@ fn agent_restart_inner(
         let snap = zapc_sim::fs::FsSnapshot::decode(&mut r).map_err(ZapcError::Decode)?;
         cluster.fs.restore(&snap);
     }
+    let quiesce_us = create_span.end();
 
     // Steps 2–3: restore network connectivity, then network state.
+    let reconnect_span = obs.span(&inputs.my_meta.pod, "rst.reconnect");
     let tnet = Instant::now();
     let net_payload = sections
         .iter()
@@ -453,18 +489,24 @@ fn agent_restart_inner(
         all_meta: &inputs.all_meta,
         records: &records,
         timeout,
+        obs: obs.clone(),
     };
     let socks = restore_network(&pod, &plan)?;
+    reconnect_span.end();
     let net_us = tnet.elapsed().as_micros() as u64;
 
     // Step 4: standalone restart.
     let tsa = Instant::now();
+    let restore_span = obs.span(&inputs.my_meta.pod, "rst.restore");
     let restored = RestoredSockets { by_ordinal: socks };
-    restore_standalone(&sections, &pod, &cluster.registry, &restored)?;
+    restore_standalone_obs(&sections, &pod, &cluster.registry, &restored, obs)?;
+    restore_span.end();
     let standalone_us = tsa.elapsed().as_micros() as u64;
 
     // Resume execution without further delay (§4).
+    let resume_span = obs.span(&inputs.my_meta.pod, "rst.resume");
     pod.resume()?;
+    let resume_us = resume_span.end();
 
     Ok(PodStats {
         pod: pod.name(),
@@ -472,6 +514,10 @@ fn agent_restart_inner(
         net_us,
         standalone_us,
         blocked_us: 0,
+        quiesce_us,
+        sync_us: 0,
+        commit_us: 0,
+        resume_us,
         image_bytes: inputs.image.len(),
         network_bytes: net_payload.len(),
         incremental: false,

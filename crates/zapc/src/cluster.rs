@@ -54,6 +54,7 @@ pub struct ClusterBuilder {
     registry: ProgramRegistry,
     faults: Arc<FaultPlan>,
     ckpt: CheckpointOpts,
+    obs: zapc_obs::Observer,
 }
 
 impl ClusterBuilder {
@@ -104,12 +105,27 @@ impl ClusterBuilder {
         self
     }
 
+    /// Event observer threaded through the wire, the checkpoint engine,
+    /// and the Manager/Agent protocol. Disabled by default — every
+    /// emission site then costs a single branch.
+    pub fn observer(mut self, obs: zapc_obs::Observer) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Boots the cluster.
     pub fn build(self) -> Cluster {
         let net = Network::new(self.net);
         net.set_faults(Arc::clone(&self.faults));
         let fs = SimFs::new();
         let clock = ClusterClock::new();
+        // Stamp events with the simulated cluster clock (µs) so spans line
+        // up with checkpoint wall_ms across the whole run.
+        let obs = {
+            let clock = Arc::clone(&clock);
+            self.obs.with_clock(move || clock.now_ms() * 1000)
+        };
+        net.set_observer(obs.clone());
         let nodes: Vec<Arc<Node>> = (0..self.nodes)
             .map(|i| {
                 let n = Node::new(
@@ -134,6 +150,7 @@ impl ClusterBuilder {
             next_vip: AtomicU16::new(1),
             ckpt: self.ckpt,
             lineage: Mutex::new(HashMap::new()),
+            obs,
         }
     }
 }
@@ -164,6 +181,9 @@ pub struct Cluster {
     /// space restarts its generation counters, so stale lineage would
     /// mis-classify dirty regions as clean.
     lineage: Mutex<HashMap<String, Lineage>>,
+    /// The cluster-wide event observer (disabled unless installed via
+    /// [`ClusterBuilder::observer`]).
+    pub obs: zapc_obs::Observer,
 }
 
 #[derive(Clone)]
@@ -184,6 +204,7 @@ impl Cluster {
             registry: ProgramRegistry::new(),
             faults: Arc::new(FaultPlan::none()),
             ckpt: CheckpointOpts::default(),
+            obs: zapc_obs::Observer::disabled(),
         }
     }
 

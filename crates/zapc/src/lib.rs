@@ -67,8 +67,8 @@ pub mod uri;
 pub use cluster::{CheckpointOpts, Cluster, ClusterBuilder};
 pub use zapc_faults::{FaultAction, FaultPlan, TraceEvent};
 pub use manager::{
-    checkpoint, migrate, restart, CheckpointReport, CheckpointTarget, PodReport, RestartReport,
-    RestartTarget,
+    checkpoint, migrate, restart, CheckpointReport, CheckpointTarget, Phase, PhaseBreakdown,
+    PodReport, RestartReport, RestartTarget,
 };
 pub use uri::Uri;
 

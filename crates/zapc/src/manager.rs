@@ -82,6 +82,14 @@ pub struct PodReport {
     pub standalone_ms: f64,
     /// How long the pod's network stayed blocked (ms; checkpoint only).
     pub blocked_ms: f64,
+    /// Suspend/quiesce (checkpoint) or pod-creation (restart) phase (ms).
+    pub quiesce_ms: f64,
+    /// Time the Agent waited on the Manager's `continue` (ms).
+    pub sync_ms: f64,
+    /// Image-delivery (commit) phase (ms).
+    pub commit_ms: f64,
+    /// Resume phase (ms).
+    pub resume_ms: f64,
     /// Image size (bytes).
     pub image_bytes: usize,
     /// Network-state share of the image (bytes).
@@ -99,10 +107,40 @@ impl From<PodStats> for PodReport {
             net_ms: s.net_us as f64 / 1000.0,
             standalone_ms: s.standalone_us as f64 / 1000.0,
             blocked_ms: s.blocked_us as f64 / 1000.0,
+            quiesce_ms: s.quiesce_us as f64 / 1000.0,
+            sync_ms: s.sync_us as f64 / 1000.0,
+            commit_ms: s.commit_us as f64 / 1000.0,
+            resume_ms: s.resume_us as f64 / 1000.0,
             image_bytes: s.image_bytes,
             network_bytes: s.network_bytes,
             incremental: s.incremental,
         }
+    }
+}
+
+/// One named slice of a Manager-observed operation.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// Phase name (`mgr.meta`, `mgr.sync`, `mgr.commit`, …).
+    pub name: &'static str,
+    /// Wall time of the phase (ms).
+    pub ms: f64,
+}
+
+/// Manager-side wall-time partition of a coordinated operation. The
+/// phases tile the interval from invocation to the last `done`, so
+/// [`PhaseBreakdown::sum_ms`] equals the report's `wall_ms` up to
+/// measurement noise.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseBreakdown {
+    /// Ordered phases.
+    pub phases: Vec<Phase>,
+}
+
+impl PhaseBreakdown {
+    /// Total of all phases (ms).
+    pub fn sum_ms(&self) -> f64 {
+        self.phases.iter().map(|p| p.ms).sum()
     }
 }
 
@@ -114,6 +152,12 @@ pub struct CheckpointReport {
     /// Manager-observed wall time, invocation → all `done` (the Figure 6a
     /// metric).
     pub wall_ms: f64,
+    /// Manager-side phase partition of `wall_ms`.
+    pub phases: PhaseBreakdown,
+    /// Agent `done` replies that arrived only while draining an aborted
+    /// attempt (previously discarded silently), accumulated across
+    /// retries.
+    pub late_replies: u64,
     /// The merged meta-data (for diagnostics and direct migration).
     pub meta: Vec<MetaData>,
 }
@@ -125,6 +169,11 @@ pub struct RestartReport {
     pub pods: Vec<PodReport>,
     /// Manager-observed wall time (the Figure 6b metric).
     pub wall_ms: f64,
+    /// Manager-side phase partition of `wall_ms`.
+    pub phases: PhaseBreakdown,
+    /// Late Agent replies drained after aborted attempts (migrations
+    /// only; plain restarts have no abort-drain path).
+    pub late_replies: u64,
 }
 
 /// Knobs for [`checkpoint_with`].
@@ -183,8 +232,9 @@ pub fn checkpoint_with(
     opts: &CheckpointOptions,
 ) -> ZapcResult<CheckpointReport> {
     let mut attempt = 0;
+    let mut late = 0u64;
     loop {
-        match checkpoint_once(cluster, targets, opts) {
+        match checkpoint_once(cluster, targets, opts, &mut late) {
             // Retry only when the abort rolled every target back to
             // running — a partially-committed destroy cannot be re-run.
             Err(ZapcError::Aborted(why))
@@ -194,6 +244,10 @@ pub fn checkpoint_with(
                 attempt += 1;
                 std::thread::sleep(opts.backoff * attempt);
                 let _ = why;
+            }
+            Ok(mut report) => {
+                report.late_replies = late;
+                return Ok(report);
             }
             other => return other,
         }
@@ -205,12 +259,17 @@ fn checkpoint_once(
     cluster: &Cluster,
     targets: &[CheckpointTarget],
     opts: &CheckpointOptions,
+    late: &mut u64,
 ) -> ZapcResult<CheckpointReport> {
     let t0 = Instant::now();
     let (reply_tx, reply_rx) = unbounded::<AgentReply>();
     let mut ctls: HashMap<String, Sender<CtlMsg>> = HashMap::new();
 
     let result = std::thread::scope(|scope| {
+        // Manager-side phase partition: broadcast + meta collection, the
+        // single sync, then done collection. The three slices tile
+        // t0 → last `done`, so their sum reproduces `wall_ms`.
+        let meta_span = cluster.obs.span("manager", "mgr.meta");
         // 1. Broadcast `checkpoint` to all participating Agents.
         for t in targets {
             let (ctl_tx, ctl_rx) = bounded::<CtlMsg>(1);
@@ -243,14 +302,14 @@ fn checkpoint_once(
                     if let AgentReply::Done { result: Err(why), pod, .. } = &done {
                         let why = format!("agent for {pod} failed: {why}");
                         abort_all(&ctls);
-                        drain_done(&reply_rx, targets.len() - 1, opts.timeout);
+                        *late += drain_done(cluster, &reply_rx, targets.len() - 1, opts.timeout);
                         return Err(ZapcError::Aborted(why));
                     }
                     early_done.push(done);
                 }
                 Err(_) => {
                     abort_all(&ctls);
-                    drain_done(&reply_rx, targets.len(), opts.timeout);
+                    *late += drain_done(cluster, &reply_rx, targets.len(), opts.timeout);
                     return Err(ZapcError::Aborted("timed out waiting for meta-data".into()));
                 }
             }
@@ -263,19 +322,26 @@ fn checkpoint_once(
             || cluster.faults.hit("manager.post_meta", "manager").is_some()
         {
             ctls.clear();
-            drain_done(&reply_rx, targets.len(), opts.timeout);
+            *late += drain_done(cluster, &reply_rx, targets.len(), opts.timeout);
             return Err(ZapcError::Aborted("manager crashed after meta-data".into()));
         }
+        meta_span.end();
+        let t_meta = Instant::now();
 
         // 3. The single synchronization: `continue` to everyone. The
         // `ctl.continue` fault site loses or delays individual messages;
         // the Agent's bounded wait turns a loss into a rollback.
+        let sync_span = cluster.obs.span("manager", "mgr.sync");
         send_continue(cluster, &ctls);
+        sync_span.end();
+        let t_sync = Instant::now();
+        let commit_span = cluster.obs.span("manager", "mgr.commit");
 
         // Fault site: the Manager dies before collecting `done` replies.
         if cluster.faults.hit("manager.pre_done", "manager").is_some() {
             ctls.clear();
-            drain_done(&reply_rx, targets.len() - early_done.len(), opts.timeout);
+            *late +=
+                drain_done(cluster, &reply_rx, targets.len() - early_done.len(), opts.timeout);
             return Err(ZapcError::Aborted("manager crashed collecting done".into()));
         }
 
@@ -307,7 +373,7 @@ fn checkpoint_once(
                     // Agent to abort and wait out their rollbacks so no
                     // pod is left suspended when we return.
                     abort_all(&ctls);
-                    drain_done(&reply_rx, pending, opts.timeout);
+                    *late += drain_done(cluster, &reply_rx, pending, opts.timeout);
                     failure = Some("timed out waiting for done".into());
                     break;
                 }
@@ -316,8 +382,23 @@ fn checkpoint_once(
         if let Some(why) = failure {
             return Err(ZapcError::Aborted(why));
         }
+        commit_span.end();
+        let t_end = Instant::now();
         pods.sort_by(|a, b| a.pod.cmp(&b.pod));
-        Ok(CheckpointReport { pods, wall_ms: t0.elapsed().as_secs_f64() * 1000.0, meta })
+        let phases = PhaseBreakdown {
+            phases: vec![
+                Phase { name: "mgr.meta", ms: (t_meta - t0).as_secs_f64() * 1000.0 },
+                Phase { name: "mgr.sync", ms: (t_sync - t_meta).as_secs_f64() * 1000.0 },
+                Phase { name: "mgr.commit", ms: (t_end - t_sync).as_secs_f64() * 1000.0 },
+            ],
+        };
+        Ok(CheckpointReport {
+            pods,
+            wall_ms: (t_end - t0).as_secs_f64() * 1000.0,
+            phases,
+            late_replies: 0,
+            meta,
+        })
     });
     result
 }
@@ -349,14 +430,34 @@ fn abort_all(ctls: &HashMap<String, Sender<CtlMsg>>) {
     }
 }
 
-fn drain_done(rx: &Receiver<AgentReply>, mut pending: usize, timeout: Duration) {
+/// Waits out up to `pending` rollback (`done`) replies after an abort so
+/// no Agent thread is left blocked on a full channel. Returns how many
+/// replies actually arrived: these are Agent reports the operation
+/// consumed without surfacing (the bug this fixed silently discarded
+/// them), so callers accumulate the count into the report's
+/// `late_replies` and emit one `mgr.late_reply` counter per reply.
+#[must_use]
+fn drain_done(
+    cluster: &Cluster,
+    rx: &Receiver<AgentReply>,
+    mut pending: usize,
+    timeout: Duration,
+) -> u64 {
+    let mut late = 0u64;
     while pending > 0 {
         match rx.recv_timeout(timeout) {
-            Ok(AgentReply::Done { .. }) => pending -= 1,
+            Ok(AgentReply::Done { pod, .. }) => {
+                pending -= 1;
+                late += 1;
+                if cluster.obs.enabled() {
+                    cluster.obs.counter(&pod, "mgr.late_reply", 1);
+                }
+            }
             Ok(_) => {}
             Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
         }
     }
+    late
 }
 
 /// Coordinated restart (Figure 3, Manager side) with the default timeout.
@@ -401,10 +502,13 @@ pub fn restart_with(
         images.push(image);
     }
 
-    restart_from_parts(cluster, targets, images, metas, timeout, t0, false)
+    restart_from_parts(cluster, targets, images, metas, timeout, t0, false, 0)
 }
 
 /// Shared tail of `restart`/`migrate`: schedule + per-Agent restart.
+/// `late` carries `done` replies already drained by the caller's aborted
+/// checkpoint attempts (migrations), surfaced on the final report.
+#[allow(clippy::too_many_arguments)]
 fn restart_from_parts(
     cluster: &Cluster,
     targets: &[RestartTarget],
@@ -413,7 +517,13 @@ fn restart_from_parts(
     timeout: Duration,
     t0: Instant,
     sendq_merge: bool,
+    late: u64,
 ) -> ZapcResult<RestartReport> {
+    // `mgr.prepare` covers everything before the schedule: image fetch
+    // and squash for a restart, the whole checkpoint phase 1 for a
+    // migration.
+    let t_prepare = Instant::now();
+    let schedule_span = cluster.obs.span("manager", "mgr.schedule");
     // Derive the connectivity map and the connect/accept schedule.
     assign_roles(&mut metas);
 
@@ -438,8 +548,11 @@ fn restart_from_parts(
         merged_records = all_records.into_iter().map(Some).collect();
     }
     let all_meta = Arc::new(metas);
+    schedule_span.end();
+    let t_schedule = Instant::now();
 
     // 1. Send `restart` + modified meta-data to each Agent.
+    let restore_span = cluster.obs.span("manager", "mgr.restore");
     let (reply_tx, reply_rx) = unbounded::<AgentReply>();
     std::thread::scope(|scope| {
         for (i, t) in targets.iter().enumerate() {
@@ -467,7 +580,24 @@ fn restart_from_parts(
             }
         }
         pods.sort_by(|a: &PodReport, b: &PodReport| a.pod.cmp(&b.pod));
-        Ok(RestartReport { pods, wall_ms: t0.elapsed().as_secs_f64() * 1000.0 })
+        restore_span.end();
+        let t_end = Instant::now();
+        let phases = PhaseBreakdown {
+            phases: vec![
+                Phase { name: "mgr.prepare", ms: (t_prepare - t0).as_secs_f64() * 1000.0 },
+                Phase {
+                    name: "mgr.schedule",
+                    ms: (t_schedule - t_prepare).as_secs_f64() * 1000.0,
+                },
+                Phase { name: "mgr.restore", ms: (t_end - t_schedule).as_secs_f64() * 1000.0 },
+            ],
+        };
+        Ok(RestartReport {
+            pods,
+            wall_ms: (t_end - t0).as_secs_f64() * 1000.0,
+            phases,
+            late_replies: late,
+        })
     })
 }
 
@@ -543,10 +673,11 @@ pub fn migrate_with(
         })
         .collect();
 
+    let mut late = 0u64;
     let (images, metas) = {
         let mut attempt = 0;
         loop {
-            match migrate_checkpoint_phase(cluster, &targets, opts) {
+            match migrate_checkpoint_phase(cluster, &targets, opts, &mut late) {
                 // Retry only when every source pod survived the abort; a
                 // fault that struck after some Agents passed the sync
                 // point (and destroyed their pods) is final.
@@ -582,6 +713,7 @@ pub fn migrate_with(
         opts.timeout,
         t0,
         opts.sendq_merge,
+        late,
     )
 }
 
@@ -595,6 +727,7 @@ fn migrate_checkpoint_phase(
     cluster: &Cluster,
     targets: &[CheckpointTarget],
     opts: &MigrateOptions,
+    late: &mut u64,
 ) -> ZapcResult<StreamedParts> {
     let (reply_tx, reply_rx) = unbounded::<AgentReply>();
     let mut ctls: HashMap<String, Sender<CtlMsg>> = HashMap::new();
@@ -625,13 +758,13 @@ fn migrate_checkpoint_phase(
                 }
                 Ok(AgentReply::Done { result: Err(why), .. }) => {
                     abort_all(&ctls);
-                    drain_done(&reply_rx, targets.len() - 1, opts.timeout);
+                    *late += drain_done(cluster, &reply_rx, targets.len() - 1, opts.timeout);
                     return Err(ZapcError::Aborted(why));
                 }
                 Ok(_) => {}
                 Err(_) => {
                     abort_all(&ctls);
-                    drain_done(&reply_rx, targets.len(), opts.timeout);
+                    *late += drain_done(cluster, &reply_rx, targets.len(), opts.timeout);
                     return Err(ZapcError::Aborted("migrate: meta-data timeout".into()));
                 }
             }
@@ -639,7 +772,7 @@ fn migrate_checkpoint_phase(
 
         if cluster.faults.hit("manager.post_meta", "migrate").is_some() {
             ctls.clear();
-            drain_done(&reply_rx, targets.len(), opts.timeout);
+            *late += drain_done(cluster, &reply_rx, targets.len(), opts.timeout);
             return Err(ZapcError::Aborted("manager crashed after meta-data".into()));
         }
 
@@ -647,7 +780,7 @@ fn migrate_checkpoint_phase(
 
         if cluster.faults.hit("manager.pre_done", "migrate").is_some() {
             ctls.clear();
-            drain_done(&reply_rx, targets.len(), opts.timeout);
+            *late += drain_done(cluster, &reply_rx, targets.len(), opts.timeout);
             return Err(ZapcError::Aborted("manager crashed collecting done".into()));
         }
 
@@ -663,7 +796,7 @@ fn migrate_checkpoint_phase(
                         }
                         None => {
                             abort_all(&ctls);
-                            drain_done(&reply_rx, pending, opts.timeout);
+                            *late += drain_done(cluster, &reply_rx, pending, opts.timeout);
                             return Err(ZapcError::Aborted(format!("{pod}: no streamed image")));
                         }
                     }
@@ -671,13 +804,13 @@ fn migrate_checkpoint_phase(
                 Ok(AgentReply::Done { result: Err(why), .. }) => {
                     pending -= 1;
                     abort_all(&ctls);
-                    drain_done(&reply_rx, pending, opts.timeout);
+                    *late += drain_done(cluster, &reply_rx, pending, opts.timeout);
                     return Err(ZapcError::Aborted(why));
                 }
                 Ok(_) => {}
                 Err(_) => {
                     abort_all(&ctls);
-                    drain_done(&reply_rx, pending, opts.timeout);
+                    *late += drain_done(cluster, &reply_rx, pending, opts.timeout);
                     return Err(ZapcError::Aborted("migrate: done timeout".into()));
                 }
             }
