@@ -5,18 +5,25 @@
 //! and slowness. This crate provides the injection engine the rest of the
 //! workspace consults at named **sites**:
 //!
-//! | site                  | layer       | meaning                                        |
-//! |-----------------------|-------------|------------------------------------------------|
-//! | `agent.pre_meta`      | zapc agent  | Agent dies before reporting meta-data          |
-//! | `agent.post_meta`     | zapc agent  | Agent dies after reporting meta-data           |
-//! | `agent.pre_continue`  | zapc agent  | Agent dies while awaiting `continue`           |
-//! | `agent.image`         | zapc agent  | image bytes truncated / corrupted on write     |
-//! | `agent.slow`          | zapc agent  | Agent latency before reporting meta-data       |
-//! | `ctl.continue`        | zapc mgr    | Manager→Agent `continue` dropped or delayed    |
-//! | `manager.post_meta`   | zapc mgr    | Manager dies after collecting meta-data        |
-//! | `manager.pre_done`    | zapc mgr    | Manager dies while collecting `done` replies   |
-//! | `net.segment`         | net wire    | segment dropped / duplicated / delayed         |
-//! | `node.sched`          | sim node    | scheduler sweep latency (slow node)            |
+//! | site                   | layer       | meaning                                        |
+//! |------------------------|-------------|------------------------------------------------|
+//! | `agent.pre_meta`       | zapc agent  | Agent dies before reporting meta-data          |
+//! | `agent.post_meta`      | zapc agent  | Agent dies after reporting meta-data           |
+//! | `agent.pre_continue`   | zapc agent  | Agent dies while awaiting `continue`           |
+//! | `agent.image`          | zapc agent  | image bytes truncated / corrupted on write     |
+//! | `agent.slow`           | zapc agent  | Agent latency before reporting meta-data       |
+//! | `agent.stage`          | zapc agent  | Agent dies while staging into the durable store|
+//! | `agent.node_dead`      | zapc agent  | the Agent's node dies mid-operation (silent)   |
+//! | `ctl.continue`         | zapc mgr    | Manager→Agent `continue` dropped or delayed    |
+//! | `manager.post_meta`    | zapc mgr    | Manager dies after collecting meta-data        |
+//! | `manager.pre_done`     | zapc mgr    | Manager dies while collecting `done` replies   |
+//! | `manager.pre_manifest` | zapc mgr    | Manager dies before the manifest commit rename |
+//! | `manager.post_manifest`| zapc mgr    | Manager dies right after the manifest commit   |
+//! | `store.fsync`          | zapc store  | an fsync is silently lost (crash can tear)     |
+//! | `store.manifest`       | zapc store  | manifest bytes corrupted / truncated on write  |
+//! | `store.pre_rename`     | zapc store  | store writer dies before the atomic rename     |
+//! | `net.segment`          | net wire    | segment dropped / duplicated / delayed         |
+//! | `node.sched`           | sim node    | scheduler sweep latency (slow node)            |
 //!
 //! A [`FaultPlan`] is built either from a `u64` seed ([`FaultPlan::from_seed`])
 //! or from an explicit script ([`FaultPlan::script`]). Decisions are a
@@ -40,9 +47,16 @@ pub const SITES: &[&str] = &[
     "agent.pre_continue",
     "agent.image",
     "agent.slow",
+    "agent.stage",
+    "agent.node_dead",
     "ctl.continue",
     "manager.post_meta",
     "manager.pre_done",
+    "manager.pre_manifest",
+    "manager.post_manifest",
+    "store.fsync",
+    "store.manifest",
+    "store.pre_rename",
     "net.segment",
     "node.sched",
 ];
@@ -163,7 +177,7 @@ fn fnv1a(s: &str) -> u64 {
 /// Site-appropriate action derived from a decision hash.
 fn action_for(site: &str, h: u64) -> FaultAction {
     let pick = mix(h ^ 0xACCE_55ED);
-    if site == "agent.image" {
+    if site == "agent.image" || site == "store.manifest" {
         if pick.is_multiple_of(2) {
             FaultAction::Corrupt { byte: mix(pick) }
         } else {
@@ -183,9 +197,13 @@ fn action_for(site: &str, h: u64) -> FaultAction {
         }
     } else if site == "agent.slow" || site == "node.sched" {
         FaultAction::Delay { micros: 500 + pick % 20_000 }
+    } else if site == "store.fsync" {
+        FaultAction::Drop
     } else {
         // agent.pre_meta / agent.post_meta / agent.pre_continue /
-        // manager.post_meta / manager.pre_done
+        // agent.stage / agent.node_dead / manager.post_meta /
+        // manager.pre_done / manager.pre_manifest / manager.post_manifest /
+        // store.pre_rename
         FaultAction::Crash
     }
 }

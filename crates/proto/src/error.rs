@@ -70,6 +70,12 @@ pub enum DecodeError {
         /// Number of unread payload bytes.
         remaining: usize,
     },
+    /// A keyed entry that must be unique within its table (e.g. a pod
+    /// reference in a checkpoint manifest) appeared more than once.
+    DuplicateEntry {
+        /// What kind of entry was duplicated.
+        what: &'static str,
+    },
 }
 
 impl fmt::Display for DecodeError {
@@ -104,6 +110,9 @@ impl fmt::Display for DecodeError {
             }
             DecodeError::TrailingBytes { tag, remaining } => {
                 write!(f, "record {tag:#06x} has {remaining} unread payload bytes")
+            }
+            DecodeError::DuplicateEntry { what } => {
+                write!(f, "duplicate {what} entry")
             }
         }
     }

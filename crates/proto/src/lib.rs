@@ -26,10 +26,12 @@
 pub mod crc;
 pub mod error;
 pub mod image;
+pub mod manifest;
 pub mod meta;
 pub mod rw;
 
 pub use error::{DecodeError, DecodeResult};
 pub use image::{ImageReader, ImageWriter, SectionTag, FORMAT_VERSION, MAGIC, MIN_FORMAT_VERSION};
+pub use manifest::{Manifest, ManifestEntry, MANIFEST_MAGIC, MANIFEST_TAG, MANIFEST_VERSION};
 pub use meta::{ConnEntry, ConnState, Endpoint, MetaData, RestartRole, Transport};
 pub use rw::{seq_capacity, Decode, Encode, RecordReader, RecordWriter, MAX_PREALLOC_BYTES};

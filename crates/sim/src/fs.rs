@@ -10,6 +10,29 @@
 //!
 //! An optional whole-tree snapshot (the paper's pluggable file-system
 //! snapshot hook) supports the `FsSnapshot` image section.
+//!
+//! ## Crash semantics
+//!
+//! To let the durable image store (`zapc-store`) be tested against real
+//! power-loss behavior, every file carries a **synced watermark**: the
+//! prefix of its bytes known to have reached stable storage.
+//!
+//! * [`SimFs::write`] replaces a file's contents entirely *volatile*
+//!   (watermark 0): an in-place overwrite is not crash-safe, which is
+//!   exactly why atomic replacement goes through write-to-temp → fsync →
+//!   rename.
+//! * [`SimFs::fsync`] advances the watermark to the full length.
+//! * [`SimFs::rename`] atomically moves a file (replacing any existing
+//!   destination) and carries the source's watermark with it — renaming a
+//!   file that was never fsynced can therefore leave a *torn* file at the
+//!   final path after a crash, as on a real file system.
+//! * [`SimFs::crash_unsynced_under`] simulates the power loss: every file
+//!   under a prefix is truncated to its watermark; files with nothing
+//!   synced disappear entirely.
+//!
+//! Appends and positional writes leave the watermark where it was (the
+//! grown/overwritten suffix is unsynced). Restoring an [`FsSnapshot`]
+//! marks the restored bytes durable.
 
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
@@ -18,11 +41,19 @@ use zapc_proto::{Decode, DecodeResult, Encode, RecordReader, RecordWriter};
 
 use crate::Errno;
 
+/// One stored file: its bytes plus the crash-durability watermark.
+#[derive(Debug, Default, Clone)]
+struct FileEnt {
+    data: Vec<u8>,
+    /// Bytes `[0, synced)` survive a crash; the rest is volatile.
+    synced: usize,
+}
+
 /// Cluster-shared file system. Paths are `/`-separated and always absolute;
 /// directories are implicit (created on demand, as in an object store).
 #[derive(Debug, Default)]
 pub struct SimFs {
-    files: RwLock<BTreeMap<String, Vec<u8>>>,
+    files: RwLock<BTreeMap<String, FileEnt>>,
 }
 
 impl SimFs {
@@ -40,44 +71,108 @@ impl SimFs {
         out
     }
 
-    /// Creates (or truncates) a file with `data`.
+    /// Creates (or truncates) a file with `data`. The new contents are
+    /// volatile until [`SimFs::fsync`] — see the module docs.
     pub fn write(&self, path: &str, data: &[u8]) {
-        self.files.write().insert(Self::norm(path), data.to_vec());
+        self.files
+            .write()
+            .insert(Self::norm(path), FileEnt { data: data.to_vec(), synced: 0 });
     }
 
-    /// Appends to a file, creating it if absent.
+    /// Appends to a file, creating it if absent. The appended suffix is
+    /// volatile (watermark unchanged).
     pub fn append(&self, path: &str, data: &[u8]) {
-        self.files.write().entry(Self::norm(path)).or_default().extend_from_slice(data);
+        self.files
+            .write()
+            .entry(Self::norm(path))
+            .or_default()
+            .data
+            .extend_from_slice(data);
     }
 
     /// Reads a whole file.
     pub fn read(&self, path: &str) -> Result<Vec<u8>, Errno> {
-        self.files.read().get(&Self::norm(path)).cloned().ok_or(Errno::ENOENT)
+        self.files
+            .read()
+            .get(&Self::norm(path))
+            .map(|f| f.data.clone())
+            .ok_or(Errno::ENOENT)
     }
 
     /// Reads `len` bytes at `offset`; short reads at EOF.
     pub fn read_at(&self, path: &str, offset: u64, len: usize) -> Result<Vec<u8>, Errno> {
         let files = self.files.read();
         let f = files.get(&Self::norm(path)).ok_or(Errno::ENOENT)?;
-        let start = (offset as usize).min(f.len());
-        let end = (start + len).min(f.len());
-        Ok(f[start..end].to_vec())
+        let start = (offset as usize).min(f.data.len());
+        let end = (start + len).min(f.data.len());
+        Ok(f.data[start..end].to_vec())
     }
 
-    /// Writes `data` at `offset`, growing the file as needed.
+    /// Writes `data` at `offset`, growing the file as needed. The touched
+    /// range is volatile; the watermark never moves backwards past it
+    /// (overwritten synced bytes stay claimable only up to `offset`).
     pub fn write_at(&self, path: &str, offset: u64, data: &[u8]) {
         let mut files = self.files.write();
         let f = files.entry(Self::norm(path)).or_default();
         let end = offset as usize + data.len();
-        if f.len() < end {
-            f.resize(end, 0);
+        if f.data.len() < end {
+            f.data.resize(end, 0);
         }
-        f[offset as usize..end].copy_from_slice(data);
+        f.data[offset as usize..end].copy_from_slice(data);
+        f.synced = f.synced.min(offset as usize);
+    }
+
+    /// Flushes a file to stable storage: its current bytes survive a crash.
+    pub fn fsync(&self, path: &str) -> Result<(), Errno> {
+        let mut files = self.files.write();
+        let f = files.get_mut(&Self::norm(path)).ok_or(Errno::ENOENT)?;
+        f.synced = f.data.len();
+        Ok(())
+    }
+
+    /// Atomically renames `from` to `to`, replacing any existing
+    /// destination. The durability watermark travels with the file, so a
+    /// rename is only as crash-safe as the fsync that preceded it.
+    pub fn rename(&self, from: &str, to: &str) -> Result<(), Errno> {
+        let (from, to) = (Self::norm(from), Self::norm(to));
+        let mut files = self.files.write();
+        let ent = files.remove(&from).ok_or(Errno::ENOENT)?;
+        files.insert(to, ent);
+        Ok(())
+    }
+
+    /// Simulates power loss for the subtree under `prefix`: every file is
+    /// truncated to its synced watermark, and files with nothing durable
+    /// vanish. Returns how many files were torn or lost. Other subtrees
+    /// (application data on the SAN) are untouched.
+    pub fn crash_unsynced_under(&self, prefix: &str) -> usize {
+        let prefix = {
+            let mut p = Self::norm(prefix);
+            p.push('/');
+            p
+        };
+        let mut files = self.files.write();
+        let mut affected = 0;
+        files.retain(|k, f| {
+            if !k.starts_with(&prefix) {
+                return true;
+            }
+            if f.synced < f.data.len() {
+                affected += 1;
+                f.data.truncate(f.synced);
+            }
+            f.synced > 0
+        });
+        affected
     }
 
     /// File size, if it exists.
     pub fn size(&self, path: &str) -> Result<u64, Errno> {
-        self.files.read().get(&Self::norm(path)).map(|f| f.len() as u64).ok_or(Errno::ENOENT)
+        self.files
+            .read()
+            .get(&Self::norm(path))
+            .map(|f| f.data.len() as u64)
+            .ok_or(Errno::ENOENT)
     }
 
     /// Whether the file exists.
@@ -114,7 +209,7 @@ impl SimFs {
 
     /// Total stored bytes.
     pub fn total_bytes(&self) -> usize {
-        self.files.read().values().map(Vec::len).sum()
+        self.files.read().values().map(|f| f.data.len()).sum()
     }
 
     /// Snapshot of the subtree under `prefix` (the optional file-system
@@ -126,16 +221,17 @@ impl SimFs {
             files: files
                 .iter()
                 .filter(|(k, _)| k.starts_with(&prefix))
-                .map(|(k, v)| (k.clone(), v.clone()))
+                .map(|(k, v)| (k.clone(), v.data.clone()))
                 .collect(),
         }
     }
 
-    /// Restores a snapshot (overwrites matching paths).
+    /// Restores a snapshot (overwrites matching paths). Restored bytes are
+    /// durable — a snapshot restore models recovery from stable storage.
     pub fn restore(&self, snap: &FsSnapshot) {
         let mut files = self.files.write();
         for (k, v) in &snap.files {
-            files.insert(k.clone(), v.clone());
+            files.insert(k.clone(), FileEnt { data: v.clone(), synced: v.len() });
         }
     }
 }
@@ -244,5 +340,63 @@ mod tests {
             .join()
             .unwrap();
         assert!(fs.exists("/from-other-node"));
+    }
+
+    #[test]
+    fn crash_loses_unsynced_files() {
+        let fs = SimFs::new();
+        fs.write("/store/a", b"never synced");
+        fs.write("/store/b", b"synced");
+        fs.fsync("/store/b").unwrap();
+        fs.write("/elsewhere/c", b"other subtree");
+        let affected = fs.crash_unsynced_under("/store");
+        assert_eq!(affected, 1);
+        assert!(!fs.exists("/store/a"), "unsynced file vanishes");
+        assert_eq!(fs.read("/store/b").unwrap(), b"synced");
+        assert!(fs.exists("/elsewhere/c"), "crash is scoped to the prefix");
+    }
+
+    #[test]
+    fn crash_tears_partially_synced_file() {
+        let fs = SimFs::new();
+        fs.write("/store/f", b"durable");
+        fs.fsync("/store/f").unwrap();
+        fs.append("/store/f", b"+volatile");
+        fs.crash_unsynced_under("/store");
+        assert_eq!(fs.read("/store/f").unwrap(), b"durable", "torn to the watermark");
+    }
+
+    #[test]
+    fn rename_is_atomic_and_carries_watermark() {
+        let fs = SimFs::new();
+        fs.write("/store/tmp/x", b"image bytes");
+        fs.fsync("/store/tmp/x").unwrap();
+        fs.rename("/store/tmp/x", "/store/images/x").unwrap();
+        assert!(!fs.exists("/store/tmp/x"));
+        fs.crash_unsynced_under("/store");
+        assert_eq!(fs.read("/store/images/x").unwrap(), b"image bytes");
+
+        // Renaming without fsync leaves a torn file after a crash.
+        fs.write("/store/tmp/y", b"never synced");
+        fs.rename("/store/tmp/y", "/store/images/y").unwrap();
+        fs.crash_unsynced_under("/store");
+        assert!(!fs.exists("/store/images/y"), "unsynced rename does not survive");
+    }
+
+    #[test]
+    fn overwrite_resets_durability() {
+        let fs = SimFs::new();
+        fs.write("/store/f", b"v1");
+        fs.fsync("/store/f").unwrap();
+        fs.write("/store/f", b"v2");
+        fs.crash_unsynced_under("/store");
+        assert!(!fs.exists("/store/f"), "in-place overwrite is not crash-safe");
+    }
+
+    #[test]
+    fn rename_missing_source_is_enoent() {
+        let fs = SimFs::new();
+        assert_eq!(fs.rename("/no/such", "/dst"), Err(Errno::ENOENT));
+        assert_eq!(fs.fsync("/no/such"), Err(Errno::ENOENT));
     }
 }

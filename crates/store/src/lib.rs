@@ -1,0 +1,552 @@
+//! # zapc-store — the durable checkpoint image store
+//!
+//! Checkpoints are only useful if they survive the failure they are meant
+//! to protect against. This crate is ZapC's durable store: a directory
+//! tree on the simulated file system ([`zapc_sim::SimFs`]) that holds
+//! committed checkpoint images and the manifests that make them
+//! *reachable*, written with the classic crash-consistency discipline:
+//!
+//! 1. **write to a temp file** under `<root>/tmp/`,
+//! 2. **fsync** it (advance the durability watermark),
+//! 3. **atomically rename** it to its final path.
+//!
+//! A power loss at any instant therefore leaves either the complete old
+//! state or the complete new state — never a half-written file that parses.
+//! The store is deliberately ignorant of checkpoint *semantics*: it moves
+//! bytes and verifies digests. What makes a set of images a committed
+//! checkpoint is one level up — the [`zapc_proto::Manifest`] whose rename
+//! into `<root>/manifests/<id>` is the commit point (see
+//! `crates/zapc/src/commit.rs`).
+//!
+//! ## Layout
+//!
+//! ```text
+//! <root>/tmp/<seq>-<name>     in-flight writes (crash orphans; GC fodder)
+//! <root>/images/<ckpt>/<pod>  staged/committed per-pod images
+//! <root>/manifests/<ckpt>     commit records (one per checkpoint)
+//! ```
+//!
+//! References handed out by the store (`images/7/w0`) are *store-relative*
+//! so manifests stay valid if the store root moves.
+//!
+//! ## Reachability is the commit discipline
+//!
+//! `put_image` renames an image to its final path as soon as it is staged,
+//! but a staged image is not yet part of any checkpoint: nothing references
+//! it until a manifest naming it commits. Recovery treats every image not
+//! reachable from a retained manifest (including transitive incremental
+//! parents) as garbage. This avoids a separate promotion step — and the
+//! extra crash window it would add.
+//!
+//! ## Fault sites
+//!
+//! The store consults the cluster [`FaultPlan`] at four sites:
+//! `store.fsync` (the fsync is silently lost — a later crash tears the
+//! file), `store.manifest` (manifest bytes are corrupted/truncated on
+//! write — a *torn manifest*), and `store.pre_rename` (the writer dies
+//! before the rename, surfacing as [`StoreError::Crashed`] and leaving a
+//! tmp orphan). Crashes here are *returned*, not thrown: the caller decides
+//! whether the writer was an Agent (abort the checkpoint) or the Manager
+//! (the whole commit dies).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use zapc_faults::{FaultAction, FaultPlan};
+use zapc_obs::Observer;
+use zapc_proto::crc::fnv1a64;
+use zapc_proto::{DecodeError, Manifest};
+use zapc_sim::{Errno, SimFs};
+
+/// Errors surfaced by the image store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// Underlying file-system error (missing file, …).
+    Io(Errno),
+    /// A manifest failed to parse or validate.
+    Decode(DecodeError),
+    /// Image bytes did not match the digest recorded at commit time.
+    DigestMismatch {
+        /// Store-relative reference of the offending image.
+        image_ref: String,
+        /// Digest recorded in the manifest.
+        want: u64,
+        /// Digest of the bytes actually read.
+        got: u64,
+    },
+    /// A manifest's recorded checkpoint id disagrees with its path.
+    IdMismatch {
+        /// Id from the file path.
+        path_id: u64,
+        /// Id recorded inside the manifest.
+        recorded: u64,
+    },
+    /// An injected fault killed the writer mid-operation. The durable
+    /// state is whatever the discipline guarantees at that point: a tmp
+    /// orphan at worst, never a torn final file that validates.
+    Crashed {
+        /// The fault site that fired.
+        site: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e:?}"),
+            StoreError::Decode(e) => write!(f, "store decode error: {e}"),
+            StoreError::DigestMismatch { image_ref, want, got } => write!(
+                f,
+                "digest mismatch for {image_ref}: manifest says {want:#018x}, bytes hash to {got:#018x}"
+            ),
+            StoreError::IdMismatch { path_id, recorded } => {
+                write!(f, "manifest at id {path_id} records id {recorded}")
+            }
+            StoreError::Crashed { site } => write!(f, "store writer crashed at {site}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<Errno> for StoreError {
+    fn from(e: Errno) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+impl From<DecodeError> for StoreError {
+    fn from(e: DecodeError) -> StoreError {
+        StoreError::Decode(e)
+    }
+}
+
+/// Convenience alias for store results.
+pub type StoreResult<T> = Result<T, StoreError>;
+
+/// What a [`ImageStore::gc`] pass removed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Unreferenced image files deleted.
+    pub images_removed: usize,
+    /// Abandoned tmp files deleted.
+    pub tmp_removed: usize,
+}
+
+impl GcReport {
+    /// Total files removed.
+    pub fn total(&self) -> usize {
+        self.images_removed + self.tmp_removed
+    }
+}
+
+/// The durable image store. Cheap to share (`Arc` it once per cluster).
+pub struct ImageStore {
+    fs: Arc<SimFs>,
+    root: String,
+    faults: Arc<FaultPlan>,
+    obs: Observer,
+    tmp_seq: AtomicU64,
+}
+
+impl ImageStore {
+    /// Opens (or creates — the VFS has no mkdir) a store rooted at `root`.
+    pub fn new(fs: Arc<SimFs>, root: &str, faults: Arc<FaultPlan>, obs: Observer) -> ImageStore {
+        ImageStore {
+            fs,
+            root: root.trim_end_matches('/').to_string(),
+            faults,
+            obs,
+            tmp_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The store root path.
+    pub fn root(&self) -> &str {
+        &self.root
+    }
+
+    fn abs(&self, rel: &str) -> String {
+        format!("{}/{}", self.root, rel)
+    }
+
+    fn rel<'a>(&self, abs: &'a str) -> &'a str {
+        abs.strip_prefix(&self.root).map(|s| s.trim_start_matches('/')).unwrap_or(abs)
+    }
+
+    /// The store-relative reference an image of `pod` in checkpoint `ckpt`
+    /// commits under.
+    pub fn image_ref(ckpt: u64, pod: &str) -> String {
+        format!("images/{ckpt}/{pod}")
+    }
+
+    /// The store-relative reference of checkpoint `ckpt`'s manifest.
+    pub fn manifest_ref(ckpt: u64) -> String {
+        format!("manifests/{ckpt}")
+    }
+
+    /// Durably writes `bytes` to `final_rel` via tmp + fsync + rename.
+    /// `site_key` scopes the fault sites consulted along the way.
+    fn put_durable(&self, final_rel: &str, mut bytes: Vec<u8>, site_key: &str) -> StoreResult<()> {
+        let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        let name = final_rel.rsplit('/').next().unwrap_or(final_rel);
+        let tmp = self.abs(&format!("tmp/{seq}-{name}"));
+
+        // Torn-manifest / torn-image modeling: mangle *before* the write so
+        // the damaged bytes are what becomes durable.
+        if let Some(a) = self.faults.hit_and_sleep("store.manifest", site_key) {
+            if final_rel.starts_with("manifests/") {
+                FaultPlan::mangle(a, &mut bytes);
+            }
+        }
+
+        self.fs.write(&tmp, &bytes);
+        match self.faults.hit_and_sleep("store.fsync", site_key) {
+            Some(FaultAction::Drop) => {
+                // The fsync is silently lost: the rename still happens, but
+                // the file's durability watermark stays at zero — a crash
+                // before the next sync makes the final file vanish.
+            }
+            _ => self.fs.fsync(&tmp)?,
+        }
+        if let Some(FaultAction::Crash) = self.faults.hit_and_sleep("store.pre_rename", site_key) {
+            // Writer dies between fsync and rename: the tmp file is the
+            // only evidence, and GC will reap it.
+            return Err(StoreError::Crashed { site: "store.pre_rename" });
+        }
+        self.fs.rename(&tmp, &self.abs(final_rel))?;
+        Ok(())
+    }
+
+    /// Stages one pod image into checkpoint `ckpt`. Returns the
+    /// store-relative reference and the FNV-1a 64 digest to record in the
+    /// manifest. The image is durable but *unreachable* until a manifest
+    /// naming it commits.
+    pub fn put_image(&self, ckpt: u64, pod: &str, bytes: &[u8]) -> StoreResult<(String, u64)> {
+        let span = self.obs.span("store", "store.put");
+        let digest = fnv1a64(bytes);
+        let rel = Self::image_ref(ckpt, pod);
+        self.put_durable(&rel, bytes.to_vec(), pod)?;
+        self.obs.counter("store", "store.put_bytes", bytes.len() as u64);
+        span.end();
+        Ok((rel, digest))
+    }
+
+    /// Durably publishes a manifest. **The rename inside this call is the
+    /// checkpoint's commit point**: before it the checkpoint does not
+    /// exist, after it the checkpoint is fully recoverable.
+    pub fn commit_manifest(&self, m: &Manifest) -> StoreResult<String> {
+        let span = self.obs.span("store", "store.commit");
+        let rel = Self::manifest_ref(m.ckpt_id);
+        self.put_durable(&rel, m.to_bytes(), &m.ckpt_id.to_string())?;
+        self.obs.counter("store", "store.commits", 1);
+        span.end();
+        Ok(rel)
+    }
+
+    /// Reads and validates checkpoint `ckpt`'s manifest. A torn, corrupt,
+    /// or mis-filed manifest is an error — recovery treats it as "this
+    /// checkpoint never committed".
+    pub fn manifest(&self, ckpt: u64) -> StoreResult<Manifest> {
+        let bytes = self.fs.read(&self.abs(&Self::manifest_ref(ckpt)))?;
+        let m = Manifest::from_bytes(&bytes)?;
+        if m.ckpt_id != ckpt {
+            return Err(StoreError::IdMismatch { path_id: ckpt, recorded: m.ckpt_id });
+        }
+        Ok(m)
+    }
+
+    /// Reads raw image bytes by store-relative reference.
+    pub fn fetch(&self, image_ref: &str) -> StoreResult<Vec<u8>> {
+        Ok(self.fs.read(&self.abs(image_ref))?)
+    }
+
+    /// Reads image bytes and verifies them against the digest recorded in
+    /// the committed manifest. Every restore path uses this: a partial or
+    /// bit-rotted image is refused, never consumed.
+    pub fn fetch_verified(&self, image_ref: &str, want: u64) -> StoreResult<Vec<u8>> {
+        let bytes = self.fetch(image_ref)?;
+        let got = fnv1a64(&bytes);
+        if got != want {
+            return Err(StoreError::DigestMismatch {
+                image_ref: image_ref.to_string(),
+                want,
+                got,
+            });
+        }
+        Ok(bytes)
+    }
+
+    /// Ids of every manifest present (committed checkpoints), ascending.
+    pub fn manifest_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .fs
+            .list(&self.abs("manifests"))
+            .iter()
+            .filter_map(|p| self.rel(p).strip_prefix("manifests/")?.parse().ok())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Store-relative references of every image file present (reachable or
+    /// not), sorted.
+    pub fn image_refs(&self) -> Vec<String> {
+        let mut refs: Vec<String> =
+            self.fs.list(&self.abs("images")).iter().map(|p| self.rel(p).to_string()).collect();
+        refs.sort_unstable();
+        refs
+    }
+
+    /// Absolute paths of abandoned tmp files, sorted.
+    pub fn tmp_files(&self) -> Vec<String> {
+        let mut v = self.fs.list(&self.abs("tmp"));
+        v.sort_unstable();
+        v
+    }
+
+    /// The next unused checkpoint id. Considers *staged* image directories
+    /// as well as committed manifests so a recovering Manager never reuses
+    /// an id whose directory a crashed predecessor already dirtied.
+    pub fn next_ckpt_id(&self) -> u64 {
+        let max_manifest = self.manifest_ids().into_iter().max().unwrap_or(0);
+        let max_staged = self
+            .image_refs()
+            .iter()
+            .filter_map(|r| r.strip_prefix("images/")?.split('/').next()?.parse::<u64>().ok())
+            .max()
+            .unwrap_or(0);
+        max_manifest.max(max_staged) + 1
+    }
+
+    /// Deletes checkpoint `ckpt`'s manifest (rollback / pruning). Missing
+    /// is fine — deletion must be idempotent for double recovery.
+    pub fn delete_manifest(&self, ckpt: u64) {
+        let _ = self.fs.unlink(&self.abs(&Self::manifest_ref(ckpt)));
+    }
+
+    /// Deletes one image file by store-relative reference (idempotent).
+    pub fn delete_image(&self, image_ref: &str) {
+        let _ = self.fs.unlink(&self.abs(image_ref));
+    }
+
+    /// Removes every abandoned tmp file. Returns how many.
+    pub fn clear_tmp(&self) -> usize {
+        let tmps = self.tmp_files();
+        for t in &tmps {
+            let _ = self.fs.unlink(t);
+        }
+        tmps.len()
+    }
+
+    /// Garbage-collects the store: deletes every tmp file and every image
+    /// not in `live` (the union of image refs and transitive parent refs
+    /// of all retained manifests). Never touches manifests — pruning those
+    /// is a policy decision made by the recovery layer.
+    pub fn gc(&self, live: &HashSet<String>) -> GcReport {
+        let mut report = GcReport { tmp_removed: self.clear_tmp(), ..GcReport::default() };
+        for r in self.image_refs() {
+            if !live.contains(r.as_str()) {
+                self.delete_image(&r);
+                report.images_removed += 1;
+            }
+        }
+        if report.total() > 0 {
+            self.obs.counter("store", "store.gc_removed", report.total() as u64);
+        }
+        report
+    }
+
+    /// Lists every orphan the store currently holds: tmp files plus images
+    /// not in `live`. A clean store returns an empty vec — the chaos suite
+    /// asserts exactly that after every recovery.
+    pub fn audit(&self, live: &HashSet<String>) -> Vec<String> {
+        let mut orphans = self.tmp_files();
+        orphans.extend(
+            self.image_refs().into_iter().filter(|r| !live.contains(r.as_str())).map(|r| self.abs(&r)),
+        );
+        orphans.sort_unstable();
+        orphans
+    }
+
+    /// Simulates power loss of the store subtree (everything unsynced is
+    /// torn away). Returns how many files were affected. Test/chaos hook.
+    pub fn crash(&self) -> usize {
+        self.fs.crash_unsynced_under(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zapc_proto::ManifestEntry;
+
+    fn store_with(faults: Arc<FaultPlan>) -> (Arc<SimFs>, ImageStore) {
+        let fs = SimFs::new();
+        let st = ImageStore::new(Arc::clone(&fs), "/zapc/store", faults, Observer::disabled());
+        (fs, st)
+    }
+
+    fn store() -> (Arc<SimFs>, ImageStore) {
+        store_with(Arc::new(FaultPlan::none()))
+    }
+
+    fn manifest_for(st: &ImageStore, ckpt: u64, pods: &[(&str, &[u8])]) -> Manifest {
+        let entries = pods
+            .iter()
+            .map(|(pod, bytes)| {
+                let (image_ref, digest) = st.put_image(ckpt, pod, bytes).unwrap();
+                ManifestEntry {
+                    pod: pod.to_string(),
+                    image_ref,
+                    digest,
+                    bytes: bytes.len() as u64,
+                    node: 0,
+                    parent: String::new(),
+                    depth: 0,
+                }
+            })
+            .collect();
+        Manifest { ckpt_id: ckpt, epoch: 1, wall_ms: 0, entries }
+    }
+
+    #[test]
+    fn put_commit_fetch_round_trip() {
+        let (_fs, st) = store();
+        let m = manifest_for(&st, 1, &[("w0", b"alpha"), ("w1", b"beta")]);
+        st.commit_manifest(&m).unwrap();
+
+        let got = st.manifest(1).unwrap();
+        assert_eq!(got, m);
+        let e = got.entry("w0").unwrap();
+        assert_eq!(st.fetch_verified(&e.image_ref, e.digest).unwrap(), b"alpha");
+        assert_eq!(st.manifest_ids(), vec![1]);
+        assert_eq!(st.next_ckpt_id(), 2);
+        assert!(st.tmp_files().is_empty(), "tmp drained after commit");
+    }
+
+    #[test]
+    fn digest_verification_refuses_rot() {
+        let (fs, st) = store();
+        let m = manifest_for(&st, 1, &[("w0", b"pristine bytes")]);
+        st.commit_manifest(&m).unwrap();
+        let e = &m.entries[0];
+
+        // Flip a byte behind the store's back.
+        let path = format!("{}/{}", st.root(), e.image_ref);
+        let mut bytes = fs.read(&path).unwrap();
+        bytes[3] ^= 0xFF;
+        fs.write(&path, &bytes);
+        fs.fsync(&path).unwrap();
+
+        assert!(matches!(
+            st.fetch_verified(&e.image_ref, e.digest),
+            Err(StoreError::DigestMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn crash_before_any_fsync_leaves_nothing() {
+        let (_fs, st) = store();
+        // Write the tmp file by hand (as if the writer died pre-fsync).
+        st.fs.write(&st.abs("tmp/0-w0"), b"half");
+        assert_eq!(st.crash(), 1);
+        assert!(st.tmp_files().is_empty());
+        assert!(st.image_refs().is_empty());
+    }
+
+    #[test]
+    fn dropped_fsync_plus_crash_vanishes_the_final_file() {
+        let plan =
+            FaultPlan::script().always("store.fsync", None, FaultAction::Drop).build();
+        let (_fs, st) = store_with(Arc::new(plan));
+        let (image_ref, _) = st.put_image(3, "w0", b"never durable").unwrap();
+        assert!(st.fetch(&image_ref).is_ok(), "visible before the crash");
+
+        st.crash();
+        assert_eq!(st.fetch(&image_ref), Err(StoreError::Io(Errno::ENOENT)));
+    }
+
+    #[test]
+    fn pre_rename_crash_leaves_a_tmp_orphan_for_gc() {
+        let plan = FaultPlan::script()
+            .inject("store.pre_rename", None, 0, FaultAction::Crash)
+            .build();
+        let (_fs, st) = store_with(Arc::new(plan));
+        assert_eq!(
+            st.put_image(2, "w0", b"doomed"),
+            Err(StoreError::Crashed { site: "store.pre_rename" })
+        );
+        assert_eq!(st.tmp_files().len(), 1);
+        assert!(st.image_refs().is_empty());
+
+        let report = st.gc(&HashSet::new());
+        assert_eq!(report, GcReport { images_removed: 0, tmp_removed: 1 });
+        assert!(st.audit(&HashSet::new()).is_empty());
+    }
+
+    #[test]
+    fn torn_manifest_fails_validation() {
+        let plan = FaultPlan::script()
+            .inject("store.manifest", None, 0, FaultAction::Truncate { keep_permille: 500 })
+            .build();
+        let (_fs, st) = store_with(Arc::new(plan));
+        let m = manifest_for(&st, 1, &[("w0", b"payload")]);
+        st.commit_manifest(&m).unwrap();
+        assert!(matches!(st.manifest(1), Err(StoreError::Decode(_))));
+    }
+
+    #[test]
+    fn next_ckpt_id_skips_dirty_staged_directories() {
+        let (_fs, st) = store();
+        let m = manifest_for(&st, 1, &[("w0", b"committed")]);
+        st.commit_manifest(&m).unwrap();
+        // Checkpoint 2 staged an image but never committed (crash).
+        st.put_image(2, "w0", b"staged only").unwrap();
+        assert_eq!(st.next_ckpt_id(), 3, "dirty id 2 must not be reused");
+    }
+
+    #[test]
+    fn gc_keeps_live_refs_and_reaps_the_rest() {
+        let (_fs, st) = store();
+        let m1 = manifest_for(&st, 1, &[("w0", b"keep me")]);
+        st.commit_manifest(&m1).unwrap();
+        st.put_image(2, "w0", b"orphaned stage").unwrap();
+        st.put_image(2, "w1", b"also orphaned").unwrap();
+
+        let live: HashSet<String> = m1.entries.iter().map(|e| e.image_ref.clone()).collect();
+        assert_eq!(st.audit(&live).len(), 2);
+        let report = st.gc(&live);
+        assert_eq!(report.images_removed, 2);
+        assert!(st.audit(&live).is_empty());
+        assert_eq!(st.fetch(&m1.entries[0].image_ref).unwrap(), b"keep me");
+    }
+
+    #[test]
+    fn manifest_id_mismatch_is_refused() {
+        let (fs, st) = store();
+        let m = manifest_for(&st, 5, &[("w0", b"x")]);
+        // File a valid manifest under the wrong id.
+        fs.write(&st.abs(&ImageStore::manifest_ref(9)), &m.to_bytes());
+        fs.fsync(&st.abs(&ImageStore::manifest_ref(9))).unwrap();
+        assert_eq!(st.manifest(9), Err(StoreError::IdMismatch { path_id: 9, recorded: 5 }));
+    }
+
+    #[test]
+    fn deletion_is_idempotent() {
+        let (_fs, st) = store();
+        let m = manifest_for(&st, 1, &[("w0", b"x")]);
+        st.commit_manifest(&m).unwrap();
+        st.delete_manifest(1);
+        st.delete_manifest(1);
+        st.delete_image(&m.entries[0].image_ref);
+        st.delete_image(&m.entries[0].image_ref);
+        assert!(st.manifest_ids().is_empty());
+        assert!(st.image_refs().is_empty());
+    }
+}

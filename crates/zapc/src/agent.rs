@@ -85,6 +85,12 @@ pub struct PodStats {
     pub network_bytes: usize,
     /// Whether this image is an incremental delta against a parent.
     pub incremental: bool,
+    /// Store-relative reference of the staged image (durable-store
+    /// destinations only; empty otherwise).
+    pub image_ref: String,
+    /// FNV-1a 64 digest of the image bytes (durable-store destinations
+    /// only; `0` otherwise).
+    pub digest: u64,
 }
 
 /// Messages from an Agent to the Manager.
@@ -341,6 +347,8 @@ pub fn agent_checkpoint_ext(
     let commit_span = obs.span(pod_name, "ckpt.commit");
     let image_bytes = image.len();
     let image = Arc::new(image);
+    let mut image_ref = String::new();
+    let mut digest = 0u64;
     let streamed = match dest {
         Uri::File(path) => match std::fs::write(path, image.as_slice()) {
             Ok(()) => None,
@@ -376,6 +384,39 @@ pub fn agent_checkpoint_ext(
             None
         }
         Uri::Agent { .. } => Some(Arc::clone(&image)),
+        Uri::Store { ckpt: ckpt_id } => {
+            // Durable staging. These fault sites are consulted ONLY on the
+            // store path so every pre-existing seeded trace is unchanged.
+            //
+            // `agent.node_dead`: the whole node dies — the pod dies with
+            // it and *no reply is ever sent*; only the Manager's lease
+            // table can notice.
+            let node_id = pod.node().id.0;
+            if cluster.faults.hit("agent.node_dead", pod_name).is_some() {
+                cluster.health.kill(node_id);
+                cluster.destroy_pod(pod_name);
+                return;
+            }
+            // `agent.stage`: the Agent process dies mid-staging; the pod
+            // survives (it already resumed) and the Manager sees a failed
+            // `done` — the checkpoint aborts before any manifest exists.
+            if cluster.faults.hit("agent.stage", pod_name).is_some() {
+                send_done(Err("fault: agent crashed while staging image".to_owned()), None);
+                return;
+            }
+            cluster.health.beat(node_id);
+            match cluster.istore.put_image(*ckpt_id, pod_name, &image) {
+                Ok((r, d)) => {
+                    image_ref = r;
+                    digest = d;
+                    None
+                }
+                Err(e) => {
+                    send_done(Err(format!("image staging failed: {e}")), None);
+                    return;
+                }
+            }
+        }
     };
     let commit_us = commit_span.end();
 
@@ -393,6 +434,8 @@ pub fn agent_checkpoint_ext(
             image_bytes,
             network_bytes,
             incremental: lineage.is_some(),
+            image_ref,
+            digest,
         }),
         streamed,
     );
@@ -521,5 +564,7 @@ fn agent_restart_inner(
         image_bytes: inputs.image.len(),
         network_bytes: net_payload.len(),
         incremental: false,
+        image_ref: String::new(),
+        digest: 0,
     })
 }

@@ -5,12 +5,14 @@
 //! N simulated nodes on one routed wire with one shared in-memory file
 //! system, each node running an Agent.
 
+use crate::health::{HealthMonitor, DEFAULT_LEASE_MS};
 use crate::uri::MemStore;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
 use std::sync::Arc;
 use zapc_faults::FaultPlan;
+use zapc_store::ImageStore;
 use zapc_net::{Netfilter, Network, NetworkConfig};
 use zapc_pod::{pod_vip, Pod, PodConfig};
 use zapc_sim::{ClusterClock, Node, NodeConfig, ProgramRegistry, SimFs};
@@ -55,6 +57,7 @@ pub struct ClusterBuilder {
     faults: Arc<FaultPlan>,
     ckpt: CheckpointOpts,
     obs: zapc_obs::Observer,
+    lease_ms: u64,
 }
 
 impl ClusterBuilder {
@@ -113,6 +116,13 @@ impl ClusterBuilder {
         self
     }
 
+    /// Node-lease duration for the Manager↔Agent health layer (ms of
+    /// cluster wall-clock). Tests shrink this to exercise lease expiry.
+    pub fn lease_ms(mut self, ms: u64) -> Self {
+        self.lease_ms = ms;
+        self
+    }
+
     /// Boots the cluster.
     pub fn build(self) -> Cluster {
         let net = Network::new(self.net);
@@ -137,6 +147,13 @@ impl ClusterBuilder {
                 n
             })
             .collect();
+        let istore = Arc::new(ImageStore::new(
+            Arc::clone(&fs),
+            "/zapc/store",
+            Arc::clone(&self.faults),
+            obs.clone(),
+        ));
+        let health = HealthMonitor::new(Arc::clone(&clock), self.lease_ms);
         Cluster {
             net,
             fs,
@@ -144,12 +161,15 @@ impl ClusterBuilder {
             nodes,
             pods: Mutex::new(HashMap::new()),
             store: MemStore::new(),
+            istore,
+            health,
             registry: self.registry,
             virt_overhead_ns: self.virt_overhead_ns,
             faults: self.faults,
             next_vip: AtomicU16::new(1),
             ckpt: self.ckpt,
             lineage: Mutex::new(HashMap::new()),
+            epoch: AtomicU64::new(1),
             obs,
         }
     }
@@ -167,6 +187,12 @@ pub struct Cluster {
     pods: Mutex<HashMap<String, PodEntry>>,
     /// In-memory checkpoint image store.
     pub store: Arc<MemStore>,
+    /// Durable checkpoint image store on the SAN (`/zapc/store`): staged
+    /// images plus the committed manifests that make them reachable.
+    pub istore: Arc<ImageStore>,
+    /// Node-liveness table (leases + explicit kills) consulted by the
+    /// Manager while it waits on Agents.
+    pub health: Arc<HealthMonitor>,
     /// Loaders for restart.
     pub registry: ProgramRegistry,
     /// Pod virtualization overhead (virtual-time ns per syscall).
@@ -181,6 +207,9 @@ pub struct Cluster {
     /// space restarts its generation counters, so stale lineage would
     /// mis-classify dirty regions as clean.
     lineage: Mutex<HashMap<String, Lineage>>,
+    /// Manager epoch: bumped by every recovery so manifests record which
+    /// incarnation of the Manager committed them.
+    epoch: AtomicU64,
     /// The cluster-wide event observer (disabled unless installed via
     /// [`ClusterBuilder::observer`]).
     pub obs: zapc_obs::Observer,
@@ -205,6 +234,7 @@ impl Cluster {
             faults: Arc::new(FaultPlan::none()),
             ckpt: CheckpointOpts::default(),
             obs: zapc_obs::Observer::disabled(),
+            lease_ms: DEFAULT_LEASE_MS,
         }
     }
 
@@ -289,12 +319,44 @@ impl Cluster {
         self.lineage.lock().insert(pod.to_owned(), l);
     }
 
+    /// Forgets one pod's incremental lineage: its next checkpoint writes
+    /// a full base. Called whenever a coordinated checkpoint fails to
+    /// commit — an aborted attempt may already have advanced some pods'
+    /// chains, and restarting from such a mixed cut would be
+    /// inconsistent.
+    pub(crate) fn reset_lineage(&self, pod: &str) {
+        self.lineage.lock().remove(pod);
+    }
+
+    /// Forgets all incremental lineage. Recovery calls this: generation
+    /// counters live only in Manager memory, so a restarted Manager
+    /// cannot trust any chain state it didn't just write.
+    pub(crate) fn reset_all_lineage(&self) {
+        self.lineage.lock().clear();
+    }
+
+    /// The current Manager epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Advances the Manager epoch (one bump per recovery) and returns the
+    /// new value.
+    pub(crate) fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
     /// Materializes a standalone image from a (possibly incremental) image:
     /// walks the parent chain through the in-memory store, verifies each
     /// parent's digest, and squashes the deltas. Standalone inputs are
     /// returned unchanged.
     pub fn materialize_image(&self, bytes: &[u8]) -> Result<Vec<u8>, zapc_ckpt::CkptError> {
-        let fetch = |label: &str| self.store.get(label).map(|a| a.as_ref().clone());
+        let fetch = |label: &str| {
+            self.store
+                .get(label)
+                .map(|a| a.as_ref().clone())
+                .or_else(|| self.istore.fetch(label).ok())
+        };
         zapc_ckpt::squash_image(bytes, &fetch)
     }
 

@@ -1,0 +1,407 @@
+//! Two-phase durable checkpoint commit and Manager recovery.
+//!
+//! The coordinated checkpoint of §4 makes a *consistent* cut; this module
+//! makes it a *durable* one. The protocol is two-phase with a single
+//! commit point:
+//!
+//! 1. **Stage** — [`checkpoint_commit`] runs the ordinary coordinated
+//!    checkpoint with every target aimed at [`Uri::Store`]: each Agent
+//!    writes its pod's image into the durable store (tmp → fsync →
+//!    rename) and reports the committed reference and digest with `done`.
+//!    Staged images are durable but *unreachable* — no manifest names
+//!    them yet, so the checkpoint does not yet exist.
+//! 2. **Commit** — the Manager writes one [`Manifest`] listing every
+//!    staged image. The manifest's atomic rename is the commit point:
+//!    a crash anywhere before it leaves only unreferenced litter that
+//!    [`recover`] rolls back; a crash anywhere after it leaves a fully
+//!    recoverable checkpoint.
+//!
+//! **Recovery** is pure scan-and-classify over durable state: every
+//! manifest that parses and whose images all verify against their
+//! recorded digests is a committed checkpoint; everything else — torn
+//! manifests, staged images with no manifest, tmp files — is rolled back
+//! and garbage-collected. Recovery is idempotent (it only removes things
+//! a second pass would also classify as garbage) and deliberately resets
+//! all incremental lineage: generation counters live in Manager memory
+//! only, so the next checkpoint after a recovery writes full bases.
+//!
+//! **Node death** mid-protocol is covered by the cluster's lease table
+//! ([`crate::health`]): a checkpoint whose Agent's node dies aborts and
+//! drains the survivors (the manifest never commits), and
+//! [`restart_from_manifest`] reschedules pods recorded on dead nodes onto
+//! live ones.
+
+use crate::agent::Finalize;
+use crate::cluster::Cluster;
+use crate::manager::{
+    checkpoint_with, restart_with, CheckpointOptions, CheckpointReport, CheckpointTarget,
+    RestartReport, RestartTarget, DEFAULT_TIMEOUT,
+};
+use crate::uri::Uri;
+use crate::{ZapcError, ZapcResult};
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+use zapc_proto::{Manifest, ManifestEntry};
+use zapc_store::{GcReport, ImageStore};
+
+/// Knobs for [`checkpoint_commit`].
+#[derive(Debug, Clone)]
+pub struct CommitOptions {
+    /// Per-phase timeout (Manager waits and Agent `continue` waits).
+    pub timeout: Duration,
+    /// Retries for the staging phase (same semantics as
+    /// [`CheckpointOptions::retries`] — an aborted stage leaves every pod
+    /// running, so re-running is safe).
+    pub retries: u32,
+    /// Committed manifests retained after a successful commit; older ones
+    /// are pruned and their images garbage-collected. Clamped to ≥ 1.
+    pub keep: usize,
+}
+
+impl Default for CommitOptions {
+    fn default() -> Self {
+        CommitOptions { timeout: DEFAULT_TIMEOUT, retries: 0, keep: 2 }
+    }
+}
+
+/// Outcome of a committed durable checkpoint.
+#[derive(Debug)]
+pub struct CommitReport {
+    /// The committed checkpoint id.
+    pub ckpt_id: u64,
+    /// Store-relative reference of the manifest (the commit record).
+    pub manifest_ref: String,
+    /// Older checkpoint ids pruned after this commit.
+    pub pruned: Vec<u64>,
+    /// What the post-commit garbage collection removed.
+    pub gc: GcReport,
+    /// The underlying coordinated-checkpoint report (staging phase).
+    pub report: CheckpointReport,
+}
+
+/// Outcome of a Manager recovery pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The Manager epoch after recovery (one bump per pass).
+    pub epoch: u64,
+    /// Checkpoint ids whose manifests parsed and whose images all
+    /// verified, ascending — these survived the crash.
+    pub committed: Vec<u64>,
+    /// Checkpoint ids rolled back: torn/corrupt manifests, manifests
+    /// referencing missing or digest-mismatched images, and in-flight
+    /// checkpoints that staged images but never committed.
+    pub rolled_back: Vec<u64>,
+    /// Files removed by the recovery garbage collection (abandoned tmp
+    /// files plus unreachable images).
+    pub orphans_removed: usize,
+    /// The newest committed checkpoint, if any — what
+    /// [`restart_from_manifest`] resumes from by default.
+    pub latest: Option<u64>,
+}
+
+/// Durably checkpoints `pods` as one atomic unit: coordinated checkpoint
+/// into the store, then a single manifest commit. Returns only after the
+/// checkpoint is either fully committed (`Ok`) or guaranteed absent
+/// (`Err` — staged litter is rolled back here if the Manager survived,
+/// or by the next [`recover`] if it didn't).
+pub fn checkpoint_commit(
+    cluster: &Cluster,
+    pods: &[&str],
+    opts: &CommitOptions,
+) -> ZapcResult<CommitReport> {
+    let mut seen = HashSet::new();
+    for p in pods {
+        if !seen.insert(*p) {
+            return Err(ZapcError::Aborted(format!("duplicate checkpoint target {p:?}")));
+        }
+    }
+    // Placement at entry: snapshot targets resume in place, so this is
+    // also the restart placement hint recorded in the manifest.
+    let mut nodes: HashMap<String, u32> = HashMap::new();
+    for p in pods {
+        let n = cluster
+            .pod_node(p)
+            .ok_or_else(|| ZapcError::NotFound(format!("pod {p:?}")))?;
+        nodes.insert((*p).to_owned(), n as u32);
+    }
+
+    let ckpt_id = cluster.istore.next_ckpt_id();
+    let targets: Vec<CheckpointTarget> = pods
+        .iter()
+        .map(|p| CheckpointTarget {
+            pod: (*p).to_owned(),
+            uri: Uri::Store { ckpt: ckpt_id },
+            finalize: Finalize::Resume,
+        })
+        .collect();
+
+    // Phase 1: stage. Any failure here means no manifest was ever
+    // written, so the checkpoint never existed — roll staged images back
+    // eagerly (a *crashed* Manager skips this; recovery does it instead).
+    let ck_opts = CheckpointOptions {
+        timeout: opts.timeout,
+        retries: opts.retries,
+        ..CheckpointOptions::default()
+    };
+    let report = match checkpoint_with(cluster, &targets, &ck_opts) {
+        Ok(r) => r,
+        Err(e) => {
+            rollback_staged(&cluster.istore, ckpt_id);
+            return Err(e);
+        }
+    };
+
+    // Phase 2: commit. Build the manifest from the Agents' staging
+    // reports; every pod must have actually staged.
+    let mut entries: Vec<ManifestEntry> = Vec::with_capacity(report.pods.len());
+    for pr in &report.pods {
+        if pr.image_ref.is_empty() {
+            rollback_staged(&cluster.istore, ckpt_id);
+            return Err(ZapcError::Aborted(format!("pod {:?} staged no image", pr.pod)));
+        }
+        entries.push(ManifestEntry {
+            pod: pr.pod.clone(),
+            image_ref: pr.image_ref.clone(),
+            digest: pr.digest,
+            bytes: pr.image_bytes as u64,
+            node: *nodes.get(&pr.pod).expect("placement captured at entry"),
+            parent: String::new(),
+            depth: 0,
+        });
+    }
+    let manifest = Manifest {
+        ckpt_id,
+        epoch: cluster.epoch(),
+        wall_ms: cluster.clock.now_ms(),
+        entries,
+    };
+
+    // Fault site: the Manager dies with everything staged but nothing
+    // committed. No cleanup — a dead Manager cleans nothing; its
+    // successor's recovery rolls this checkpoint back.
+    if cluster.faults.hit("manager.pre_manifest", "manager").is_some() {
+        return Err(ZapcError::Aborted("manager crashed before manifest commit".into()));
+    }
+
+    let span = cluster.obs.span("manager", "mgr.manifest");
+    let manifest_ref = match cluster.istore.commit_manifest(&manifest) {
+        Ok(r) => r,
+        // A failed manifest write is a Manager death at the commit point:
+        // the rename never happened, so the checkpoint does not exist. No
+        // cleanup — the successor's recovery rolls the staging back.
+        Err(e) => {
+            span.end();
+            return Err(ZapcError::Aborted(format!("manifest commit failed: {e}")));
+        }
+    };
+    span.end();
+
+    // Fault site: the Manager dies immediately *after* the commit point.
+    // The checkpoint is durable; the error models only the Manager's
+    // death — recovery must classify this checkpoint as committed.
+    if cluster.faults.hit("manager.post_manifest", "manager").is_some() {
+        return Err(ZapcError::Aborted("manager crashed after manifest commit".into()));
+    }
+
+    // Retention: prune old manifests, then collect everything no retained
+    // manifest reaches.
+    let (pruned, gc) = prune_and_gc(cluster, opts.keep.max(1));
+    Ok(CommitReport { ckpt_id, manifest_ref, pruned, gc, report })
+}
+
+/// Scans the durable store after a Manager restart: validates every
+/// manifest and its images, rolls back everything that never committed
+/// (or committed torn), garbage-collects orphans, resets incremental
+/// lineage, and bumps the Manager epoch. Idempotent: a second pass finds
+/// a clean store and removes nothing.
+pub fn recover(cluster: &Cluster) -> RecoveryReport {
+    let span = cluster.obs.span("manager", "mgr.recover");
+    let epoch = cluster.bump_epoch();
+    // Generation counters lived only in the dead Manager's memory; any
+    // chain state is untrustworthy, so the next checkpoint of every pod
+    // writes a full base.
+    cluster.reset_all_lineage();
+
+    let store = &cluster.istore;
+    let mut committed: Vec<u64> = Vec::new();
+    let mut rolled_back: Vec<u64> = Vec::new();
+    for id in store.manifest_ids() {
+        if manifest_is_sound(store, id) {
+            committed.push(id);
+        } else {
+            store.delete_manifest(id);
+            rolled_back.push(id);
+        }
+    }
+    // Staged image directories with no surviving manifest are checkpoints
+    // that were in flight when the crash hit.
+    for id in staged_ids(store) {
+        if !committed.contains(&id) && !rolled_back.contains(&id) {
+            rolled_back.push(id);
+        }
+    }
+    rolled_back.sort_unstable();
+
+    let live = live_refs(store, &committed);
+    let gc = store.gc(&live);
+    if cluster.obs.enabled() {
+        cluster.obs.counter("manager", "mgr.recoveries", 1);
+    }
+    span.end();
+    RecoveryReport {
+        epoch,
+        latest: committed.last().copied(),
+        committed,
+        rolled_back,
+        orphans_removed: gc.total(),
+    }
+}
+
+/// Restarts an application from a committed checkpoint: `ckpt` names one
+/// explicitly, `None` resumes from the newest committed manifest. Any
+/// still-live incarnation of the checkpointed pods is torn down first
+/// (rollback-recovery semantics). Pods recorded on nodes that are now
+/// dead are rescheduled onto live nodes; if the first attempt fails, all
+/// pods are torn down and placement is recomputed for one retry — safe
+/// because committed images are immutable.
+pub fn restart_from_manifest(
+    cluster: &Cluster,
+    ckpt: Option<u64>,
+    timeout: Duration,
+) -> ZapcResult<RestartReport> {
+    let store = &cluster.istore;
+    let id = match ckpt {
+        Some(i) => i,
+        None => store
+            .manifest_ids()
+            .into_iter()
+            .max()
+            .ok_or_else(|| ZapcError::NotFound("a committed checkpoint".into()))?,
+    };
+    let m = store.manifest(id)?;
+    for e in &m.entries {
+        cluster.destroy_pod(&e.pod);
+    }
+
+    let mut attempt = 0;
+    loop {
+        let live = cluster.health.live_nodes(cluster.node_count());
+        if live.is_empty() {
+            return Err(ZapcError::Aborted("no live nodes to restart onto".into()));
+        }
+        let targets: Vec<RestartTarget> = m
+            .entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| RestartTarget {
+                pod: e.pod.clone(),
+                uri: Uri::Store { ckpt: id },
+                node: if cluster.health.is_alive(e.node) {
+                    e.node as usize
+                } else {
+                    // Dead home node: spread displaced pods round-robin
+                    // over the survivors.
+                    live[i % live.len()]
+                },
+            })
+            .collect();
+        match restart_with(cluster, &targets, timeout) {
+            Ok(r) => return Ok(r),
+            Err(e) if attempt == 0 => {
+                // A partial restart may have left some pods half-created.
+                // Images are immutable, so tear everything down and retry
+                // once with freshly computed placement.
+                attempt = 1;
+                for entry in &m.entries {
+                    cluster.destroy_pod(&entry.pod);
+                }
+                let _ = e;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Deletes every image staged under checkpoint `ckpt` plus abandoned tmp
+/// files — the rollback of a stage phase that will never commit.
+fn rollback_staged(store: &ImageStore, ckpt: u64) {
+    let prefix = format!("images/{ckpt}/");
+    for r in store.image_refs() {
+        if r.starts_with(&prefix) {
+            store.delete_image(&r);
+        }
+    }
+    store.clear_tmp();
+}
+
+/// Whether manifest `id` parses and every image it references (including
+/// incremental parents) is present and digest-clean.
+fn manifest_is_sound(store: &ImageStore, id: u64) -> bool {
+    let Ok(m) = store.manifest(id) else { return false };
+    m.entries.iter().all(|e| {
+        store.fetch_verified(&e.image_ref, e.digest).is_ok()
+            && (e.parent.is_empty() || store.fetch(&e.parent).is_ok())
+    })
+}
+
+/// Checkpoint ids that have staged image directories.
+fn staged_ids(store: &ImageStore) -> Vec<u64> {
+    let mut ids: Vec<u64> = store
+        .image_refs()
+        .iter()
+        .filter_map(|r| r.strip_prefix("images/")?.split('/').next()?.parse().ok())
+        .collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// The live set: every image referenced by a manifest in `ids`, plus the
+/// transitive closure of incremental parents (a retained delta must keep
+/// its whole ancestry fetchable).
+fn live_refs(store: &ImageStore, ids: &[u64]) -> HashSet<String> {
+    let mut parent_of: HashMap<String, String> = HashMap::new();
+    let mut retained: Vec<Manifest> = Vec::new();
+    for id in store.manifest_ids() {
+        if let Ok(m) = store.manifest(id) {
+            for e in &m.entries {
+                if !e.parent.is_empty() {
+                    parent_of.insert(e.image_ref.clone(), e.parent.clone());
+                }
+            }
+            if ids.contains(&m.ckpt_id) {
+                retained.push(m);
+            }
+        }
+    }
+    let mut live: HashSet<String> = HashSet::new();
+    for m in &retained {
+        for e in &m.entries {
+            let mut cur = e.image_ref.clone();
+            while live.insert(cur.clone()) {
+                match parent_of.get(&cur) {
+                    Some(p) => cur = p.clone(),
+                    None => break,
+                }
+            }
+        }
+    }
+    live
+}
+
+/// Prunes all but the newest `keep` manifests, then garbage-collects.
+fn prune_and_gc(cluster: &Cluster, keep: usize) -> (Vec<u64>, GcReport) {
+    let store = &cluster.istore;
+    let ids = store.manifest_ids();
+    let mut pruned = Vec::new();
+    if ids.len() > keep {
+        for &id in &ids[..ids.len() - keep] {
+            store.delete_manifest(id);
+            pruned.push(id);
+        }
+    }
+    let retained = store.manifest_ids();
+    let live = live_refs(store, &retained);
+    let gc = store.gc(&live);
+    (pruned, gc)
+}

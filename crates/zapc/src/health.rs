@@ -1,0 +1,137 @@
+//! Manager↔Agent health: leases, heartbeats, and explicit death.
+//!
+//! The paper's failure model detects Agent death through broken reliable
+//! connections (§4). That catches an Agent that *errors out* — but a node
+//! that silently dies mid-operation never breaks its channel in a way the
+//! Manager can distinguish from slowness. The durable-commit protocol
+//! (`crates/zapc/src/commit.rs`) needs a sharper signal, so the cluster
+//! carries a lease table: Agents heartbeat while they work, the Manager
+//! polls the table while it waits, and a node whose lease lapses (or that
+//! is [`HealthMonitor::kill`]ed by the fault layer) is treated as dead —
+//! the checkpoint aborts and drains survivors, a restart reschedules the
+//! dead node's pods onto live nodes.
+//!
+//! Nodes that have never beaten are presumed alive: leases are an opt-in
+//! liveness *refinement*, not a boot-time gate, so clusters that never use
+//! the durable path pay nothing.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use zapc_sim::ClusterClock;
+
+/// Default lease duration (ms of cluster wall-clock).
+pub const DEFAULT_LEASE_MS: u64 = 1_000;
+
+#[derive(Debug, Clone, Copy)]
+enum NodeHealth {
+    /// Last heartbeat at this cluster time (ms).
+    Alive { last_beat_ms: u64 },
+    /// Explicitly killed (fault injection or operator); stays dead until
+    /// [`HealthMonitor::revive`].
+    Dead,
+}
+
+/// The cluster's node-liveness table.
+pub struct HealthMonitor {
+    clock: Arc<ClusterClock>,
+    lease_ms: u64,
+    state: Mutex<HashMap<u32, NodeHealth>>,
+}
+
+impl HealthMonitor {
+    /// Creates a monitor on the given cluster clock.
+    pub fn new(clock: Arc<ClusterClock>, lease_ms: u64) -> Arc<HealthMonitor> {
+        Arc::new(HealthMonitor { clock, lease_ms: lease_ms.max(1), state: Mutex::new(HashMap::new()) })
+    }
+
+    /// The lease duration (ms).
+    pub fn lease_ms(&self) -> u64 {
+        self.lease_ms
+    }
+
+    /// Renews `node`'s lease. A dead node cannot beat itself back to
+    /// life — death is sticky until an operator [`HealthMonitor::revive`]s
+    /// it, so a zombie Agent can't mask a node the Manager already gave
+    /// up on.
+    pub fn beat(&self, node: u32) {
+        let now = self.clock.now_ms();
+        let mut state = self.state.lock();
+        match state.get(&node) {
+            Some(NodeHealth::Dead) => {}
+            _ => {
+                state.insert(node, NodeHealth::Alive { last_beat_ms: now });
+            }
+        }
+    }
+
+    /// Marks `node` dead immediately.
+    pub fn kill(&self, node: u32) {
+        self.state.lock().insert(node, NodeHealth::Dead);
+    }
+
+    /// Brings `node` back (fresh lease from now).
+    pub fn revive(&self, node: u32) {
+        let now = self.clock.now_ms();
+        self.state.lock().insert(node, NodeHealth::Alive { last_beat_ms: now });
+    }
+
+    /// Whether `node` is currently considered alive. Unknown nodes are
+    /// alive by default; a known node is alive while its lease holds.
+    pub fn is_alive(&self, node: u32) -> bool {
+        match self.state.lock().get(&node) {
+            None => true,
+            Some(NodeHealth::Dead) => false,
+            Some(NodeHealth::Alive { last_beat_ms }) => {
+                self.clock.now_ms().saturating_sub(*last_beat_ms) <= self.lease_ms
+            }
+        }
+    }
+
+    /// Indices of live nodes among `0..count`.
+    pub fn live_nodes(&self, count: usize) -> Vec<usize> {
+        (0..count).filter(|&n| self.is_alive(n as u32)).collect()
+    }
+}
+
+impl std::fmt::Debug for HealthMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.state.lock();
+        write!(f, "HealthMonitor({} tracked, lease {} ms)", state.len(), self.lease_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_nodes_default_alive() {
+        let h = HealthMonitor::new(ClusterClock::new(), 50);
+        assert!(h.is_alive(0));
+        assert_eq!(h.live_nodes(3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn kill_is_immediate_and_sticky() {
+        let h = HealthMonitor::new(ClusterClock::new(), 50);
+        h.beat(1);
+        h.kill(1);
+        assert!(!h.is_alive(1));
+        h.beat(1);
+        assert!(!h.is_alive(1), "a zombie beat must not resurrect a killed node");
+        h.revive(1);
+        assert!(h.is_alive(1));
+    }
+
+    #[test]
+    fn lease_expires_without_beats() {
+        let h = HealthMonitor::new(ClusterClock::new(), 10);
+        h.beat(0);
+        assert!(h.is_alive(0));
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert!(!h.is_alive(0), "lease should lapse after 3x the lease time");
+        h.beat(0);
+        assert!(h.is_alive(0), "a live node's beat renews the lease");
+    }
+}

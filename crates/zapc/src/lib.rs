@@ -61,10 +61,17 @@
 pub mod ablation;
 pub mod agent;
 pub mod cluster;
+pub mod commit;
+pub mod health;
 pub mod manager;
 pub mod uri;
 
 pub use cluster::{CheckpointOpts, Cluster, ClusterBuilder};
+pub use commit::{
+    checkpoint_commit, recover, restart_from_manifest, CommitOptions, CommitReport,
+    RecoveryReport,
+};
+pub use health::HealthMonitor;
 pub use zapc_faults::{FaultAction, FaultPlan, TraceEvent};
 pub use manager::{
     checkpoint, migrate, restart, CheckpointReport, CheckpointTarget, Phase, PhaseBreakdown,
@@ -90,6 +97,9 @@ pub enum ZapcError {
     Decode(zapc_proto::DecodeError),
     /// Simulated-kernel failure.
     Sys(zapc_sim::Errno),
+    /// The durable image store refused an operation (missing or torn
+    /// file, digest mismatch, injected writer crash).
+    Store(zapc_store::StoreError),
 }
 
 impl std::fmt::Display for ZapcError {
@@ -102,6 +112,7 @@ impl std::fmt::Display for ZapcError {
             ZapcError::Io(e) => write!(f, "image i/o: {e}"),
             ZapcError::Decode(e) => write!(f, "image decode: {e}"),
             ZapcError::Sys(e) => write!(f, "kernel: {e}"),
+            ZapcError::Store(e) => write!(f, "durable store: {e}"),
         }
     }
 }
@@ -131,6 +142,11 @@ impl From<zapc_proto::DecodeError> for ZapcError {
 impl From<zapc_sim::Errno> for ZapcError {
     fn from(e: zapc_sim::Errno) -> Self {
         ZapcError::Sys(e)
+    }
+}
+impl From<zapc_store::StoreError> for ZapcError {
+    fn from(e: zapc_store::StoreError) -> Self {
+        ZapcError::Store(e)
     }
 }
 

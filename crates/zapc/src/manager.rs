@@ -24,7 +24,7 @@ use crate::cluster::{CheckpointOpts, Cluster};
 use crate::uri::Uri;
 use crate::{ZapcError, ZapcResult};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use zapc_faults::FaultAction;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -97,6 +97,11 @@ pub struct PodReport {
     /// Whether the image is an incremental delta against a parent
     /// (checkpoint only; always `false` for restarts).
     pub incremental: bool,
+    /// Store-relative reference of the staged image (durable-store
+    /// checkpoints only; empty otherwise).
+    pub image_ref: String,
+    /// FNV-1a 64 digest of the image (durable-store checkpoints only).
+    pub digest: u64,
 }
 
 impl From<PodStats> for PodReport {
@@ -114,6 +119,8 @@ impl From<PodStats> for PodReport {
             image_bytes: s.image_bytes,
             network_bytes: s.network_bytes,
             incremental: s.incremental,
+            image_ref: s.image_ref,
+            digest: s.digest,
         }
     }
 }
@@ -235,21 +242,35 @@ pub fn checkpoint_with(
     let mut late = 0u64;
     loop {
         match checkpoint_once(cluster, targets, opts, &mut late) {
-            // Retry only when the abort rolled every target back to
-            // running — a partially-committed destroy cannot be re-run.
-            Err(ZapcError::Aborted(why))
-                if attempt < opts.retries
-                    && targets.iter().all(|t| cluster.pod(&t.pod).is_some()) =>
-            {
-                attempt += 1;
-                std::thread::sleep(opts.backoff * attempt);
-                let _ = why;
-            }
             Ok(mut report) => {
                 report.late_replies = late;
                 return Ok(report);
             }
-            other => return other,
+            Err(e) => {
+                // A failed attempt may have advanced *some* pods'
+                // incremental lineage (an Agent that delivered its image
+                // before the abort reached it). A later delta chained on
+                // that cut would restore a state no coordinated
+                // checkpoint ever captured — reset every target's
+                // lineage so the next attempt writes full bases.
+                for t in targets {
+                    cluster.reset_lineage(&t.pod);
+                }
+                match e {
+                    // Retry only when the abort rolled every target back
+                    // to running — a partially-committed destroy cannot
+                    // be re-run.
+                    ZapcError::Aborted(why)
+                        if attempt < opts.retries
+                            && targets.iter().all(|t| cluster.pod(&t.pod).is_some()) =>
+                    {
+                        attempt += 1;
+                        std::thread::sleep(opts.backoff * attempt);
+                        let _ = why;
+                    }
+                    other => return Err(other),
+                }
+            }
         }
     }
 }
@@ -287,13 +308,27 @@ fn checkpoint_once(
             });
         }
 
+        // Hosting node of every target at entry, for the health watch: a
+        // pod whose node's lease lapses mid-wait will never reply, so the
+        // Manager aborts and drains only the survivors.
+        let nodes: HashMap<String, u32> = targets
+            .iter()
+            .filter_map(|t| cluster.pod_node(&t.pod).map(|n| (t.pod.clone(), n as u32)))
+            .collect();
+        // Pods that still owe the Manager a `done` reply.
+        let mut awaiting_done: HashSet<String> =
+            targets.iter().map(|t| t.pod.clone()).collect();
+
         // 2. Receive meta-data from every Agent.
         let mut meta: Vec<MetaData> = Vec::with_capacity(targets.len());
         let mut net_times: HashMap<String, u64> = HashMap::new();
         let mut early_done: Vec<AgentReply> = Vec::new();
+        let mut awaiting_meta: HashSet<String> =
+            targets.iter().map(|t| t.pod.clone()).collect();
         while meta.len() < targets.len() {
-            match reply_rx.recv_timeout(opts.timeout) {
+            match recv_watching_health(cluster, &reply_rx, &nodes, &awaiting_meta, opts.timeout) {
                 Ok(AgentReply::Meta { meta: m, net_us, pod }) => {
+                    awaiting_meta.remove(&pod);
                     net_times.insert(pod, net_us);
                     meta.push(m);
                 }
@@ -305,12 +340,24 @@ fn checkpoint_once(
                         *late += drain_done(cluster, &reply_rx, targets.len() - 1, opts.timeout);
                         return Err(ZapcError::Aborted(why));
                     }
+                    if let AgentReply::Done { pod, .. } = &done {
+                        awaiting_done.remove(pod);
+                    }
                     early_done.push(done);
                 }
-                Err(_) => {
+                Err(dead) => {
                     abort_all(&ctls);
-                    *late += drain_done(cluster, &reply_rx, targets.len(), opts.timeout);
-                    return Err(ZapcError::Aborted("timed out waiting for meta-data".into()));
+                    let silent = count_dead_pending(cluster, &nodes, &awaiting_done);
+                    *late += drain_done(
+                        cluster,
+                        &reply_rx,
+                        awaiting_done.len() - silent,
+                        opts.timeout,
+                    );
+                    return Err(ZapcError::Aborted(match dead {
+                        Some(why) => why,
+                        None => "timed out waiting for meta-data".into(),
+                    }));
                 }
             }
         }
@@ -347,34 +394,42 @@ fn checkpoint_once(
 
         // 4. Receive status from every Agent.
         let mut pods: Vec<PodReport> = Vec::with_capacity(targets.len());
-        let mut pending = targets.len();
         let mut failure: Option<String> = None;
         for done in early_done {
             if let AgentReply::Done { result, .. } = done {
-                pending -= 1;
                 match result {
                     Ok(stats) => pods.push(stats.into()),
                     Err(why) => failure = Some(why),
                 }
             }
         }
-        while pending > 0 {
-            match reply_rx.recv_timeout(opts.timeout) {
-                Ok(AgentReply::Done { result, .. }) => {
-                    pending -= 1;
+        while !awaiting_done.is_empty() {
+            match recv_watching_health(cluster, &reply_rx, &nodes, &awaiting_done, opts.timeout) {
+                Ok(AgentReply::Done { pod, result, .. }) => {
+                    awaiting_done.remove(&pod);
                     match result {
                         Ok(stats) => pods.push(stats.into()),
                         Err(why) => failure = Some(why),
                     }
                 }
                 Ok(AgentReply::Meta { .. }) => {}
-                Err(_) => {
+                Err(dead) => {
                     // Same discipline as the meta-data phase: tell every
                     // Agent to abort and wait out their rollbacks so no
-                    // pod is left suspended when we return.
+                    // pod is left suspended when we return. Pods on dead
+                    // nodes will never reply — drain survivors only.
                     abort_all(&ctls);
-                    *late += drain_done(cluster, &reply_rx, pending, opts.timeout);
-                    failure = Some("timed out waiting for done".into());
+                    let silent = count_dead_pending(cluster, &nodes, &awaiting_done);
+                    *late += drain_done(
+                        cluster,
+                        &reply_rx,
+                        awaiting_done.len() - silent,
+                        opts.timeout,
+                    );
+                    failure = Some(match dead {
+                        Some(why) => why,
+                        None => "timed out waiting for done".into(),
+                    });
                     break;
                 }
             }
@@ -420,6 +475,56 @@ fn send_continue(cluster: &Cluster, ctls: &HashMap<String, Sender<CtlMsg>>) {
             }
         }
     }
+}
+
+/// How often a waiting Manager polls the node-health table.
+const HEALTH_POLL: Duration = Duration::from_millis(5);
+
+/// Bounded receive that also watches the cluster health table: returns a
+/// reply, or `Err(Some(reason))` as soon as a pending pod's node is found
+/// dead (its Agent will never reply — waiting out the full timeout would
+/// just stall the abort), or `Err(None)` on a plain timeout.
+fn recv_watching_health(
+    cluster: &Cluster,
+    rx: &Receiver<AgentReply>,
+    nodes: &HashMap<String, u32>,
+    pending: &HashSet<String>,
+    timeout: Duration,
+) -> Result<AgentReply, Option<String>> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        let slice = HEALTH_POLL.min(deadline.saturating_duration_since(Instant::now()));
+        match rx.recv_timeout(slice) {
+            Ok(r) => return Ok(r),
+            Err(RecvTimeoutError::Disconnected) => return Err(None),
+            Err(RecvTimeoutError::Timeout) => {
+                for pod in pending {
+                    if let Some(&n) = nodes.get(pod) {
+                        if !cluster.health.is_alive(n) {
+                            return Err(Some(format!(
+                                "node {n} hosting pod {pod:?} died mid-operation"
+                            )));
+                        }
+                    }
+                }
+                if Instant::now() >= deadline {
+                    return Err(None);
+                }
+            }
+        }
+    }
+}
+
+/// How many pending pods sit on dead nodes (and so will never reply).
+fn count_dead_pending(
+    cluster: &Cluster,
+    nodes: &HashMap<String, u32>,
+    pending: &HashSet<String>,
+) -> usize {
+    pending
+        .iter()
+        .filter(|p| nodes.get(*p).is_some_and(|&n| !cluster.health.is_alive(n)))
+        .count()
 }
 
 fn abort_all(ctls: &HashMap<String, Sender<CtlMsg>>) {
@@ -487,6 +592,17 @@ pub fn restart_with(
                 return Err(ZapcError::NotFound(
                     "streamed images are consumed by migrate()".into(),
                 ))
+            }
+            Uri::Store { ckpt } => {
+                // Durable source: resolve the pod through the committed
+                // manifest and re-verify the recorded digest — a torn or
+                // rotted image surfaces as an error here, never as a
+                // mis-restore.
+                let m = cluster.istore.manifest(*ckpt)?;
+                let entry = m.entry(&t.pod).ok_or_else(|| {
+                    ZapcError::NotFound(format!("pod {:?} in checkpoint {ckpt}", t.pod))
+                })?;
+                Arc::new(cluster.istore.fetch_verified(&entry.image_ref, entry.digest)?)
             }
         };
         // Incremental images carry a parent reference: squash the chain

@@ -24,6 +24,16 @@ pub enum Uri {
         /// Destination node index.
         node: usize,
     },
+    /// A slot in the cluster's *durable* image store: the image is staged
+    /// under checkpoint id `ckpt` (write-to-temp → fsync → atomic rename)
+    /// and becomes part of an application checkpoint only once the
+    /// Manager commits a manifest naming it. As an image source, the
+    /// image is looked up through checkpoint `ckpt`'s manifest and
+    /// digest-verified before restart.
+    Store {
+        /// Durable checkpoint id (the store directory the image lands in).
+        ckpt: u64,
+    },
 }
 
 impl Uri {

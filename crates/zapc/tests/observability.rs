@@ -194,7 +194,7 @@ fn late_replies_are_counted_and_surfaced() {
     // runs clean. The report must surface the drained replies instead of
     // silently discarding them (the bug drain_done's count fixed).
     let plan = FaultPlan::script()
-        .inject("agent.slow", Some("w0"), 0, FaultAction::Delay { micros: 60_000 })
+        .inject("agent.slow", Some("w0"), 0, FaultAction::Delay { micros: 150_000 })
         .build();
     let (obs, ring) = Observer::ring(4096);
     let cluster = Cluster::builder()
@@ -206,10 +206,14 @@ fn late_replies_are_counted_and_surfaced() {
     let names = spawn_pods(&cluster, 2);
     let targets: Vec<CheckpointTarget> =
         names.iter().map(|p| CheckpointTarget::snapshot(p)).collect();
+    // Margins matter under a loaded machine: the drain window (= timeout)
+    // must comfortably catch w1's quick rollback reply, and the retry must
+    // start after w0's delayed Agent has woken and rolled back
+    // (timeout + backoff > delay).
     let opts = CheckpointOptions {
-        timeout: Duration::from_millis(25),
+        timeout: Duration::from_millis(80),
         retries: 2,
-        backoff: Duration::from_millis(60),
+        backoff: Duration::from_millis(120),
         ..Default::default()
     };
 

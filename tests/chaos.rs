@@ -464,6 +464,278 @@ fn seeded_soak_every_plan_recovers_or_aborts_typed() {
     }
 }
 
+// ---- durable commit & recovery ----------------------------------------
+
+use zapc::{checkpoint_commit, recover, restart_from_manifest, CommitOptions};
+
+/// Writes the run's injection trace under `target/chaos-traces/` so CI can
+/// upload it as an artifact when the suite fails.
+fn dump_trace(test: &str, c: &Cluster) {
+    let dir = std::path::Path::new("target/chaos-traces");
+    let _ = std::fs::create_dir_all(dir);
+    let body = c
+        .faults
+        .trace()
+        .into_iter()
+        .map(|e| format!("{e:?}\n"))
+        .collect::<String>();
+    let _ = std::fs::write(dir.join(format!("{test}.trace")), body);
+}
+
+fn commit_pods(app_pods: &[String]) -> Vec<&str> {
+    app_pods.iter().map(|s| s.as_str()).collect()
+}
+
+#[test]
+fn stage_crash_aborts_commit_leaves_no_litter_and_app_resumes() {
+    let reference = reference_codes(AppKind::Cpi, "dst", 2);
+    let plan = FaultPlan::script()
+        .inject("agent.stage", Some("dst-0"), 0, FaultAction::Crash)
+        .build();
+    let c = Cluster::builder().nodes(2).registry(full_registry()).faults(plan).build();
+    let app = launch_app(&c, "dst", &small(AppKind::Cpi, 2));
+    std::thread::sleep(Duration::from_millis(5));
+    let err = checkpoint_commit(&c, &commit_pods(&app.pods), &CommitOptions::default())
+        .unwrap_err();
+    assert!(matches!(err, ZapcError::Aborted(_)), "got {err:?}");
+    // The aborted commit rolled its staging back: nothing durable, nothing
+    // orphaned, and the application resumes with state intact.
+    assert!(c.istore.manifest_ids().is_empty());
+    assert!(c.istore.image_refs().is_empty());
+    assert!(c.istore.tmp_files().is_empty());
+    let codes = app.wait(&c, WAIT).unwrap();
+    assert_eq!(codes, reference);
+    dump_trace("stage_crash", &c);
+    app.destroy(&c);
+}
+
+#[test]
+fn node_death_during_stage_is_caught_by_lease_not_timeout() {
+    let plan = FaultPlan::script()
+        .inject("agent.node_dead", Some("dnd-1"), 0, FaultAction::Crash)
+        .build();
+    let c = Cluster::builder()
+        .nodes(2)
+        .registry(full_registry())
+        .faults(plan)
+        .lease_ms(100)
+        .build();
+    let app = launch_app(&c, "dnd", &small(AppKind::Cpi, 2));
+    std::thread::sleep(Duration::from_millis(5));
+    // A generous timeout: the abort must come from the lease layer
+    // noticing the dead node, far before the timeout would fire.
+    let opts = CommitOptions { timeout: Duration::from_secs(30), ..Default::default() };
+    let start = std::time::Instant::now();
+    let err = checkpoint_commit(&c, &commit_pods(&app.pods), &opts).unwrap_err();
+    let elapsed = start.elapsed();
+    match &err {
+        ZapcError::Aborted(why) => assert!(why.contains("died"), "why = {why}"),
+        other => panic!("expected lease-driven abort, got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "lease must beat the 30s timeout, took {elapsed:?}"
+    );
+    assert!(!c.health.is_alive(1), "the dead node is marked dead");
+    // Rollback held: no durable residue from the aborted attempt.
+    assert!(c.istore.manifest_ids().is_empty());
+    assert!(c.istore.image_refs().is_empty());
+    dump_trace("node_death_stage", &c);
+}
+
+#[test]
+fn commit_crash_at_every_phase_boundary_recovers_consistently() {
+    // One crash site per commit-phase boundary: during staging, after
+    // staging but before the manifest rename, and after the rename. For
+    // each, power-fail the store and run recovery: the restarted Manager
+    // must land on a committed checkpoint or a clean rollback — never a
+    // partial image — with zero orphans left behind.
+    let reference = reference_codes(AppKind::Cpi, "dpb", 2);
+    for (site, key, committed) in [
+        ("agent.stage", Some("dpb-0"), false),
+        ("manager.pre_manifest", Some("manager"), false),
+        ("manager.post_manifest", Some("manager"), true),
+    ] {
+        let plan = FaultPlan::script().inject(site, key, 0, FaultAction::Crash).build();
+        let c =
+            Cluster::builder().nodes(2).registry(full_registry()).faults(plan).build();
+        let app = launch_app(&c, "dpb", &small(AppKind::Cpi, 2));
+        std::thread::sleep(Duration::from_millis(5));
+        let err = checkpoint_commit(&c, &commit_pods(&app.pods), &CommitOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, ZapcError::Aborted(_)), "{site}: got {err:?}");
+
+        // Power loss, then a fresh Manager takes over.
+        c.istore.crash();
+        let rec = recover(&c);
+        if committed {
+            assert_eq!(rec.latest, Some(1), "{site}: rename landed, checkpoint survives");
+            // The checkpoint is consumable: tear the app down and restart
+            // from the recovered manifest.
+            for p in &app.pods {
+                c.destroy_pod(p);
+            }
+            restart_from_manifest(&c, None, WAIT).unwrap();
+            let codes = app.wait(&c, WAIT).unwrap();
+            assert_eq!(codes, reference, "{site}");
+        } else {
+            assert_eq!(rec.latest, None, "{site}: no rename, no checkpoint");
+            assert!(c.istore.image_refs().is_empty(), "{site}: staged litter survived");
+            let codes = app.wait(&c, WAIT).unwrap();
+            assert_eq!(codes, reference, "{site}");
+        }
+        // GC left nothing behind either way.
+        assert!(c.istore.tmp_files().is_empty(), "{site}");
+        let again = recover(&c);
+        assert_eq!(again.orphans_removed, 0, "{site}: recovery must leave zero orphans");
+        dump_trace(&format!("phase_boundary_{}", site.replace('.', "_")), &c);
+        app.destroy(&c);
+    }
+}
+
+#[test]
+fn torn_manifest_recovery_falls_back_to_previous_checkpoint() {
+    // Commit #1 cleanly; commit #2's manifest never reaches the platter
+    // (fsync silently dropped) before the power cut. Recovery must roll
+    // #2 back and serve #1.
+    let reference = reference_codes(AppKind::Cpi, "dtm", 2);
+    let plan = FaultPlan::script()
+        .inject("store.fsync", Some("2"), 0, FaultAction::Drop)
+        .build();
+    let c = Cluster::builder().nodes(2).registry(full_registry()).faults(plan).build();
+    let app = launch_app(&c, "dtm", &small(AppKind::Cpi, 2));
+    std::thread::sleep(Duration::from_millis(5));
+    checkpoint_commit(&c, &commit_pods(&app.pods), &CommitOptions::default()).unwrap();
+    std::thread::sleep(Duration::from_millis(3));
+    checkpoint_commit(&c, &commit_pods(&app.pods), &CommitOptions::default()).unwrap();
+
+    c.istore.crash();
+    let rec = recover(&c);
+    assert_eq!(rec.latest, Some(1), "torn #2 falls back to #1");
+    assert!(rec.rolled_back.contains(&2));
+
+    for p in &app.pods {
+        c.destroy_pod(p);
+    }
+    restart_from_manifest(&c, None, WAIT).unwrap();
+    let codes = app.wait(&c, WAIT).unwrap();
+    assert_eq!(codes, reference);
+    dump_trace("torn_manifest", &c);
+    app.destroy(&c);
+}
+
+#[test]
+fn double_recovery_after_crashed_commit_is_idempotent() {
+    let plan = FaultPlan::script()
+        .inject("manager.pre_manifest", Some("manager"), 0, FaultAction::Crash)
+        .build();
+    let c = Cluster::builder().nodes(2).registry(full_registry()).faults(plan).build();
+    let app = launch_app(&c, "didem", &small(AppKind::Cpi, 2));
+    std::thread::sleep(Duration::from_millis(5));
+    checkpoint_commit(&c, &commit_pods(&app.pods), &CommitOptions::default()).unwrap_err();
+    c.istore.crash();
+
+    let first = recover(&c);
+    let second = recover(&c);
+    assert_eq!(first.rolled_back, vec![1]);
+    assert!(second.rolled_back.is_empty(), "second pass must find nothing to undo");
+    assert_eq!(second.latest, first.latest);
+    assert_eq!(second.orphans_removed, 0);
+    assert_eq!(second.epoch, first.epoch + 1, "each pass still bumps the epoch");
+    dump_trace("double_recovery", &c);
+    let _ = app.wait(&c, WAIT).unwrap();
+    app.destroy(&c);
+}
+
+#[test]
+fn seeded_recovery_soak_never_consumes_partial_state() {
+    // Seed-driven sweep over the commit path. CI runs this with several
+    // `ZAPC_RECOVERY_SOAK_BASE` values to widen the matrix; locally it
+    // covers seeds 0..8. Whatever fires, the contract is the same: the
+    // commit either succeeds or aborts typed; after a power cut, recovery
+    // lands on a committed checkpoint or a clean rollback; a second
+    // recovery pass finds nothing; and the application output always
+    // matches the fault-free run.
+    let base: u64 = std::env::var("ZAPC_RECOVERY_SOAK_BASE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let reference = reference_codes(AppKind::Cpi, "dsoak", 2);
+    for seed in base..base + 8 {
+        let plan = FaultPlan::from_seed(seed)
+            .scoped(&["agent.stage", "manager.", "store."]);
+        let c =
+            Cluster::builder().nodes(2).registry(full_registry()).faults(plan).build();
+        let app = launch_app(&c, "dsoak", &small(AppKind::Cpi, 2));
+        std::thread::sleep(Duration::from_millis(3));
+        let opts =
+            CommitOptions { timeout: Duration::from_secs(2), ..Default::default() };
+        match checkpoint_commit(&c, &commit_pods(&app.pods), &opts) {
+            Ok(_) | Err(ZapcError::Aborted(_)) => {}
+            Err(other) => panic!("seed {seed}: untyped failure {other:?}"),
+        }
+        c.istore.crash();
+        let rec = recover(&c);
+        let again = recover(&c);
+        assert!(again.rolled_back.is_empty(), "seed {seed}: recovery not idempotent");
+        assert_eq!(again.orphans_removed, 0, "seed {seed}: orphans survived recovery");
+        assert!(c.istore.tmp_files().is_empty(), "seed {seed}");
+        if let Some(latest) = rec.latest {
+            // The recovered checkpoint must be consumable end to end.
+            for p in &app.pods {
+                c.destroy_pod(p);
+            }
+            restart_from_manifest(&c, Some(latest), WAIT)
+                .unwrap_or_else(|e| panic!("seed {seed}: restart failed: {e:?}"));
+        }
+        let codes = app.wait(&c, WAIT).unwrap();
+        assert_eq!(codes, reference, "seed {seed}");
+        dump_trace(&format!("recovery_soak_{seed}"), &c);
+        app.destroy(&c);
+    }
+}
+
+#[test]
+fn same_seed_recovery_yields_identical_trace_and_outcome() {
+    // Recovery determinism: the same seeded plan, scoped to the commit
+    // path, must produce byte-identical injection traces, the same
+    // recovery classification, and the same application output on every
+    // run.
+    let seed = (1..5000u64)
+        .find(|s| {
+            let probe = FaultPlan::from_seed(*s);
+            probe.hit("manager.pre_manifest", "manager").is_some()
+                || probe.hit("manager.post_manifest", "manager").is_some()
+        })
+        .expect("some seed below 5000 fires a manifest-phase site");
+    let run = || {
+        let plan = FaultPlan::from_seed(seed)
+            .scoped(&["manager.pre_manifest", "manager.post_manifest", "store."]);
+        let c =
+            Cluster::builder().nodes(2).registry(full_registry()).faults(plan).build();
+        let app = launch_app(&c, "drec", &small(AppKind::Cpi, 2));
+        std::thread::sleep(Duration::from_millis(5));
+        let outcome =
+            checkpoint_commit(&c, &commit_pods(&app.pods), &CommitOptions::default())
+                .map(|r| r.ckpt_id)
+                .map_err(|e| matches!(e, ZapcError::Aborted(_)));
+        c.istore.crash();
+        let rec = recover(&c);
+        let codes = app.wait(&c, WAIT).unwrap();
+        dump_trace("recovery_determinism", &c);
+        app.destroy(&c);
+        (c.faults.trace(), outcome, rec.latest, rec.rolled_back, codes)
+    };
+    let (t1, o1, l1, rb1, c1) = run();
+    let (t2, o2, l2, rb2, c2) = run();
+    assert!(!t1.is_empty(), "chosen seed must fire");
+    assert_eq!(t1, t2, "same seed => same injection trace");
+    assert_eq!(o1, o2);
+    assert_eq!(l1, l2, "same seed => same recovery classification");
+    assert_eq!(rb1, rb2);
+    assert_eq!(c1, c2);
+}
+
 // ---- determinism ------------------------------------------------------
 
 #[test]
