@@ -121,6 +121,26 @@ pub fn register_all(reg: &mut ProgramRegistry) {
     reg.register(udpapps::HB_MONITOR_TYPE, udpapps::load_hb_monitor);
     reg.register(udpapps::RUDP_SENDER_TYPE, udpapps::load_rudp_sender);
     reg.register(udpapps::RUDP_RECEIVER_TYPE, udpapps::load_rudp_receiver);
+    reg.register(crate::writer::WRITER_TYPE, crate::writer::load);
+}
+
+/// Launches `ranks` independent dirty-writer pods (no sockets; pure
+/// memory churn), round-robin across the cluster's nodes. Pod names are
+/// `{prefix}-{rank}`.
+pub fn launch_writers(
+    cluster: &Cluster,
+    prefix: &str,
+    ranks: usize,
+    cfg: &crate::writer::WriterConfig,
+) -> Vec<String> {
+    (0..ranks.max(1))
+        .map(|i| {
+            let name = format!("{prefix}-{i}");
+            let pod = cluster.create_pod(&name, i % cluster.node_count());
+            pod.spawn("writer", Box::new(crate::writer::DirtyWriter::new(cfg.clone())));
+            name
+        })
+        .collect()
 }
 
 /// A registry with every workload pre-registered.

@@ -23,6 +23,8 @@
 //! * [`udpapps`] — UDP workloads: a heartbeat monitor exercising the §5
 //!   application-timeout/time-virtualization story, and a stop-and-wait
 //!   reliable protocol built over UDP.
+//! * [`writer`] — a synthetic dirty-memory writer with a tunable dirty
+//!   rate: the convergence-spectrum workload for live migration.
 //! * [`launch`] — helpers to place one rank per pod across a cluster and
 //!   register every program loader.
 //!
@@ -43,6 +45,7 @@ pub mod launch;
 pub mod povray;
 pub mod pvm;
 pub mod udpapps;
+pub mod writer;
 
 pub use comm::MpiComm;
 pub use launch::{launch_app, register_all, AppKind, AppParams, Launched};

@@ -17,6 +17,7 @@ use zapc_bench::figures::{
     ZAPC_OVERHEAD_NS,
 };
 use zapc_bench::incremental::{run_ablation, run_parallel, to_json, AblationRow, ParallelRow, MODES};
+use zapc_bench::migration::{mig_to_json, run_adversarial, run_curve, run_headline, MigRow};
 use zapc_bench::phases::{phases_to_json, run_phases, OpBreakdown, PhasesReport};
 
 fn main() {
@@ -41,6 +42,7 @@ fn main() {
         "fig6c" => fig6c(&cfg),
         "inc" => inc(&cfg, quick),
         "phases" => phases(&cfg, quick),
+        "mig" => mig(&cfg, quick),
         "all" => {
             fig5(&cfg);
             fig6a(&cfg);
@@ -48,9 +50,10 @@ fn main() {
             fig6c(&cfg);
             inc(&cfg, quick);
             phases(&cfg, quick);
+            mig(&cfg, quick);
         }
         other => {
-            eprintln!("unknown figure {other:?}; use fig5|fig6a|fig6b|fig6c|inc|phases|all");
+            eprintln!("unknown figure {other:?}; use fig5|fig6a|fig6b|fig6c|inc|phases|mig|all");
             std::process::exit(2);
         }
     }
@@ -106,6 +109,59 @@ fn inc(cfg: &RunCfg, quick: bool) {
     match std::fs::write("BENCH_2.json", &json) {
         Ok(()) => println!("\nwrote BENCH_2.json ({} bytes)", json.len()),
         Err(e) => eprintln!("\nfailed to write BENCH_2.json: {e}"),
+    }
+}
+
+fn mig_row(r: &MigRow) {
+    println!(
+        "{:<24} {:>5} {:>9} {:>12} {:>12} | {:>9.2} ms {:>9.2} ms {:>7.1}%",
+        r.label,
+        r.rounds,
+        if r.converged { "yes" } else { "capped" },
+        fmt_bytes(r.precopy_bytes as f64),
+        fmt_bytes(r.cut_bytes as f64),
+        r.live_downtime_ms,
+        r.stop_outage_ms,
+        r.ratio() * 100.0
+    );
+}
+
+fn mig(cfg: &RunCfg, quick: bool) {
+    println!("== Live migration: pre-copy downtime vs stop-and-copy outage ==");
+    println!("   (every pod moved to a fresh node; stop-and-copy's whole wall");
+    println!("    time is outage, live pays only the quiesced final cut)\n");
+    println!(
+        "{:<24} {:>5} {:>9} {:>12} {:>12} | {:>12} {:>12} {:>8}",
+        "scenario", "rnds", "converged", "precopy", "cut", "live down", "stop out", "ratio"
+    );
+    let headline = run_headline(cfg, quick);
+    mig_row(&headline);
+    println!("\n-- downtime vs dirty rate (2 writer pods, 8 hot regions) --\n");
+    let curve = run_curve(cfg, quick);
+    for r in &curve {
+        mig_row(r);
+    }
+    println!("\n-- adversarial writer: round cap bounds a non-converging pre-copy --\n");
+    let (adv, cap) = run_adversarial(cfg, quick);
+    mig_row(&adv);
+    println!("   (cap = {cap} rounds; residual each round = whole hot set)");
+
+    if headline.ratio() < 0.25 {
+        println!(
+            "\nheadline: live downtime is {:.1}% of the stop-and-copy outage (< 25% target)",
+            headline.ratio() * 100.0
+        );
+    } else {
+        println!(
+            "\nheadline: live downtime is {:.1}% of the stop-and-copy outage (MISSES 25% target)",
+            headline.ratio() * 100.0
+        );
+    }
+
+    let json = mig_to_json(quick, &headline, &curve, &adv, cap);
+    match std::fs::write("BENCH_6.json", &json) {
+        Ok(()) => println!("wrote BENCH_6.json ({} bytes)", json.len()),
+        Err(e) => eprintln!("failed to write BENCH_6.json: {e}"),
     }
 }
 

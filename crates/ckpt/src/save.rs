@@ -164,6 +164,67 @@ pub fn checkpoint_standalone_with(
     Ok(outcome)
 }
 
+/// One process's memory payload captured by a live pre-copy round.
+#[derive(Debug)]
+pub struct RoundPayload {
+    /// Virtual PID the payload belongs to.
+    pub vpid: u32,
+    /// [`SectionTag::Memory`] (base round, or a process new since the
+    /// base) or [`SectionTag::MemoryDelta`].
+    pub tag: SectionTag,
+    /// Encoded section payload, ready to frame and ship.
+    pub payload: Vec<u8>,
+    /// Address-space generation at capture time — the next round's base.
+    pub gen: u64,
+    /// Region-content bytes the payload carries (the residual dirty set
+    /// for deltas); what the convergence policy meters.
+    pub region_bytes: usize,
+}
+
+/// Captures one pre-copy round of memory payloads *without* suspending the
+/// pod. Each process is captured under its own process lock, so every
+/// payload is internally consistent (the scheduler steps a process while
+/// holding the same lock); processes keep running between captures, which
+/// is exactly the race iterative pre-copy tolerates — anything written
+/// after a capture shows up in the next round's dirty set, and the final
+/// quiesced cut ([`checkpoint_standalone_with`] with `base_gens` from the
+/// last round) closes the window.
+///
+/// `base_gens` selects full vs delta payloads exactly as in [`SaveOpts`];
+/// `scratch` is reused across payloads and rounds (cleared, capacity
+/// kept) so a long pre-copy does not re-pay buffer growth every round.
+pub fn capture_memory_round(
+    pod: &Pod,
+    base_gens: Option<&HashMap<u32, u64>>,
+    scratch: &mut RecordWriter,
+) -> CkptResult<Vec<RoundPayload>> {
+    let mut out = Vec::new();
+    for (vpid, pid) in pod.vpid_pids() {
+        let parc = pod
+            .node()
+            .process(pid)
+            .ok_or(CkptError::Inconsistent("process vanished during pre-copy round"))?;
+        let proc = parc.lock();
+        let gen = proc.mem.generation();
+        scratch.reset();
+        let (tag, region_bytes) = match base_gens.and_then(|b| b.get(&vpid).copied()) {
+            Some(base_gen) => {
+                let delta = MemoryDeltaRecord::capture(vpid, base_gen, &proc.mem);
+                let bytes = delta.dirty.iter().map(|r| r.data.byte_len()).sum();
+                delta.encode(scratch);
+                (SectionTag::MemoryDelta, bytes)
+            }
+            None => {
+                scratch.put_u32(vpid);
+                proc.mem.encode(scratch);
+                (SectionTag::Memory, proc.mem.total_bytes())
+            }
+        };
+        out.push(RoundPayload { vpid, tag, payload: scratch.bytes().to_vec(), gen, region_bytes });
+    }
+    Ok(out)
+}
+
 /// Encodes one suspended process: control block, descriptor records, and
 /// its memory payload (full, or a delta against `base_gens[vpid]`).
 fn encode_process(

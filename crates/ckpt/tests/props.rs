@@ -1,0 +1,158 @@
+//! Property: a pipelined pre-copy chain — one full base image followed by
+//! any number of dirty-region delta rounds, squashed on apply — is
+//! byte-identical to a stop-and-copy image taken at cutover.
+//!
+//! This is the correctness core of live migration: the receiver never
+//! sees the source's memory directly, only the base plus deltas; if the
+//! squash drifted from the ground truth by even one byte, the migrated
+//! pod would silently diverge. The property drives a randomized dirty-
+//! write workload (grow/rewrite/unmap interleaved with capture rounds)
+//! and compares FNV-1a digests of the canonical `Memory` encoding.
+
+use proptest::prelude::*;
+use zapc_ckpt::{DecodedPod, MemoryDeltaRecord};
+use zapc_proto::crc::fnv1a64;
+use zapc_proto::{Encode, RecordWriter, SectionTag};
+use zapc_sim::memory::AddressSpace;
+
+/// One mutation of one process's address space between capture rounds.
+#[derive(Debug, Clone)]
+enum WriteOp {
+    /// Rewrite region `region % live_count` with values derived from `v`.
+    Rewrite { region: usize, v: u64 },
+    /// Map a fresh region of `len` f64s and fill it from `v`.
+    Map { len: usize, v: u64 },
+}
+
+fn write_ops() -> impl Strategy<Value = WriteOp> {
+    (any::<u8>(), any::<usize>(), 1usize..32, any::<u64>()).prop_map(|(sel, region, len, v)| {
+        // ~1 in 5 ops maps a fresh region; the rest rewrite existing ones.
+        if sel % 5 == 0 {
+            WriteOp::Map { len, v }
+        } else {
+            WriteOp::Rewrite { region, v }
+        }
+    })
+}
+
+fn apply_op(mem: &mut AddressSpace, op: &WriteOp, uniq: &mut u32) {
+    match op {
+        WriteOp::Rewrite { region, v } => {
+            let bases: Vec<u64> = mem.regions().map(|r| r.base).collect();
+            if bases.is_empty() {
+                return;
+            }
+            let base = bases[region % bases.len()];
+            if let Some(data) = mem.f64_mut(base) {
+                for (i, x) in data.iter_mut().enumerate() {
+                    *x = (*v as f64) + (i as f64) * 0.125;
+                }
+            } else if let Some(data) = mem.bytes_mut(base) {
+                for (i, x) in data.iter_mut().enumerate() {
+                    *x = (v.wrapping_add(i as u64) % 256) as u8;
+                }
+            }
+        }
+        WriteOp::Map { len, v } => {
+            *uniq += 1;
+            let base = mem.map_f64(&format!("prop.r{uniq}"), *len);
+            let data = mem.f64_mut(base).expect("just mapped");
+            for (i, x) in data.iter_mut().enumerate() {
+                *x = (*v as f64) * 0.5 + i as f64;
+            }
+        }
+    }
+}
+
+/// The canonical `Memory`-section payload for one process — the same
+/// bytes `capture_memory_round` ships for a full round and the same
+/// bytes `DecodedPod::memory_digest` hashes.
+fn full_payload(vpid: u32, mem: &AddressSpace) -> Vec<u8> {
+    let mut w = RecordWriter::new();
+    w.put_u32(vpid);
+    mem.encode(&mut w);
+    w.into_bytes()
+}
+
+proptest! {
+    #[test]
+    fn precopy_chain_squashes_to_stop_and_copy_image(
+        // 1–3 processes, each starting with 1–3 regions of 1–24 f64s.
+        initial in proptest::collection::vec(
+            proptest::collection::vec((1usize..24, any::<u64>()), 1..4),
+            1..4,
+        ),
+        // 0–5 delta rounds, each mutating each process 0–4 times.
+        rounds in proptest::collection::vec(
+            proptest::collection::vec(proptest::collection::vec(write_ops(), 0..5), 3),
+            0..6,
+        ),
+    ) {
+        // Source side: one address space per vpid.
+        let mut mems: Vec<(u32, AddressSpace)> = Vec::new();
+        let mut uniq = 0u32;
+        for (pi, regions) in initial.iter().enumerate() {
+            let mut mem = AddressSpace::new();
+            for (len, v) in regions {
+                apply_op(&mut mem, &WriteOp::Map { len: *len, v: *v }, &mut uniq);
+            }
+            mems.push((pi as u32 + 1, mem));
+        }
+
+        // Receiver side: the pipelined accumulator.
+        let mut parts = DecodedPod::new();
+
+        // Round 1: full base capture, shipped as Memory sections.
+        let mut gens: Vec<u64> = Vec::new();
+        for (vpid, mem) in &mems {
+            parts.apply_section(SectionTag::Memory, &full_payload(*vpid, mem)).unwrap();
+            gens.push(mem.generation());
+        }
+
+        // Delta rounds: mutate, capture dirty regions since the previous
+        // round, ship as MemoryDelta sections, squash on apply.
+        for round in &rounds {
+            for (pi, (vpid, mem)) in mems.iter_mut().enumerate() {
+                for op in &round[pi % round.len()] {
+                    apply_op(mem, op, &mut uniq);
+                }
+                let delta = MemoryDeltaRecord::capture(*vpid, gens[pi], mem);
+                gens[pi] = delta.new_gen;
+                let mut w = RecordWriter::new();
+                delta.encode(&mut w);
+                parts.apply_section(SectionTag::MemoryDelta, w.bytes()).unwrap();
+            }
+        }
+
+        // Cutover: the receiver's squashed state must hash identically to
+        // a stop-and-copy image taken from the live source right now.
+        let mut w = RecordWriter::new();
+        let mut sorted: Vec<&(u32, AddressSpace)> = mems.iter().collect();
+        sorted.sort_by_key(|(vpid, _)| *vpid);
+        for (vpid, mem) in sorted {
+            w.put_u32(*vpid);
+            mem.encode(&mut w);
+        }
+        let stop_and_copy = fnv1a64(w.bytes());
+        // Squashed pre-copy chain must be byte-identical to the
+        // stop-and-copy image.
+        prop_assert_eq!(parts.memory_digest(), stop_and_copy);
+    }
+
+    #[test]
+    fn delta_on_missing_base_is_typed(
+        vpid in 1u32..8,
+        len in 1usize..16,
+    ) {
+        // A MemoryDelta for a process whose base never arrived must be a
+        // typed inconsistency, not a panic or a silent empty restore.
+        let mut mem = AddressSpace::new();
+        let base = mem.map_f64("orphan", len);
+        let _ = mem.f64_mut(base);
+        let delta = MemoryDeltaRecord::capture(vpid, 0, &mem);
+        let mut w = RecordWriter::new();
+        delta.encode(&mut w);
+        let mut parts = DecodedPod::new();
+        prop_assert!(parts.apply_section(SectionTag::MemoryDelta, w.bytes()).is_err());
+    }
+}

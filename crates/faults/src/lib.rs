@@ -14,6 +14,9 @@
 //! | `agent.slow`           | zapc agent  | Agent latency before reporting meta-data       |
 //! | `agent.stage`          | zapc agent  | Agent dies while staging into the durable store|
 //! | `agent.node_dead`      | zapc agent  | the Agent's node dies mid-operation (silent)   |
+//! | `agent.precopy_round`  | zapc agent  | Agent dies between pre-copy rounds             |
+//! | `agent.cutover`        | zapc agent  | Agent dies at the live-migration cutover       |
+//! | `net.stream_torn`      | zapc agent  | streamed migration frame corrupted / truncated |
 //! | `ctl.continue`         | zapc mgr    | Manager→Agent `continue` dropped or delayed    |
 //! | `manager.post_meta`    | zapc mgr    | Manager dies after collecting meta-data        |
 //! | `manager.pre_done`     | zapc mgr    | Manager dies while collecting `done` replies   |
@@ -49,6 +52,9 @@ pub const SITES: &[&str] = &[
     "agent.slow",
     "agent.stage",
     "agent.node_dead",
+    "agent.precopy_round",
+    "agent.cutover",
+    "net.stream_torn",
     "ctl.continue",
     "manager.post_meta",
     "manager.pre_done",
@@ -177,7 +183,7 @@ fn fnv1a(s: &str) -> u64 {
 /// Site-appropriate action derived from a decision hash.
 fn action_for(site: &str, h: u64) -> FaultAction {
     let pick = mix(h ^ 0xACCE_55ED);
-    if site == "agent.image" || site == "store.manifest" {
+    if site == "agent.image" || site == "store.manifest" || site == "net.stream_torn" {
         if pick.is_multiple_of(2) {
             FaultAction::Corrupt { byte: mix(pick) }
         } else {
@@ -201,9 +207,9 @@ fn action_for(site: &str, h: u64) -> FaultAction {
         FaultAction::Drop
     } else {
         // agent.pre_meta / agent.post_meta / agent.pre_continue /
-        // agent.stage / agent.node_dead / manager.post_meta /
-        // manager.pre_done / manager.pre_manifest / manager.post_manifest /
-        // store.pre_rename
+        // agent.stage / agent.node_dead / agent.precopy_round /
+        // agent.cutover / manager.post_meta / manager.pre_done /
+        // manager.pre_manifest / manager.post_manifest / store.pre_rename
         FaultAction::Crash
     }
 }

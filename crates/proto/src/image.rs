@@ -125,7 +125,15 @@ impl ImageWriter {
     /// should pass it here: a multi-MB image then allocates once instead
     /// of paying repeated `Vec` regrowth memcpys on the hot path.
     pub fn with_capacity(header: &Header, capacity_hint: usize) -> Self {
-        let mut out = Vec::with_capacity(capacity_hint.max(256));
+        ImageWriter::with_buffer(header, Vec::with_capacity(capacity_hint.max(256)))
+    }
+
+    /// Starts a new image inside a caller-provided buffer, reusing its
+    /// allocation. Iterative checkpointing (live migration rounds) calls
+    /// this with the previous round's buffer so each cut after the first
+    /// allocates nothing for the image body.
+    pub fn with_buffer(header: &Header, mut out: Vec<u8>) -> Self {
+        out.clear();
         out.extend_from_slice(MAGIC);
         out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
         let mut scratch = RecordWriter::new();

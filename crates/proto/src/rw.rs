@@ -64,6 +64,14 @@ impl RecordWriter {
         self.buf
     }
 
+    /// Clears the accumulated payload while keeping the allocation, so
+    /// one writer can serve many encode rounds (pre-copy migration emits
+    /// dozens of payloads per pod; rebuilding the buffer each time would
+    /// pay the regrowth memcpys over and over).
+    pub fn reset(&mut self) {
+        self.buf.clear();
+    }
+
     /// Borrows the bytes written so far.
     pub fn bytes(&self) -> &[u8] {
         &self.buf

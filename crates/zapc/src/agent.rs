@@ -383,7 +383,7 @@ pub fn agent_checkpoint_ext(
             }
             None
         }
-        Uri::Agent { .. } => Some(Arc::clone(&image)),
+        Uri::Agent { .. } | Uri::Stream { .. } => Some(Arc::clone(&image)),
         Uri::Store { ckpt: ckpt_id } => {
             // Durable staging. These fault sites are consulted ONLY on the
             // store path so every pre-existing seeded trace is unchanged.

@@ -63,6 +63,7 @@ pub mod agent;
 pub mod cluster;
 pub mod commit;
 pub mod health;
+pub mod live;
 pub mod manager;
 pub mod uri;
 
@@ -72,10 +73,11 @@ pub use commit::{
     RecoveryReport,
 };
 pub use health::HealthMonitor;
+pub use live::{migrate_live, migrate_live_with, LiveMigrateReport, LivePodReport};
 pub use zapc_faults::{FaultAction, FaultPlan, TraceEvent};
 pub use manager::{
-    checkpoint, migrate, restart, CheckpointReport, CheckpointTarget, Phase, PhaseBreakdown,
-    PodReport, RestartReport, RestartTarget,
+    checkpoint, migrate, restart, CheckpointReport, CheckpointTarget, MigrateOptions, Phase,
+    PhaseBreakdown, PodReport, RestartReport, RestartTarget,
 };
 pub use uri::Uri;
 

@@ -1,0 +1,920 @@
+//! Live migration with iterative pre-copy and pipelined restore.
+//!
+//! The paper's migration is stop-and-copy: quiesce, dump, ship, restore —
+//! downtime scales with image size. This module adds the classic fix
+//! (iterative pre-copy, as in VM live migration): the source Agent
+//! streams a full base image over a [`crate::Uri::Stream`]-style frame
+//! channel *while the pod keeps running*, then iterates dirty-region
+//! delta rounds (the v2 delta engine's per-region generation counters)
+//! until the residual dirty set drops under a threshold — or a round/byte
+//! cap forces the issue — and only then quiesces for one final delta plus
+//! the network-state cut. The receiving Agent restores *pipelined*,
+//! decoding sections as frames arrive and squashing each delta onto the
+//! accumulated base ([`zapc_ckpt::DecodedPod`]) instead of buffering the
+//! whole chain.
+//!
+//! ## Round protocol (per pod)
+//!
+//! ```text
+//! source                        wire (frames)            receiver
+//! ──────────────────────────────────────────────────────────────────
+//! capture round 1 (full) ────► RoundStart, Section*, RoundEnd
+//! capture round 2 (delta) ───► RoundStart, Section*, RoundEnd   apply/squash
+//!   …until converged/capped
+//! report `precopy` ──────────────────────► Manager
+//!   ◄── `cutover` ─────────────────────── Manager (all pods ready)
+//! suspend + block vip
+//! network cut; report `meta` ────────────► Manager
+//! final quiesced image ──────► Section*, Commit               apply/squash
+//!                                                             report `applied`
+//! ──────────── commit point: all metas collected, all applied ───────────
+//!   ◄── `commit` ──── destroy + forget ── Manager
+//!                                         Manager ── `commit{roles}` ──►
+//!                                                             create pod, restore
+//!                                                             network, reinstate,
+//!                                                             resume
+//! ```
+//!
+//! ## Cutover commit point
+//!
+//! The point of no return is reached only when *every* source has
+//! reported its cutover meta-data AND *every* receiver has acknowledged
+//! the complete, decodable stream (`applied`). Any failure before that —
+//! an Agent crash between rounds (`agent.precopy_round`), at cutover
+//! (`agent.cutover`), a torn frame (`net.stream_torn`), a receiver node
+//! death — aborts the whole operation with a typed
+//! [`ZapcError::Aborted`]: sources unblock and resume (or were never
+//! suspended at all), receivers discard their accumulated state, and no
+//! destination pod ever exists. After the commit point the sources are
+//! destroyed *first* (so their stale routing entries are gone before the
+//! destinations register) and receiver failures are final, exactly like
+//! stop-and-copy phase 2. The virtual IP stays blocked from source
+//! suspend until the receiver re-routes it, so no segment can chase a pod
+//! across the move.
+//!
+//! ## Convergence policy
+//!
+//! After each delta round the source compares the bytes it just shipped
+//! against [`MigrateOptions::residual_threshold`]: at or below it, the
+//! residual is small enough that the quiesced final delta is cheap —
+//! converged, cut over. Workloads that re-dirty their working set faster
+//! than the wire drains it never converge; the round cap
+//! ([`MigrateOptions::max_rounds`]) and the total pre-copy byte budget
+//! ([`MigrateOptions::max_precopy_bytes`]) bound the damage, forcing a
+//! cutover whose downtime is at worst the stop-and-copy downtime (one
+//! working-set-sized delta) plus round bookkeeping.
+
+use crate::cluster::Cluster;
+use crate::manager::MigrateOptions;
+use crate::{ZapcError, ZapcResult};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use zapc_ckpt::{
+    capture_memory_round, checkpoint_standalone_with, DecodedPod, RestoredSockets, SaveOpts,
+};
+use zapc_netckpt::{checkpoint_network_obs, restore_network, NetworkRestorePlan};
+use zapc_pod::Pod;
+use zapc_proto::image::Header;
+use zapc_proto::rw::RecordStream;
+use zapc_proto::{
+    Encode, ImageReader, ImageWriter, MetaData, RecordReader, RecordWriter, SectionTag,
+};
+
+/// Stream frame kinds. Frames share the CRC-framed record layout of image
+/// sections (`frame_record`), so any corruption or truncation on the wire
+/// surfaces as a typed decode error at the receiver — never a misparse.
+const FRAME_ROUND_START: u16 = 0x0101;
+/// One image section: `u16` section tag + length-prefixed payload.
+const FRAME_SECTION: u16 = 0x0102;
+/// End of a pre-copy round: round ordinal + bytes shipped.
+const FRAME_ROUND_END: u16 = 0x0103;
+/// End of stream: the final quiesced cut is complete.
+const FRAME_COMMIT: u16 = 0x0104;
+
+/// How deep the per-pod frame channel buffers before the source blocks
+/// (backpressure towards the pre-copy loop, like a TCP window).
+const STREAM_DEPTH: usize = 64;
+
+/// How often a blocked receiver polls its control channel.
+const CTL_POLL: Duration = Duration::from_millis(5);
+
+/// Control messages to a live-migration source Agent.
+enum SrcCtl {
+    /// All pods finished pre-copy: suspend and take the final cut.
+    Cutover,
+    /// Commit: destroy the source pod (the receiver has everything).
+    Commit,
+    /// Abort: resume (or keep running) and bail out.
+    Abort,
+}
+
+/// Control messages to a live-migration receiver Agent.
+enum RcvCtl {
+    /// Commit: create the pod from the accumulated state and resume it.
+    Commit {
+        /// This pod's meta-data with Manager-assigned reconnection roles.
+        my_meta: Box<MetaData>,
+        /// The merged cluster meta-data.
+        all_meta: Arc<Vec<MetaData>>,
+    },
+    /// Abort: discard everything; no pod is created.
+    Abort,
+}
+
+/// Replies from the per-pod source and receiver Agents to the Manager.
+enum LiveReply {
+    /// Source: pre-copy loop finished; summary of the rounds.
+    Precopy { pod: String, rounds: u32, precopy_bytes: u64, residual_bytes: u64, converged: bool },
+    /// Source: pod suspended and network state cut; meta-data attached.
+    Meta { pod: String, meta: Box<MetaData>, suspended_at: Instant },
+    /// Receiver: every frame decoded and applied; ready to commit.
+    Applied { pod: String },
+    /// Source finished (pod destroyed) or failed.
+    SourceDone { pod: String, result: Result<SourceOutcome, String> },
+    /// Receiver finished (pod resumed) or failed.
+    ReceiverDone { pod: String, result: Result<ReceiverOutcome, String> },
+}
+
+/// What a committed source reports.
+struct SourceOutcome {
+    /// Final quiesced image size (bytes).
+    cut_bytes: usize,
+}
+
+/// What a committed receiver reports.
+struct ReceiverOutcome {
+    /// When the destination pod resumed execution.
+    resumed_at: Instant,
+    /// Network-restore latency (µs).
+    net_us: u64,
+}
+
+/// Per-pod outcome of a live migration.
+#[derive(Debug, Clone)]
+pub struct LivePodReport {
+    /// Pod name.
+    pub pod: String,
+    /// Pre-copy rounds run (the full base copy counts as round 1).
+    pub rounds: u32,
+    /// Total bytes streamed while the pod was running.
+    pub precopy_bytes: u64,
+    /// Region bytes the last pre-copy round shipped (the residual the
+    /// convergence policy judged).
+    pub residual_bytes: u64,
+    /// Final quiesced cut size (bytes) — what downtime actually paid for.
+    pub cut_bytes: usize,
+    /// Whether pre-copy converged below the residual threshold (`false`
+    /// means the round or byte cap forced the cutover).
+    pub converged: bool,
+    /// Downtime: source suspend → destination resume (ms).
+    pub downtime_ms: f64,
+    /// Network-restore latency at the destination (ms).
+    pub net_ms: f64,
+}
+
+/// Outcome of a [`migrate_live`].
+#[derive(Debug, Clone)]
+pub struct LiveMigrateReport {
+    /// Per-pod statistics.
+    pub pods: Vec<LivePodReport>,
+    /// Manager-observed wall time, invocation → last resume (ms).
+    pub wall_ms: f64,
+    /// Wall time of the pre-copy phase (invocation → every pod converged
+    /// or capped), during which the application keeps running (ms).
+    pub precopy_ms: f64,
+    /// Wall time of the cutover phase (cutover broadcast → last resume);
+    /// an upper bound on any pod's downtime (ms).
+    pub cutover_ms: f64,
+    /// Largest per-pod downtime (ms) — the headline number live
+    /// migration exists to shrink.
+    pub max_downtime_ms: f64,
+}
+
+impl LiveMigrateReport {
+    /// Largest per-pod downtime, recomputed from the pod reports.
+    pub fn worst_downtime_ms(&self) -> f64 {
+        self.pods.iter().map(|p| p.downtime_ms).fold(0.0, f64::max)
+    }
+}
+
+/// Live migration with default options.
+pub fn migrate_live(cluster: &Cluster, moves: &[(String, usize)]) -> ZapcResult<LiveMigrateReport> {
+    migrate_live_with(cluster, moves, &MigrateOptions::default())
+}
+
+/// Live migration: iterative pre-copy of every pod in `moves` to its
+/// destination node, then a coordinated cutover. See the module docs for
+/// the protocol, commit point, and convergence policy. Unlike
+/// [`crate::migrate`], there is no retry loop: an abort leaves every
+/// source pod running, so the caller can simply invoke again.
+pub fn migrate_live_with(
+    cluster: &Cluster,
+    moves: &[(String, usize)],
+    opts: &MigrateOptions,
+) -> ZapcResult<LiveMigrateReport> {
+    let t0 = Instant::now();
+    for (pod, node) in moves {
+        if cluster.pod(pod).is_none() {
+            return Err(ZapcError::NotFound(format!("pod {pod:?}")));
+        }
+        if *node >= cluster.node_count() {
+            return Err(ZapcError::NotFound(format!("node {node}")));
+        }
+    }
+
+    let (reply_tx, reply_rx) = unbounded::<LiveReply>();
+    let mut src_ctls: HashMap<String, Sender<SrcCtl>> = HashMap::new();
+    let mut rcv_ctls: HashMap<String, Sender<RcvCtl>> = HashMap::new();
+
+    // Health watch: every participant (source and receiver side of every
+    // pod) mapped to the node whose lease keeps it alive. A participant
+    // leaves the watch once its `done` arrives.
+    let mut watch: HashMap<String, u32> = HashMap::new();
+    for (pod, node) in moves {
+        if let Some(n) = cluster.pod_node(pod) {
+            watch.insert(src_key(pod), n as u32);
+        }
+        watch.insert(rcv_key(pod), *node as u32);
+    }
+
+    std::thread::scope(|scope| {
+        for (pod, node) in moves {
+            let (stream_tx, stream_rx) = bounded::<Vec<u8>>(STREAM_DEPTH);
+            let (sctl_tx, sctl_rx) = bounded::<SrcCtl>(2);
+            let (rctl_tx, rctl_rx) = bounded::<RcvCtl>(1);
+            src_ctls.insert(pod.clone(), sctl_tx);
+            rcv_ctls.insert(pod.clone(), rctl_tx);
+            let (src_reply, rcv_reply) = (reply_tx.clone(), reply_tx.clone());
+            let node = *node;
+            scope.spawn(move || live_source(cluster, pod, opts, stream_tx, src_reply, sctl_rx));
+            scope.spawn(move || {
+                live_receiver(cluster, pod, node, stream_rx, rcv_reply, rctl_rx, opts.timeout)
+            });
+        }
+
+        let n = moves.len();
+        let mut st = LiveState {
+            cluster,
+            rx: &reply_rx,
+            src_ctls: &src_ctls,
+            rcv_ctls: &rcv_ctls,
+            watch,
+            timeout: opts.timeout,
+            precopy: HashMap::new(),
+            suspended: HashMap::new(),
+            applied: HashSet::new(),
+            source_out: HashMap::new(),
+            receiver_out: HashMap::new(),
+            failure: None,
+        };
+
+        // Phase A: pre-copy. The application keeps running; wait until
+        // every source reports that it converged or hit its cap.
+        while st.precopy.len() < n && st.failure.is_none() {
+            st.step();
+        }
+        if let Some(why) = st.failure.take() {
+            return st.abort(why);
+        }
+        let t_precopy = Instant::now();
+
+        // Phase B: coordinated cutover. Every source suspends, cuts its
+        // network state, ships the final delta; every receiver finishes
+        // decoding and acknowledges. Nothing is destroyed or created yet.
+        for ctl in src_ctls.values() {
+            let _ = ctl.send(SrcCtl::Cutover);
+        }
+        while (st.suspended.len() < n || st.applied.len() < n) && st.failure.is_none() {
+            st.step();
+        }
+        if let Some(why) = st.failure.take() {
+            return st.abort(why);
+        }
+
+        // ── Commit point: every meta collected, every stream applied. ──
+        let mut metas: Vec<MetaData> = Vec::with_capacity(n);
+        for (pod, _) in moves {
+            metas.push(st.suspended.get(pod).expect("meta collected").0.clone());
+        }
+        zapc_netckpt::assign_roles(&mut metas);
+        let all_meta = Arc::new(metas);
+
+        // Commit the sources first: destroy + forget must complete before
+        // any receiver registers the pod's new home, or the teardown
+        // would clobber the fresh routing entry.
+        for ctl in src_ctls.values() {
+            let _ = ctl.send(SrcCtl::Commit);
+        }
+        while st.source_out.len() < n && st.failure.is_none() {
+            st.step();
+        }
+        if let Some(why) = st.failure.take() {
+            // Past the commit point: receivers are aborted (no pod was
+            // created yet), but sources may already be gone — final.
+            return st.abort(why);
+        }
+
+        // Commit the receivers: create pods, reconnect, reinstate, resume.
+        for (i, (pod, _)) in moves.iter().enumerate() {
+            let ctl = rcv_ctls.get(pod).expect("receiver ctl");
+            let _ = ctl.send(RcvCtl::Commit {
+                my_meta: Box::new(all_meta[i].clone()),
+                all_meta: Arc::clone(&all_meta),
+            });
+        }
+        while st.receiver_out.len() < n && st.failure.is_none() {
+            st.step();
+        }
+        if let Some(why) = st.failure.take() {
+            // Receiver failures after the commit point are final, exactly
+            // like stop-and-copy phase 2.
+            return Err(ZapcError::Aborted(why));
+        }
+        let t_end = Instant::now();
+
+        let mut pods = Vec::with_capacity(n);
+        let mut max_downtime_ms = 0.0f64;
+        for (pod, _) in moves {
+            let (_, suspended_at) = st.suspended.get(pod).expect("meta");
+            let (rounds, precopy_bytes, residual_bytes, converged) =
+                *st.precopy.get(pod).expect("precopy");
+            let src = st.source_out.get(pod).expect("source outcome");
+            let rcv = st.receiver_out.get(pod).expect("receiver outcome");
+            let downtime = rcv.resumed_at.saturating_duration_since(*suspended_at);
+            let downtime_ms = downtime.as_secs_f64() * 1000.0;
+            max_downtime_ms = max_downtime_ms.max(downtime_ms);
+            if cluster.obs.enabled() {
+                cluster.obs.counter(pod, "mig.downtime_us", downtime.as_micros() as u64);
+            }
+            pods.push(LivePodReport {
+                pod: pod.clone(),
+                rounds,
+                precopy_bytes,
+                residual_bytes,
+                cut_bytes: src.cut_bytes,
+                converged,
+                downtime_ms,
+                net_ms: rcv.net_us as f64 / 1000.0,
+            });
+        }
+        Ok(LiveMigrateReport {
+            pods,
+            wall_ms: (t_end - t0).as_secs_f64() * 1000.0,
+            precopy_ms: (t_precopy - t0).as_secs_f64() * 1000.0,
+            cutover_ms: (t_end - t_precopy).as_secs_f64() * 1000.0,
+            max_downtime_ms,
+        })
+    })
+}
+
+fn src_key(pod: &str) -> String {
+    format!("{pod}\u{1}src")
+}
+fn rcv_key(pod: &str) -> String {
+    format!("{pod}\u{1}rcv")
+}
+
+/// Manager-side bookkeeping shared by every phase of the live-migration
+/// state machine: one `step()` consumes one reply (or a health/timeout
+/// event) and files it; phases just wait for their completion predicate.
+struct LiveState<'a> {
+    cluster: &'a Cluster,
+    rx: &'a Receiver<LiveReply>,
+    src_ctls: &'a HashMap<String, Sender<SrcCtl>>,
+    rcv_ctls: &'a HashMap<String, Sender<RcvCtl>>,
+    /// participant key → node whose lease keeps it alive.
+    watch: HashMap<String, u32>,
+    timeout: Duration,
+    precopy: HashMap<String, (u32, u64, u64, bool)>,
+    suspended: HashMap<String, (MetaData, Instant)>,
+    applied: HashSet<String>,
+    source_out: HashMap<String, SourceOutcome>,
+    receiver_out: HashMap<String, ReceiverOutcome>,
+    failure: Option<String>,
+}
+
+impl LiveState<'_> {
+    /// Receives and files one reply; sets `failure` on an error reply, a
+    /// dead participant node, or a timeout.
+    fn step(&mut self) {
+        match self.recv_watching_health() {
+            Ok(LiveReply::Precopy { pod, rounds, precopy_bytes, residual_bytes, converged }) => {
+                self.precopy.insert(pod, (rounds, precopy_bytes, residual_bytes, converged));
+            }
+            Ok(LiveReply::Meta { pod, meta, suspended_at }) => {
+                self.suspended.insert(pod, (*meta, suspended_at));
+            }
+            Ok(LiveReply::Applied { pod }) => {
+                self.applied.insert(pod);
+            }
+            Ok(LiveReply::SourceDone { pod, result }) => {
+                self.watch.remove(&src_key(&pod));
+                match result {
+                    Ok(out) => {
+                        self.source_out.insert(pod, out);
+                    }
+                    Err(why) => self.failure = Some(format!("source agent for {pod}: {why}")),
+                }
+            }
+            Ok(LiveReply::ReceiverDone { pod, result }) => {
+                self.watch.remove(&rcv_key(&pod));
+                match result {
+                    Ok(out) => {
+                        self.receiver_out.insert(pod, out);
+                    }
+                    Err(why) => self.failure = Some(format!("receiver agent for {pod}: {why}")),
+                }
+            }
+            Err(Some(why)) => self.failure = Some(why),
+            Err(None) => self.failure = Some("live migration reply timeout".into()),
+        }
+    }
+
+    /// Bounded receive that also polls the health table: a participant on
+    /// a dead node will never reply, so waiting out the full timeout
+    /// would just stall the abort.
+    fn recv_watching_health(&mut self) -> Result<LiveReply, Option<String>> {
+        let deadline = Instant::now() + self.timeout;
+        loop {
+            let slice = CTL_POLL.min(deadline.saturating_duration_since(Instant::now()));
+            match self.rx.recv_timeout(slice) {
+                Ok(r) => return Ok(r),
+                Err(RecvTimeoutError::Disconnected) => return Err(None),
+                Err(RecvTimeoutError::Timeout) => {
+                    for (who, &node) in &self.watch {
+                        if !self.cluster.health.is_alive(node) {
+                            let pod = who.split('\u{1}').next().unwrap_or(who);
+                            return Err(Some(format!(
+                                "node {node} hosting pod {pod:?} died mid-migration"
+                            )));
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(None);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Tells every participant to abort, waits out their `done` replies
+    /// (participants on dead nodes will never send one), and surfaces the
+    /// typed abort.
+    fn abort(mut self, why: String) -> ZapcResult<LiveMigrateReport> {
+        for ctl in self.src_ctls.values() {
+            let _ = ctl.try_send(SrcCtl::Abort);
+        }
+        for ctl in self.rcv_ctls.values() {
+            let _ = ctl.try_send(RcvCtl::Abort);
+        }
+        // Every participant still on the watch list owes exactly one
+        // `done`, except those whose node died.
+        let mut pending = self
+            .watch
+            .iter()
+            .filter(|(_, &node)| self.cluster.health.is_alive(node))
+            .count();
+        let deadline = Instant::now() + self.timeout;
+        while pending > 0 {
+            match self.rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+                Ok(LiveReply::SourceDone { pod, .. }) => {
+                    self.watch.remove(&src_key(&pod));
+                    pending -= 1;
+                }
+                Ok(LiveReply::ReceiverDone { pod, .. }) => {
+                    self.watch.remove(&rcv_key(&pod));
+                    pending -= 1;
+                }
+                Ok(_) => {}
+                Err(_) => break,
+            }
+        }
+        Err(ZapcError::Aborted(why))
+    }
+}
+
+/// The source Agent of one live-migrated pod: pre-copy rounds while the
+/// pod runs, then the quiesced cutover. See the module docs.
+fn live_source(
+    cluster: &Cluster,
+    pod_name: &str,
+    opts: &MigrateOptions,
+    stream: Sender<Vec<u8>>,
+    reply: Sender<LiveReply>,
+    ctl: Receiver<SrcCtl>,
+) {
+    let send_done = |result: Result<SourceOutcome, String>| {
+        let _ = reply.send(LiveReply::SourceDone { pod: pod_name.to_owned(), result });
+    };
+    let Some(pod) = cluster.pod(pod_name) else {
+        send_done(Err(format!("unknown pod {pod_name:?}")));
+        return;
+    };
+    let obs = &cluster.obs;
+
+    // Reused across every round and the final cut: the payload scratch
+    // (cleared, capacity kept) and the frame writer. Pre-copy runs many
+    // serialization rounds, so rebuilding these per cut would re-pay
+    // buffer regrowth dozens of times (ROADMAP item 5).
+    let mut scratch = RecordWriter::with_capacity(64 * 1024);
+    let mut fw = RecordWriter::with_capacity(64 * 1024);
+
+    // ── Pre-copy loop: the pod keeps running throughout. ──
+    let mut gens: Option<HashMap<u32, u64>> = None;
+    let mut rounds = 0u32;
+    let mut total_bytes = 0u64;
+    let mut last_shipped;
+    let mut converged = false;
+    loop {
+        match ctl.try_recv() {
+            Ok(SrcCtl::Abort) => {
+                send_done(Err("aborted during pre-copy".into()));
+                return;
+            }
+            Ok(_) => {
+                send_done(Err("protocol error: cutover before precopy report".into()));
+                return;
+            }
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => {
+                send_done(Err("manager connection broken during pre-copy".into()));
+                return;
+            }
+        }
+        // Fault site: the Agent dies between rounds. The pod was never
+        // suspended here, so it simply keeps running — no state lost.
+        if cluster.faults.hit("agent.precopy_round", pod_name).is_some() {
+            send_done(Err("fault: agent crashed during pre-copy round".into()));
+            return;
+        }
+
+        let round_span = obs.span(pod_name, "mig.round");
+        let payloads = match capture_memory_round(&pod, gens.as_ref(), &mut scratch) {
+            Ok(p) => p,
+            Err(e) => {
+                send_done(Err(format!("pre-copy capture failed: {e}")));
+                return;
+            }
+        };
+        rounds += 1;
+
+        fw.reset();
+        fw.put_u32(rounds);
+        let start = finish_frame(&mut fw, FRAME_ROUND_START);
+        if send_frame(cluster, pod_name, &stream, start).is_err() {
+            send_done(Err("stream receiver gone during pre-copy".into()));
+            return;
+        }
+        let mut shipped = 0usize;
+        let mut next_gens: HashMap<u32, u64> = HashMap::new();
+        for p in &payloads {
+            next_gens.insert(p.vpid, p.gen);
+            shipped += p.region_bytes;
+            fw.reset();
+            fw.put_u16(p.tag as u16);
+            fw.put_bytes(&p.payload);
+            if send_frame(cluster, pod_name, &stream, finish_frame(&mut fw, FRAME_SECTION)).is_err() {
+                send_done(Err("stream receiver gone during pre-copy".into()));
+                return;
+            }
+        }
+        fw.reset();
+        fw.put_u32(rounds);
+        fw.put_u64(shipped as u64);
+        if send_frame(cluster, pod_name, &stream, finish_frame(&mut fw, FRAME_ROUND_END)).is_err() {
+            send_done(Err("stream receiver gone during pre-copy".into()));
+            return;
+        }
+        round_span.end();
+
+        let delta_round = gens.is_some();
+        gens = Some(next_gens);
+        total_bytes += shipped as u64;
+        last_shipped = shipped;
+        if obs.enabled() {
+            obs.counter(pod_name, "mig.round_bytes", shipped as u64);
+            if delta_round {
+                obs.counter(pod_name, "mig.residual", shipped as u64);
+            }
+        }
+        if delta_round && shipped <= opts.residual_threshold {
+            converged = true;
+            break;
+        }
+        if rounds >= opts.max_rounds || total_bytes >= opts.max_precopy_bytes {
+            break;
+        }
+        if !opts.round_delay.is_zero() {
+            std::thread::sleep(opts.round_delay);
+        }
+    }
+
+    let _ = reply.send(LiveReply::Precopy {
+        pod: pod_name.to_owned(),
+        rounds,
+        precopy_bytes: total_bytes,
+        residual_bytes: last_shipped as u64,
+        converged,
+    });
+    match ctl.recv_timeout(opts.timeout) {
+        Ok(SrcCtl::Cutover) => {}
+        Ok(_) | Err(_) => {
+            // Abort, timeout, or a broken Manager connection: the pod is
+            // still running untouched — just walk away.
+            send_done(Err("aborted awaiting cutover".into()));
+            return;
+        }
+    }
+    // Fault site: the Agent dies at the cutover command, before touching
+    // the pod. The source keeps running; the Manager aborts.
+    if cluster.faults.hit("agent.cutover", pod_name).is_some() {
+        send_done(Err("fault: agent crashed at cutover".into()));
+        return;
+    }
+
+    // ── Cutover: suspend, block, cut network state, ship the residual. ──
+    let suspended_at = Instant::now();
+    let cut_span = obs.span(pod_name, "mig.cutover");
+    if let Err(e) = pod.suspend() {
+        send_done(Err(format!("suspend failed: {e}")));
+        return;
+    }
+    cluster.filter().block_ip(pod.vip());
+    let rollback = |why: String| {
+        cluster.filter().unblock_ip(pod.vip());
+        let _ = pod.resume();
+        send_done(Err(why));
+    };
+
+    let (meta, records) = checkpoint_network_obs(&pod, obs);
+    if reply
+        .send(LiveReply::Meta {
+            pod: pod_name.to_owned(),
+            meta: Box::new(meta.clone()),
+            suspended_at,
+        })
+        .is_err()
+    {
+        rollback("manager connection broken at cutover".into());
+        return;
+    }
+
+    let header = Header {
+        pod: pod_name.to_owned(),
+        host: format!("node-{}", pod.node().id),
+        wall_ms: cluster.clock.now_ms(),
+        flags: 0,
+    };
+    // The final cut is a delta against the last pre-copy round, so it is
+    // residual-sized, not image-sized.
+    let mut w = ImageWriter::with_capacity(&header, last_shipped + 16 * 1024);
+    w.section(SectionTag::NetMeta, |r| meta.encode(r));
+    let net_payload = zapc_netckpt::records::encode_records(&records);
+    w.section_bytes(SectionTag::NetState, net_payload.bytes());
+    let save_opts =
+        SaveOpts { workers: cluster.ckpt.workers, base_gens: gens.clone(), obs: obs.clone() };
+    if let Err(e) = checkpoint_standalone_with(&pod, &mut w, &save_opts) {
+        rollback(format!("final cut failed: {e}"));
+        return;
+    }
+    let image = w.finish();
+    let cut_bytes = image.len();
+
+    // Ship the final image section by section over the same stream, then
+    // the end-of-stream marker.
+    let shipped: Result<(), String> = (|| {
+        let rd = ImageReader::open(&image).map_err(|e| format!("final cut unreadable: {e}"))?;
+        let sections = rd.sections().map_err(|e| format!("final cut unreadable: {e}"))?;
+        for s in sections {
+            fw.reset();
+            fw.put_u16(s.tag as u16);
+            fw.put_bytes(s.payload);
+            send_frame(cluster, pod_name, &stream, finish_frame(&mut fw, FRAME_SECTION))
+                .map_err(|_| "stream receiver gone at cutover".to_string())?;
+        }
+        fw.reset();
+        send_frame(cluster, pod_name, &stream, finish_frame(&mut fw, FRAME_COMMIT))
+            .map_err(|_| "stream receiver gone at cutover".to_string())
+    })();
+    if let Err(why) = shipped {
+        rollback(why);
+        return;
+    }
+    cut_span.end();
+
+    // Hold the pod suspended (vip still blocked) until the Manager's
+    // commit point. An abort here rolls back: the receiver discards.
+    match ctl.recv_timeout(opts.timeout) {
+        Ok(SrcCtl::Commit) => {
+            pod.destroy();
+            cluster.forget_pod(pod_name);
+            send_done(Ok(SourceOutcome { cut_bytes }));
+        }
+        Ok(_) | Err(_) => rollback("aborted awaiting cutover commit".into()),
+    }
+}
+
+/// Applies the `net.stream_torn` fault site to a frame and sends it.
+fn send_frame(
+    cluster: &Cluster,
+    pod_name: &str,
+    stream: &Sender<Vec<u8>>,
+    mut frame: Vec<u8>,
+) -> Result<(), ()> {
+    if let Some(a) = cluster.faults.hit("net.stream_torn", pod_name) {
+        zapc_faults::FaultPlan::mangle(a, &mut frame);
+    }
+    stream.send(frame).map_err(|_| ())
+}
+
+/// The receiver Agent of one live-migrated pod: decodes frames as they
+/// arrive, squashing deltas onto the accumulated state, and creates the
+/// destination pod only at the Manager's commit.
+#[allow(clippy::too_many_arguments)]
+fn live_receiver(
+    cluster: &Cluster,
+    pod_name: &str,
+    node: usize,
+    stream: Receiver<Vec<u8>>,
+    reply: Sender<LiveReply>,
+    ctl: Receiver<RcvCtl>,
+    timeout: Duration,
+) {
+    let send_done = |result: Result<ReceiverOutcome, String>| {
+        let _ = reply.send(LiveReply::ReceiverDone { pod: pod_name.to_owned(), result });
+    };
+
+    let mut parts = DecodedPod::new();
+    let mut ns_payload: Option<Vec<u8>> = None;
+    let mut net_state: Option<Vec<u8>> = None;
+    let mut fs_snap: Option<Vec<u8>> = None;
+    let mut first_frame = true;
+    let mut deadline = Instant::now() + timeout;
+    loop {
+        match ctl.try_recv() {
+            Ok(RcvCtl::Abort) => {
+                send_done(Err("aborted".into()));
+                return;
+            }
+            Ok(RcvCtl::Commit { .. }) => {
+                send_done(Err("protocol error: commit before stream end".into()));
+                return;
+            }
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => {
+                send_done(Err("manager connection broken".into()));
+                return;
+            }
+        }
+        let frame = match stream.recv_timeout(CTL_POLL) {
+            Ok(f) => {
+                deadline = Instant::now() + timeout;
+                f
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if Instant::now() >= deadline {
+                    send_done(Err("stream timeout".into()));
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                send_done(Err("stream disconnected before commit".into()));
+                return;
+            }
+        };
+        if first_frame {
+            first_frame = false;
+            // Fault site: the destination node dies during the pipelined
+            // restore. The whole node goes silent — no reply is ever
+            // sent; only the Manager's lease table can notice. The source
+            // pod is never touched.
+            if cluster.faults.hit("agent.node_dead", pod_name).is_some() {
+                cluster.health.kill(node as u32);
+                return;
+            }
+        }
+        // Frames share the CRC-framed record layout: a torn or corrupted
+        // frame fails here with a typed decode error, never a misparse.
+        let mut s = RecordStream::new(&frame);
+        match s.next_record() {
+            Err(e) => {
+                send_done(Err(format!("torn stream: {e}")));
+                return;
+            }
+            Ok((FRAME_ROUND_START, _)) | Ok((FRAME_ROUND_END, _)) => {}
+            Ok((FRAME_COMMIT, _)) => break,
+            Ok((FRAME_SECTION, payload)) => {
+                let mut r = RecordReader::new(payload);
+                let decoded = r.get_u16().and_then(|raw| r.get_bytes().map(|b| (raw, b)));
+                let (raw, bytes) = match decoded {
+                    Ok(p) => p,
+                    Err(e) => {
+                        send_done(Err(format!("torn stream: {e}")));
+                        return;
+                    }
+                };
+                match SectionTag::from_u16(raw) {
+                    None => {
+                        send_done(Err(format!("torn stream: unknown section tag {raw:#06x}")));
+                        return;
+                    }
+                    Some(SectionTag::Namespace) => ns_payload = Some(bytes.to_vec()),
+                    Some(SectionTag::NetState) => net_state = Some(bytes.to_vec()),
+                    Some(SectionTag::FsSnapshot) => fs_snap = Some(bytes.to_vec()),
+                    Some(SectionTag::NetMeta) => {} // the Manager merges metas
+                    Some(tag) => {
+                        if let Err(e) = parts.apply_section(tag, bytes) {
+                            send_done(Err(format!("stream apply failed: {e}")));
+                            return;
+                        }
+                    }
+                }
+            }
+            Ok((other, _)) => {
+                send_done(Err(format!("torn stream: unknown frame kind {other:#06x}")));
+                return;
+            }
+        }
+    }
+
+    // Whole stream decoded and squashed; acknowledge and await the
+    // Manager's verdict. Nothing exists on this node yet.
+    let _ = reply.send(LiveReply::Applied { pod: pod_name.to_owned() });
+    match ctl.recv_timeout(timeout) {
+        Ok(RcvCtl::Commit { my_meta, all_meta }) => {
+            let out = receiver_commit(
+                cluster, pod_name, node, parts, ns_payload, net_state, fs_snap, &my_meta,
+                &all_meta, timeout,
+            );
+            send_done(out.map_err(|e| e.to_string()));
+        }
+        Ok(RcvCtl::Abort) | Err(_) => send_done(Err("aborted before commit".into())),
+    }
+}
+
+/// The receiver's commit: create the pod from the accumulated namespace,
+/// restore connectivity and network state, reinstate the already-squashed
+/// standalone state, and resume — Figure 3 with the decode pipelined away.
+#[allow(clippy::too_many_arguments)]
+fn receiver_commit(
+    cluster: &Cluster,
+    pod_name: &str,
+    node: usize,
+    parts: DecodedPod,
+    ns_payload: Option<Vec<u8>>,
+    net_state: Option<Vec<u8>>,
+    fs_snap: Option<Vec<u8>>,
+    my_meta: &MetaData,
+    all_meta: &[MetaData],
+    timeout: Duration,
+) -> ZapcResult<ReceiverOutcome> {
+    let obs = &cluster.obs;
+    let ns_payload = ns_payload.ok_or_else(|| ZapcError::NotFound("namespace section".into()))?;
+    let ns = zapc_ckpt::restore::decode_namespace(&ns_payload)?;
+    let pod: Arc<Pod> =
+        Pod::from_namespace(ns, cluster.node(node), &cluster.clock, cluster.virt_overhead_ns);
+    cluster.register_restarted_pod(&pod, node);
+    // The source left the virtual IP blocked; lift the rule now that the
+    // address routes here.
+    cluster.filter().unblock_ip(pod.vip());
+    if let Some(snap) = fs_snap {
+        let mut r = RecordReader::new(&snap);
+        use zapc_proto::Decode;
+        let snap = zapc_sim::fs::FsSnapshot::decode(&mut r).map_err(ZapcError::Decode)?;
+        cluster.fs.restore(&snap);
+    }
+
+    let net_payload = net_state.ok_or_else(|| ZapcError::NotFound("netstate section".into()))?;
+    let records = zapc_netckpt::records::decode_records(&net_payload)?;
+    let tnet = Instant::now();
+    let plan = NetworkRestorePlan {
+        my_meta,
+        all_meta,
+        records: &records,
+        timeout,
+        obs: obs.clone(),
+    };
+    let socks = restore_network(&pod, &plan)?;
+    let net_us = tnet.elapsed().as_micros() as u64;
+    let restored = RestoredSockets { by_ordinal: socks };
+
+    // The pipelined decode already squashed every round; reinstatement is
+    // a straight move of materialized state into the new pod.
+    let span = obs.span(pod_name, "mig.reinstate");
+    parts.reinstate(&pod, &cluster.registry, &restored)?;
+    span.end();
+    pod.resume()?;
+    Ok(ReceiverOutcome { resumed_at: Instant::now(), net_us })
+}
+
+/// Frames the writer's accumulated payload as one stream frame (the same
+/// tag/len/payload/crc record layout as image sections), clearing the
+/// writer for the next frame while keeping its allocation.
+fn finish_frame(fw: &mut RecordWriter, kind: u16) -> Vec<u8> {
+    let mut out = Vec::with_capacity(fw.len() + 10);
+    fw.finish_record_into(kind, &mut out);
+    out
+}

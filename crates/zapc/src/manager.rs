@@ -588,7 +588,7 @@ pub fn restart_with(
                 .store
                 .get(label)
                 .ok_or_else(|| ZapcError::NotFound(format!("image {label:?}")))?,
-            Uri::Agent { .. } => {
+            Uri::Agent { .. } | Uri::Stream { .. } => {
                 return Err(ZapcError::NotFound(
                     "streamed images are consumed by migrate()".into(),
                 ))
@@ -745,6 +745,23 @@ pub struct MigrateOptions {
     pub retries: u32,
     /// Base delay between retries (attempt `n` waits `n * backoff`).
     pub backoff: Duration,
+    /// Live migration ([`crate::live::migrate_live_with`]): maximum
+    /// pre-copy rounds (the base copy counts as round 1) before cutover
+    /// is forced. Bounds downtime for workloads whose dirty rate never
+    /// converges — the last round's residual is then shipped quiesced.
+    pub max_rounds: u32,
+    /// Live migration: a delta round that ships at most this many
+    /// region-content bytes is considered converged and triggers cutover.
+    pub residual_threshold: usize,
+    /// Live migration: total pre-copy byte budget across all rounds;
+    /// exceeding it forces cutover (protects the wire from a fast writer
+    /// that keeps re-dirtying large regions).
+    pub max_precopy_bytes: u64,
+    /// Live migration: pause between pre-copy rounds. Zero means
+    /// back-to-back rounds; benchmarks and tests use a small pause to
+    /// model wire drain time and give the application a scheduling
+    /// window between captures.
+    pub round_delay: Duration,
 }
 
 impl Default for MigrateOptions {
@@ -754,6 +771,10 @@ impl Default for MigrateOptions {
             timeout: DEFAULT_TIMEOUT,
             retries: 0,
             backoff: Duration::from_millis(50),
+            max_rounds: 8,
+            residual_threshold: 4096,
+            max_precopy_bytes: 1 << 30,
+            round_delay: Duration::ZERO,
         }
     }
 }

@@ -1,45 +1,62 @@
-//! Live migration: move a running communication-heavy solver (BT) from
-//! four nodes down to two — `N → M` with `N ≠ M` — streaming checkpoint
-//! images directly between Agents, no intermediate storage (§4).
+//! Live migration with iterative pre-copy: move a running
+//! communication-heavy solver (BT) off two nodes due for maintenance
+//! while it computes, paying only milliseconds of downtime.
+//!
+//! The base memory copy and the dirty-region delta rounds stream between
+//! Agents while the application runs; the pods are suspended only for
+//! the final residual plus the network cut. Compare `migrate`, the
+//! stop-and-copy path, whose entire wall time is outage.
 //!
 //! ```sh
 //! cargo run --release --example live_migration
 //! ```
 
-use std::time::{Duration, Instant};
-use zapc::{migrate, Cluster};
+use std::time::Duration;
+use zapc::{migrate_live_with, Cluster, MigrateOptions};
 use zapc_apps::launch::{full_registry, launch_app, AppKind, AppParams};
 
 fn main() {
     let cluster = Cluster::builder().nodes(4).registry(full_registry()).build();
 
-    // BT with heavy halo exchange, 4 ranks over 4 nodes.
-    let params = AppParams { kind: AppKind::Bt, ranks: 4, scale: 0.3, work: 3.0 };
+    // BT with heavy halo exchange, 2 ranks on nodes {0, 1}.
+    let params = AppParams { kind: AppKind::Bt, ranks: 2, scale: 0.3, work: 6.0 };
     let app = launch_app(&cluster, "bt", &params);
-    println!("BT running on nodes 0..4, one rank per node");
+    println!("BT running on nodes 0 and 1, one rank per node");
     std::thread::sleep(Duration::from_millis(80));
 
-    // Consolidate onto nodes {0, 1} — e.g. nodes 2 and 3 are due for
-    // maintenance. Virtual addresses keep every MPI connection valid.
+    // Nodes 0 and 1 are due for maintenance: evacuate onto {2, 3} while
+    // the solver keeps iterating. Virtual addresses keep every MPI
+    // connection valid across the move.
     let moves: Vec<(String, usize)> =
-        app.pods.iter().enumerate().map(|(i, p)| (p.clone(), i % 2)).collect();
-    let t = Instant::now();
-    let report = migrate(&cluster, &moves).expect("live migration");
+        app.pods.iter().enumerate().map(|(i, p)| (p.clone(), 2 + (i % 2))).collect();
+    let opts = MigrateOptions {
+        round_delay: Duration::from_millis(1),
+        ..Default::default()
+    };
+    let report = migrate_live_with(&cluster, &moves, &opts).expect("live migration");
+
     println!(
-        "migrated 4 pods onto 2 nodes in {:.1} ms (streamed, {} bytes untouched by storage)",
-        t.elapsed().as_secs_f64() * 1000.0,
-        report.pods.iter().map(|p| p.image_bytes).sum::<usize>()
+        "migrated {} pods in {:.1} ms wall — {:.1} ms of it pre-copy with the app running",
+        report.pods.len(),
+        report.wall_ms,
+        report.precopy_ms
     );
     for p in &report.pods {
         println!(
-            "  {:6} restart: total {:.2} ms (network restore {:.2} ms)",
-            p.pod, p.total_ms, p.net_ms
+            "  {:6} {} rounds, {} B pre-copied live, {} B in the cut, downtime {:.2} ms{}",
+            p.pod,
+            p.rounds,
+            p.precopy_bytes,
+            p.cut_bytes,
+            p.downtime_ms,
+            if p.converged { "" } else { " (round cap hit)" }
         );
     }
-    assert_eq!(cluster.store.len(), 0, "no image touched the store");
+    println!("worst downtime: {:.2} ms", report.max_downtime_ms);
+    assert_eq!(cluster.store.len(), 0, "streamed end to end: no image touched the store");
 
     let codes = app.wait(&cluster, Duration::from_secs(300)).expect("completion");
-    println!("\nBT finished after migration; rank codes {codes:?}");
+    println!("\nBT finished after the live move; rank codes {codes:?}");
     println!(
         "residual file: {}",
         String::from_utf8(cluster.fs.read("/pods/bt-0/bt-residual.txt").unwrap()).unwrap()

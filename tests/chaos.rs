@@ -774,3 +774,305 @@ fn same_seed_and_workload_yield_identical_injection_trace() {
     assert_eq!(trace1, trace2, "same seed + workload => same injection trace");
     assert_eq!(codes1, codes2);
 }
+
+// ---- live migration ---------------------------------------------------
+
+use zapc::{migrate_live_with, MigrateOptions as LiveOpts};
+use zapc_apps::launch::launch_writers;
+use zapc_apps::writer::WriterConfig;
+
+/// Original node of each pod in a fresh `launch_app` placement
+/// (round-robin across the cluster).
+fn home_nodes(c: &Cluster, pods: &[String]) -> Vec<Option<usize>> {
+    pods.iter().map(|p| c.pod_node(p)).collect()
+}
+
+#[test]
+fn live_precopy_crash_aborts_typed_and_source_keeps_running() {
+    // Chaos case 1: the source Agent dies between pre-copy rounds. The
+    // pod was never suspended, so the abort must leave it running in
+    // place with state intact — and the scripted trace is deterministic.
+    let reference = reference_codes(AppKind::Cpi, "lmp", 2);
+    let run = || {
+        let plan = FaultPlan::script()
+            .always("agent.precopy_round", Some("lmp-0"), FaultAction::Crash)
+            .build();
+        let c = Cluster::builder().nodes(3).registry(full_registry()).faults(plan).build();
+        let app = launch_app(&c, "lmp", &small(AppKind::Cpi, 2));
+        std::thread::sleep(Duration::from_millis(5));
+        let homes = home_nodes(&c, &app.pods);
+        let moves: Vec<(String, usize)> = app.pods.iter().map(|p| (p.clone(), 2)).collect();
+        let err = migrate_live_with(&c, &moves, &LiveOpts::default()).unwrap_err();
+        assert!(matches!(err, ZapcError::Aborted(_)), "got {err:?}");
+        assert!(c.faults.fired() > 0, "fault must have fired");
+        assert_eq!(home_nodes(&c, &app.pods), homes, "sources must stay put");
+        let codes = app.wait(&c, WAIT).unwrap();
+        assert_eq!(codes, reference, "source state must be intact after the abort");
+        dump_trace("live_precopy_crash", &c);
+        app.destroy(&c);
+        (c.faults.trace(), codes)
+    };
+    let (t1, c1) = run();
+    let (t2, c2) = run();
+    assert_eq!(t1, t2, "scripted plan => identical trace every run");
+    assert_eq!(c1, c2);
+}
+
+#[test]
+fn live_cutover_crash_aborts_typed_and_source_keeps_running() {
+    // Chaos case 1b: the Agent dies at the cutover command, after
+    // pre-copy but before suspending anything.
+    let reference = reference_codes(AppKind::Cpi, "lmc", 2);
+    let run = || {
+        let plan = FaultPlan::script()
+            .always("agent.cutover", Some("lmc-0"), FaultAction::Crash)
+            .build();
+        let c = Cluster::builder().nodes(3).registry(full_registry()).faults(plan).build();
+        let app = launch_app(&c, "lmc", &small(AppKind::Cpi, 2));
+        std::thread::sleep(Duration::from_millis(5));
+        let homes = home_nodes(&c, &app.pods);
+        let moves: Vec<(String, usize)> = app.pods.iter().map(|p| (p.clone(), 2)).collect();
+        let err = migrate_live_with(&c, &moves, &LiveOpts::default()).unwrap_err();
+        assert!(matches!(err, ZapcError::Aborted(_)), "got {err:?}");
+        assert_eq!(c.faults.fired(), 1);
+        assert_eq!(home_nodes(&c, &app.pods), homes);
+        let codes = app.wait(&c, WAIT).unwrap();
+        assert_eq!(codes, reference);
+        dump_trace("live_cutover_crash", &c);
+        app.destroy(&c);
+        (c.faults.trace(), codes)
+    };
+    let (t1, c1) = run();
+    let (t2, c2) = run();
+    assert_eq!(t1, t2);
+    assert_eq!(c1, c2);
+}
+
+#[test]
+fn live_receiver_node_death_aborts_via_lease_and_source_survives() {
+    // Chaos case 2: the destination node dies during the pipelined
+    // restore — the receiver goes silent (no reply, ever). The abort must
+    // come through the HealthMonitor lease (or the broken stream), typed,
+    // with every source pod untouched — and fast, not timeout-bound.
+    let reference = reference_codes(AppKind::Cpi, "lmn", 2);
+    let run = || {
+        let plan = FaultPlan::script()
+            .inject("agent.node_dead", Some("lmn-0"), 0, FaultAction::Crash)
+            .build();
+        let c = Cluster::builder()
+            .nodes(3)
+            .registry(full_registry())
+            .faults(plan)
+            .lease_ms(100)
+            .build();
+        let app = launch_app(&c, "lmn", &small(AppKind::Cpi, 2));
+        std::thread::sleep(Duration::from_millis(5));
+        let homes = home_nodes(&c, &app.pods);
+        let moves: Vec<(String, usize)> = app.pods.iter().map(|p| (p.clone(), 2)).collect();
+        let start = std::time::Instant::now();
+        let err = migrate_live_with(&c, &moves, &LiveOpts::default()).unwrap_err();
+        let elapsed = start.elapsed();
+        assert!(matches!(err, ZapcError::Aborted(_)), "got {err:?}");
+        assert!(!c.health.is_alive(2), "the dead destination is marked dead");
+        assert!(elapsed < Duration::from_secs(10), "abort must beat the 30s timeout: {elapsed:?}");
+        assert_eq!(home_nodes(&c, &app.pods), homes, "no pod may land on the dead node");
+        let codes = app.wait(&c, WAIT).unwrap();
+        assert_eq!(codes, reference);
+        dump_trace("live_receiver_node_death", &c);
+        app.destroy(&c);
+        (c.faults.trace(), codes)
+    };
+    let (t1, c1) = run();
+    let (t2, c2) = run();
+    assert_eq!(t1, t2);
+    assert_eq!(c1, c2);
+}
+
+#[test]
+fn live_torn_stream_is_typed_decode_error_and_source_survives() {
+    // Chaos case 3: a streamed frame is corrupted / truncated on the
+    // wire. The CRC framing must surface a typed decode failure — never a
+    // misparsed restore — and the source rolls forward untouched.
+    let reference = reference_codes(AppKind::Cpi, "lms", 2);
+    for action in [FaultAction::Corrupt { byte: 7 }, FaultAction::Truncate { keep_permille: 500 }]
+    {
+        let run = || {
+            let plan =
+                FaultPlan::script().inject("net.stream_torn", Some("lms-0"), 0, action).build();
+            let c = Cluster::builder().nodes(3).registry(full_registry()).faults(plan).build();
+            let app = launch_app(&c, "lms", &small(AppKind::Cpi, 2));
+            std::thread::sleep(Duration::from_millis(5));
+            let homes = home_nodes(&c, &app.pods);
+            let moves: Vec<(String, usize)> = app.pods.iter().map(|p| (p.clone(), 2)).collect();
+            let err = migrate_live_with(&c, &moves, &LiveOpts::default()).unwrap_err();
+            match &err {
+                ZapcError::Aborted(why) => {
+                    assert!(why.contains("torn stream"), "{action:?}: why = {why}")
+                }
+                other => panic!("{action:?}: expected typed abort, got {other:?}"),
+            }
+            assert_eq!(home_nodes(&c, &app.pods), homes);
+            let codes = app.wait(&c, WAIT).unwrap();
+            assert_eq!(codes, reference, "{action:?}");
+            dump_trace("live_torn_stream", &c);
+            app.destroy(&c);
+            (c.faults.trace(), codes)
+        };
+        let (t1, c1) = run();
+        let (t2, c2) = run();
+        assert_eq!(t1, t2, "{action:?}");
+        assert_eq!(c1, c2, "{action:?}");
+    }
+}
+
+#[test]
+fn live_round_cap_bounds_nonconverging_writer() {
+    // Chaos case 4: a writer that re-dirties its entire hot set every
+    // step can never converge; the round cap must force cutover after
+    // exactly `max_rounds`, with the quiesced cut (and so the downtime)
+    // bounded by the hot set, not the rounds.
+    let cfg = WriterConfig {
+        ballast_bytes: 512 * 1024,
+        hot_regions: 8,
+        region_bytes: 16 * 1024,
+        dirty_rate: 1.0,
+        steps: 5_000,
+    };
+    // Fault-free reference: the writer's exit code is deterministic.
+    let reference: Vec<i32> = {
+        let c = Cluster::builder().nodes(2).registry(full_registry()).build();
+        let pods = launch_writers(&c, "wref", 2, &cfg);
+        let codes: Vec<i32> = pods
+            .iter()
+            .map(|p| c.pod(p).unwrap().wait_all(WAIT).unwrap()[0])
+            .collect();
+        for p in &pods {
+            c.destroy_pod(p);
+        }
+        codes
+    };
+
+    let c = Cluster::builder().nodes(3).registry(full_registry()).build();
+    let pods = launch_writers(&c, "lmw", 2, &cfg);
+    std::thread::sleep(Duration::from_millis(30));
+    let moves: Vec<(String, usize)> = pods.iter().map(|p| (p.clone(), 2)).collect();
+    let opts = LiveOpts {
+        max_rounds: 4,
+        residual_threshold: 0,
+        round_delay: Duration::from_millis(3),
+        ..Default::default()
+    };
+    let report = migrate_live_with(&c, &moves, &opts).unwrap();
+    for pr in &report.pods {
+        assert_eq!(pr.rounds, 4, "{}: cap must fire after exactly max_rounds", pr.pod);
+        assert!(!pr.converged, "{}: a rate-1.0 writer cannot converge", pr.pod);
+        assert!(
+            pr.residual_bytes >= (cfg.hot_regions * cfg.region_bytes) as u64,
+            "{}: every delta round re-ships the whole hot set (got {})",
+            pr.pod,
+            pr.residual_bytes
+        );
+        // Downtime pays for the residual cut only — bounded by the hot
+        // set, regardless of how many rounds pre-copy burned.
+        assert!(pr.cut_bytes > 0);
+    }
+    for p in &pods {
+        assert_eq!(c.pod_node(p), Some(2), "{p} must land on the target despite no convergence");
+    }
+    let codes: Vec<i32> = pods
+        .iter()
+        .map(|p| c.pod(p).unwrap().wait_all(WAIT).unwrap()[0])
+        .collect();
+    assert_eq!(codes, reference, "writer state must survive the capped cutover");
+    for p in &pods {
+        c.destroy_pod(p);
+    }
+}
+
+#[test]
+fn same_seed_live_migration_yields_identical_trace_and_outcome() {
+    // Live-migration determinism: a seeded plan scoped to the cutover
+    // site (consulted exactly once per pod per attempt, so its `nth`
+    // sequence does not depend on timing) must reproduce the identical
+    // injection trace and outcome on every run.
+    let seed = (1..5000u64)
+        .find(|s| {
+            let probe = FaultPlan::from_seed(*s);
+            probe.hit("agent.cutover", "ldet-0").is_some()
+                || probe.hit("agent.cutover", "ldet-1").is_some()
+        })
+        .expect("some seed below 5000 fires agent.cutover");
+    let run = || {
+        let plan = FaultPlan::from_seed(seed).scoped(&["agent.cutover"]);
+        let c = Cluster::builder().nodes(3).registry(full_registry()).faults(plan).build();
+        let app = launch_app(&c, "ldet", &small(AppKind::Cpi, 2));
+        std::thread::sleep(Duration::from_millis(5));
+        let moves: Vec<(String, usize)> = app.pods.iter().map(|p| (p.clone(), 2)).collect();
+        let outcome = migrate_live_with(&c, &moves, &LiveOpts::default())
+            .map(|r| r.pods.len())
+            .map_err(|e| matches!(e, ZapcError::Aborted(_)));
+        let codes = app.wait(&c, WAIT).unwrap();
+        dump_trace("live_determinism", &c);
+        app.destroy(&c);
+        (c.faults.trace(), outcome, codes)
+    };
+    let (t1, o1, c1) = run();
+    let (t2, o2, c2) = run();
+    assert!(!t1.is_empty(), "chosen seed must fire");
+    assert_eq!(t1, t2, "same seed => same injection trace");
+    assert_eq!(o1, o2);
+    assert_eq!(c1, c2);
+}
+
+#[test]
+fn seeded_live_migration_soak_never_corrupts_state() {
+    // Seed-driven sweep over every live-migration fault site. CI widens
+    // the matrix with `ZAPC_MIG_SOAK_BASE`; locally seeds 0..10. The
+    // contract for every seed: the migration either lands the pods on the
+    // destination or aborts typed with every source pod running in place
+    // — and in both cases the application finishes with the fault-free
+    // result.
+    let base: u64 = std::env::var("ZAPC_MIG_SOAK_BASE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let reference = reference_codes(AppKind::Cpi, "lsoak", 2);
+    for seed in base..base + 10 {
+        let plan = FaultPlan::from_seed(seed).scoped(&[
+            "agent.precopy_round",
+            "agent.cutover",
+            "net.stream_torn",
+            "agent.node_dead",
+        ]);
+        let c = Cluster::builder()
+            .nodes(3)
+            .registry(full_registry())
+            .faults(plan)
+            .lease_ms(100)
+            .build();
+        let app = launch_app(&c, "lsoak", &small(AppKind::Cpi, 2));
+        std::thread::sleep(Duration::from_millis(3));
+        let homes = home_nodes(&c, &app.pods);
+        let moves: Vec<(String, usize)> = app.pods.iter().map(|p| (p.clone(), 2)).collect();
+        let opts = LiveOpts { timeout: Duration::from_secs(5), ..Default::default() };
+        match migrate_live_with(&c, &moves, &opts) {
+            Ok(report) => {
+                assert_eq!(report.pods.len(), 2, "seed {seed}");
+                for p in &app.pods {
+                    assert_eq!(c.pod_node(p), Some(2), "seed {seed}: {p} must be on the target");
+                }
+            }
+            Err(ZapcError::Aborted(_)) => {
+                for (p, home) in app.pods.iter().zip(&homes) {
+                    assert!(c.pod(p).is_some(), "seed {seed}: {p} must survive the abort");
+                    assert_eq!(c.pod_node(p), *home, "seed {seed}: {p} must stay home");
+                }
+            }
+            Err(other) => panic!("seed {seed}: untyped failure {other:?}"),
+        }
+        let codes = app.wait(&c, WAIT).unwrap();
+        assert_eq!(codes, reference, "seed {seed}: application state must be intact");
+        dump_trace(&format!("live_soak_{seed}"), &c);
+        app.destroy(&c);
+    }
+}
