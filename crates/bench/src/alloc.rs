@@ -1,0 +1,53 @@
+//! Counting global allocator for the allocation-per-checkpoint ablation.
+//!
+//! The `reproduce` binary installs [`CountingAlloc`] as its
+//! `#[global_allocator]`; the `speed` experiment then reads the counters
+//! around a batch of checkpoints to report allocations-per-checkpoint.
+//! The counters are two relaxed atomics — cheap enough to leave on for
+//! every bench mode — and read as zero deltas in any binary that doesn't
+//! install the allocator, which [`counting_installed`] detects.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts allocation calls and bytes.
+pub struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter updates are lock-free
+// atomics, safe in any allocation context.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Snapshot of the counters: `(allocation calls, bytes requested)`.
+pub fn counters() -> (u64, u64) {
+    (ALLOC_CALLS.load(Ordering::Relaxed), ALLOC_BYTES.load(Ordering::Relaxed))
+}
+
+/// Whether a counting allocator is actually installed in this binary
+/// (true iff the counters move when something allocates).
+pub fn counting_installed() -> bool {
+    let (before, _) = counters();
+    // black_box keeps the optimizer from eliding the probe allocation
+    // (a paired alloc/dealloc is otherwise fair game in release builds).
+    let v: Vec<u64> = std::hint::black_box(Vec::with_capacity(std::hint::black_box(257)));
+    drop(std::hint::black_box(v));
+    counters().0 > before
+}

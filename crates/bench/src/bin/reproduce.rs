@@ -9,7 +9,9 @@
 //! `inc` (also part of `all`) runs the incremental-checkpoint ablation
 //! and writes its machine-readable results to `BENCH_2.json`; `phases`
 //! runs the per-phase cost decomposition under an enabled observer and
-//! writes `BENCH_4.json`.
+//! writes `BENCH_4.json`; `speed` runs the hot-path speed ablation
+//! (observer overhead, worker scaling, base capture, allocations per
+//! checkpoint) and writes `BENCH_7.json`.
 
 use zapc_apps::launch::AppKind;
 use zapc_bench::figures::{
@@ -19,6 +21,13 @@ use zapc_bench::figures::{
 use zapc_bench::incremental::{run_ablation, run_parallel, to_json, AblationRow, ParallelRow, MODES};
 use zapc_bench::migration::{mig_to_json, run_adversarial, run_curve, run_headline, MigRow};
 use zapc_bench::phases::{phases_to_json, run_phases, OpBreakdown, PhasesReport};
+use zapc_bench::speed::{baseline, run_speed, speed_to_json};
+
+/// Counting allocator: powers the allocations-per-checkpoint ablation of
+/// `speed` (two relaxed atomic adds per allocation — negligible for the
+/// other modes, and uniform across every arm they compare).
+#[global_allocator]
+static ALLOC: zapc_bench::alloc::CountingAlloc = zapc_bench::alloc::CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +52,7 @@ fn main() {
         "inc" => inc(&cfg, quick),
         "phases" => phases(&cfg, quick),
         "mig" => mig(&cfg, quick),
+        "speed" => speed(&cfg, quick),
         "all" => {
             fig5(&cfg);
             fig6a(&cfg);
@@ -51,9 +61,10 @@ fn main() {
             inc(&cfg, quick);
             phases(&cfg, quick);
             mig(&cfg, quick);
+            speed(&cfg, quick);
         }
         other => {
-            eprintln!("unknown figure {other:?}; use fig5|fig6a|fig6b|fig6c|inc|phases|mig|all");
+            eprintln!("unknown figure {other:?}; use fig5|fig6a|fig6b|fig6c|inc|phases|mig|speed|all");
             std::process::exit(2);
         }
     }
@@ -162,6 +173,82 @@ fn mig(cfg: &RunCfg, quick: bool) {
     match std::fs::write("BENCH_6.json", &json) {
         Ok(()) => println!("wrote BENCH_6.json ({} bytes)", json.len()),
         Err(e) => eprintln!("failed to write BENCH_6.json: {e}"),
+    }
+}
+
+fn speed(cfg: &RunCfg, quick: bool) {
+    println!("== Hot-path speed ablation (PR 7): before/after vs committed baselines ==\n");
+    let r = run_speed(cfg, quick);
+
+    println!("-- observer overhead (PETSc; modeled = events/ckpt × ns/event ÷ ckpt time) --");
+    println!(
+        "   modeled {:+.2}%: {:.1} events/ckpt × {:.0} ns/event over {:.3} ms  (baseline {:+.2}%, target < 2%)",
+        r.overhead.modeled_pct(),
+        r.overhead.events_per_ckpt,
+        r.overhead.event_ns,
+        r.overhead.disabled_ms,
+        baseline::OVERHEAD_PCT
+    );
+    println!(
+        "   measured arms (min-of-trials, steal-noisy): disabled {:.3} ms → enabled {:.3} ms ({:+.2}%)",
+        r.overhead.disabled_ms,
+        r.overhead.enabled_ms,
+        r.overhead.measured_pct()
+    );
+
+    println!(
+        "\n-- worker scaling ({} memhog procs × {} B, arms interleaved, min per arm) --",
+        r.procs, r.bytes_per_proc
+    );
+    println!(
+        "{:>8} | {:>10} | {:>12} | {:>13}",
+        "workers", "engine_ms", "cluster_ms", "baseline_ms"
+    );
+    for (i, row) in r.scaling.iter().enumerate() {
+        let eng = r.engine.get(i).map(|e| e.engine_ms).unwrap_or(0.0);
+        println!(
+            "{:>8} | {:>7.2} ms | {:>9.2} ms | {:>10.2} ms",
+            row.workers,
+            eng,
+            row.ckpt_ms,
+            baseline::WORKER_MS.get(i).copied().unwrap_or(0.0)
+        );
+    }
+    let engine_ms: Vec<f64> = r.engine.iter().map(|e| e.engine_ms).collect();
+    let monotonic = zapc_bench::speed::monotonic_non_increasing(&engine_ms);
+    println!(
+        "   1→2→4 worker engine_ms {} within {:.0}% tolerance (baseline wall regressed 2→4: {:.2} → {:.2} ms)",
+        if monotonic { "monotonically non-increasing" } else { "NOT monotonic" },
+        zapc_bench::speed::MONOTONIC_TOLERANCE_PCT,
+        baseline::WORKER_MS[1],
+        baseline::WORKER_MS[2]
+    );
+
+    println!("\n-- base capture (fresh pod, first full checkpoint, paired serial/parallel trials) --");
+    println!(
+        "   serial min {:.3} ms, 4-worker min {:.3} ms, median per-pair ratio {:.2}× (baseline {:.2} vs {:.2} ms = {:.2}×)",
+        r.base.serial_ms,
+        r.base.parallel_ms,
+        r.base.median_ratio,
+        baseline::BASE_SERIAL_MS,
+        baseline::BASE_PARALLEL_MS,
+        baseline::BASE_PARALLEL_MS / baseline::BASE_SERIAL_MS
+    );
+
+    println!("\n-- allocations per checkpoint (counting global allocator) --");
+    if r.allocs.counted {
+        println!(
+            "   cold (first) checkpoint: {} allocs; steady state: {:.1} allocs / {:.0} B per checkpoint",
+            r.allocs.cold_allocs, r.allocs.steady_allocs, r.allocs.steady_bytes
+        );
+    } else {
+        println!("   (counting allocator not installed in this binary)");
+    }
+
+    let json = speed_to_json(quick, &r);
+    match std::fs::write("BENCH_7.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_7.json ({} bytes)", json.len()),
+        Err(e) => eprintln!("\nfailed to write BENCH_7.json: {e}"),
     }
 }
 

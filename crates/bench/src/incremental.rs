@@ -180,7 +180,9 @@ impl Program for MemHog {
     }
 }
 
-fn load_memhog(r: &mut RecordReader<'_>) -> zapc_proto::DecodeResult<Box<dyn Program>> {
+/// Registry loader for [`MemHog`] programs (shared with the `speed`
+/// experiment's allocation ablation).
+pub fn load_memhog(r: &mut RecordReader<'_>) -> zapc_proto::DecodeResult<Box<dyn Program>> {
     Ok(Box::new(MemHog {
         phase: r.get_u8()?,
         bytes: r.get_u64()? as usize,
@@ -188,6 +190,11 @@ fn load_memhog(r: &mut RecordReader<'_>) -> zapc_proto::DecodeResult<Box<dyn Pro
         iter: r.get_u64()?,
         limit: r.get_u64()?,
     }))
+}
+
+/// A fresh [`MemHog`] process image holding `bytes` of mapped memory.
+pub fn memhog_program(bytes: usize) -> Box<dyn Program> {
+    Box::new(MemHog::new(bytes, u64::MAX))
 }
 
 /// One row of the parallel-serialization table.
@@ -199,13 +206,20 @@ pub struct ParallelRow {
     pub bytes_per_proc: usize,
     /// Worker threads.
     pub workers: usize,
-    /// Mean full-checkpoint latency (ms).
+    /// Min-of-trials full-checkpoint latency (ms). The minimum is the
+    /// robust statistic on shared/1-CPU hosts: scheduler noise only ever
+    /// *adds* time, so the min tracks the true cost of the code path.
     pub ckpt_ms: f64,
+    /// Min-of-trials standalone-engine (dump/encode) latency (ms) — the
+    /// slice of `ckpt_ms` the worker pool actually parallelizes. The
+    /// coordination protocol around it is worker-independent, so this is
+    /// the quantity whose worker-scaling trend carries signal.
+    pub dump_ms: f64,
 }
 
-/// Measures full-checkpoint latency of one pod with `procs` memory-heavy
-/// processes, serial vs a worker pool.
-pub fn run_parallel(procs: usize, bytes_per_proc: usize, workers: usize, trials: usize) -> ParallelRow {
+/// Builds the one-pod many-memhog cluster of the parallel-serialization
+/// experiment.
+pub fn memhog_cluster(procs: usize, bytes_per_proc: usize, workers: usize) -> Cluster {
     let mut reg = ProgramRegistry::new();
     reg.register("bench.memhog", load_memhog);
     let cluster = Cluster::builder()
@@ -219,15 +233,25 @@ pub fn run_parallel(procs: usize, bytes_per_proc: usize, workers: usize, trials:
         pod.spawn(&format!("hog{i}"), Box::new(MemHog::new(bytes_per_proc, u64::MAX)));
     }
     std::thread::sleep(Duration::from_millis(30));
+    cluster
+}
 
+/// Measures full-checkpoint latency of one pod with `procs` memory-heavy
+/// processes, serial vs the persistent worker pool. One unmeasured warmup
+/// checkpoint precedes the trials (it pays first-touch and pool-priming
+/// costs that belong to neither arm), then `ckpt_ms` is the minimum over
+/// `trials` measured checkpoints.
+pub fn run_parallel(procs: usize, bytes_per_proc: usize, workers: usize, trials: usize) -> ParallelRow {
+    let cluster = memhog_cluster(procs, bytes_per_proc, workers);
     let targets = [CheckpointTarget::snapshot("hog")];
     let opts = CheckpointOptions::default();
-    let mut total = 0.0;
-    let mut n = 0usize;
+    let _ = checkpoint_with(&cluster, &targets, &opts); // warmup
+    let mut best = f64::INFINITY;
+    let mut best_dump = f64::INFINITY;
     for _ in 0..trials.max(1) {
         if let Ok(report) = checkpoint_with(&cluster, &targets, &opts) {
-            total += report.wall_ms;
-            n += 1;
+            best = best.min(report.wall_ms);
+            best_dump = best_dump.min(report.pods.iter().map(|p| p.standalone_ms).sum());
         }
     }
     cluster.destroy_pod("hog");
@@ -235,7 +259,126 @@ pub fn run_parallel(procs: usize, bytes_per_proc: usize, workers: usize, trials:
         procs,
         bytes_per_proc,
         workers,
-        ckpt_ms: if n > 0 { total / n as f64 } else { 0.0 },
+        ckpt_ms: if best.is_finite() { best } else { 0.0 },
+        dump_ms: if best_dump.is_finite() { best_dump } else { 0.0 },
+    }
+}
+
+/// Measures the cost of the very first (base) capture of a fresh pod —
+/// the BENCH_2 anomaly scenario, where the pre-PR-7 parallel arm paid a
+/// Worker-scaling measurement with fully *interleaved* arms on one
+/// cluster: `cluster.ckpt.workers` is rewritten between checkpoints, so
+/// every worker count exercises the *same* pod, the same mapped memory,
+/// and the same load environment round after round — per-cluster
+/// allocation-layout luck and slow host drift hit every arm equally and
+/// cannot fake (or hide) a scaling trend. Each row's `ckpt_ms` is the
+/// min over all rounds.
+pub fn run_scaling_interleaved(
+    procs: usize,
+    bytes_per_proc: usize,
+    workers: &[usize],
+    rounds: usize,
+) -> Vec<ParallelRow> {
+    let mut cluster = memhog_cluster(procs, bytes_per_proc, workers.first().copied().unwrap_or(1));
+    let targets = [CheckpointTarget::snapshot("hog")];
+    let opts = CheckpointOptions::default();
+    // Warmup each arm once (pool threads, buffer pool, lazy init).
+    for &w in workers {
+        cluster.ckpt.workers = w;
+        let _ = checkpoint_with(&cluster, &targets, &opts);
+    }
+    let mut best = vec![f64::INFINITY; workers.len()];
+    let mut best_dump = vec![f64::INFINITY; workers.len()];
+    for _ in 0..rounds.max(1) {
+        for (i, &w) in workers.iter().enumerate() {
+            cluster.ckpt.workers = w;
+            if let Ok(report) = checkpoint_with(&cluster, &targets, &opts) {
+                best[i] = best[i].min(report.wall_ms);
+                best_dump[i] =
+                    best_dump[i].min(report.pods.iter().map(|p| p.standalone_ms).sum());
+            }
+        }
+    }
+    cluster.destroy_pod("hog");
+    workers
+        .iter()
+        .zip(best.iter().zip(best_dump))
+        .map(|(&w, (&ms, dump))| ParallelRow {
+            procs,
+            bytes_per_proc,
+            workers: w,
+            ckpt_ms: if ms.is_finite() { ms } else { 0.0 },
+            dump_ms: if dump.is_finite() { dump } else { 0.0 },
+        })
+        .collect()
+}
+
+/// per-call thread spawn on a capture too small to amortize it. Each
+/// trial uses a fresh cluster so every sample really is a base capture;
+/// the min over `trials` is returned (ms).
+pub fn run_base_capture(procs: usize, bytes_per_proc: usize, workers: usize, trials: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials.max(1) {
+        let cluster = memhog_cluster(procs, bytes_per_proc, workers);
+        let targets = [CheckpointTarget::snapshot("hog")];
+        if let Ok(report) = checkpoint_with(&cluster, &targets, &CheckpointOptions::default()) {
+            best = best.min(report.wall_ms);
+        }
+        cluster.destroy_pod("hog");
+    }
+    if best.is_finite() {
+        best
+    } else {
+        0.0
+    }
+}
+
+/// The base-capture comparison, measured in *pairs*.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaseCapture {
+    /// Min-of-trials serial base capture (ms).
+    pub serial_ms: f64,
+    /// Min-of-trials 4-worker base capture (ms).
+    pub parallel_ms: f64,
+    /// Median of the per-pair `parallel / serial` ratios — the robust
+    /// before/after statistic: each pair's arms run back-to-back, so a
+    /// host-load burst inflates one pair's ratio, not the aggregate.
+    pub median_ratio: f64,
+}
+
+/// Paired base-capture measurement: each trial takes one serial and one
+/// parallel base capture back-to-back (fresh cluster each, so every
+/// sample really is a first capture), and the comparison statistic is
+/// the *median of per-pair ratios* rather than a ratio of independent
+/// minima — on a host with CPU-steal bursts, independent arms can each
+/// be corrupted in different trials and their minima compare garbage.
+pub fn run_base_capture_paired(procs: usize, bytes_per_proc: usize, trials: usize) -> BaseCapture {
+    let one = |workers: usize| -> f64 {
+        let cluster = memhog_cluster(procs, bytes_per_proc, workers);
+        let targets = [CheckpointTarget::snapshot("hog")];
+        let ms = checkpoint_with(&cluster, &targets, &CheckpointOptions::default())
+            .map(|r| r.wall_ms)
+            .unwrap_or(f64::INFINITY);
+        cluster.destroy_pod("hog");
+        ms
+    };
+    let mut serial = f64::INFINITY;
+    let mut parallel = f64::INFINITY;
+    let mut ratios = Vec::new();
+    for _ in 0..trials.max(1) {
+        let s = one(1);
+        let p = one(4);
+        serial = serial.min(s);
+        parallel = parallel.min(p);
+        if s.is_finite() && p.is_finite() && s > 0.0 {
+            ratios.push(p / s);
+        }
+    }
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    BaseCapture {
+        serial_ms: if serial.is_finite() { serial } else { 0.0 },
+        parallel_ms: if parallel.is_finite() { parallel } else { 0.0 },
+        median_ratio: if ratios.is_empty() { 0.0 } else { ratios[ratios.len() / 2] },
     }
 }
 
@@ -270,11 +413,12 @@ pub fn to_json(quick: bool, rows: &[AblationRow], par: &[ParallelRow]) -> String
     out.push_str("  \"parallel\": [\n");
     for (i, p) in par.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"procs\": {}, \"bytes_per_proc\": {}, \"workers\": {}, \"ckpt_ms\": {:.4}}}{}\n",
+            "    {{\"procs\": {}, \"bytes_per_proc\": {}, \"workers\": {}, \"ckpt_ms\": {:.4}, \"dump_ms\": {:.4}}}{}\n",
             p.procs,
             p.bytes_per_proc,
             p.workers,
             p.ckpt_ms,
+            p.dump_ms,
             if i + 1 < par.len() { "," } else { "" }
         ));
     }
@@ -297,7 +441,7 @@ mod tests {
             hot: PhaseSample::default(),
             cold: PhaseSample { ckpt_ms: 0.5, image_bytes: 100.0, count: 3 },
         }];
-        let par = vec![ParallelRow { procs: 4, bytes_per_proc: 1024, workers: 2, ckpt_ms: 0.3 }];
+        let par = vec![ParallelRow { procs: 4, bytes_per_proc: 1024, workers: 2, ckpt_ms: 0.3, dump_ms: 0.1 }];
         let j = to_json(true, &rows, &par);
         assert!(j.contains("\"zapc-bench-2\""));
         assert!(j.contains("\"mode\": \"full\""));
@@ -311,5 +455,28 @@ mod tests {
         let r = run_parallel(4, 256 * 1024, 2, 1);
         assert_eq!(r.workers, 2);
         assert!(r.ckpt_ms > 0.0);
+    }
+
+    #[test]
+    fn parallel_base_capture_not_pathologically_slower_than_serial() {
+        // Regression pin for the BENCH_2 base-capture anomaly: the
+        // pre-PR-7 incr+parallel arm read 5.58 ms vs 2.02 ms serial for
+        // the *base* (first, full) capture — per-call worker-thread spawn
+        // plus a single-sample measurement. With the persistent pool the
+        // parallel arm's base capture must stay within noise of serial.
+        // The statistic is the median of per-pair ratios (arms run
+        // back-to-back per trial, so a host-load burst corrupts one
+        // pair, not the comparison); bound 2.0× is loose enough for
+        // loaded single-CPU CI hosts, tight enough to catch the 2.76×
+        // anomaly shape.
+        let b = run_base_capture_paired(6, 128 * 1024, 5);
+        assert!(b.serial_ms > 0.0 && b.parallel_ms > 0.0, "base captures must succeed");
+        assert!(
+            b.median_ratio <= 2.0,
+            "parallel base capture regressed: median ratio {:.2} (serial min {:.3} ms, parallel min {:.3} ms)",
+            b.median_ratio,
+            b.serial_ms,
+            b.parallel_ms
+        );
     }
 }

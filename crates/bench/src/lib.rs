@@ -20,11 +20,20 @@
 //!   downtime-vs-dirty-rate curve, and the round-cap bound on an
 //!   adversarial writer, emitted as `BENCH_6.json`.
 //!
+//! * [`speed`] — the PR 7 hot-path speed ablation: observer overhead
+//!   (interleaved disabled/enabled arms), worker-scaling monotonicity on
+//!   the persistent pool, the base-capture anomaly, and allocations per
+//!   checkpoint (via [`alloc`]'s counting global allocator when the
+//!   binary installs it), emitted as `BENCH_7.json` with the pre-PR-7
+//!   baselines embedded for before/after comparison.
+//!
 //! Criterion benches under `benches/` and the `reproduce` binary both
 //! drive this module; `reproduce` prints the paper-style tables recorded
 //! in EXPERIMENTS.md.
 
+pub mod alloc;
 pub mod figures;
 pub mod incremental;
 pub mod migration;
 pub mod phases;
+pub mod speed;

@@ -21,7 +21,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bufpool;
 pub mod delta;
+mod pool;
 pub mod records;
 pub mod restore;
 pub mod save;

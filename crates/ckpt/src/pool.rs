@@ -1,0 +1,112 @@
+//! Persistent checkpoint worker pool with per-item work stealing.
+//!
+//! The first parallel dump implementation spawned scoped threads per
+//! checkpoint call and split the process list into static contiguous
+//! chunks. That shape had two measured pathologies (BENCH_2.json, pre-PR
+//! 7): thread spawn/join cost was paid on *every* checkpoint — which is
+//! why a 1-process pod's "parallel" base capture cost 2.8× the serial
+//! one — and static chunking stranded work (6 procs at 4 workers became
+//! 3 chunks of 2, so adding the 4th worker helped nothing and the extra
+//! spawns made 4 workers *slower* than 2).
+//!
+//! This pool fixes both: a small set of long-lived threads (created once,
+//! parked on a condvar when idle) execute submitted jobs, and the dump
+//! path hands them a shared atomic cursor over per-process work items —
+//! each worker (the calling thread included) repeatedly claims the next
+//! un-taken item, so load balances at item granularity no matter how
+//! process costs skew. The caller always participates, which doubles as
+//! the liveness guarantee: even if every pool thread is busy with a
+//! different checkpoint, the call completes at serial speed.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::OnceLock;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Upper bound on pool threads. Deliberately *not* clamped to the host's
+/// CPU count: the sim's processes are suspended during a dump, so worker
+/// "parallelism" is about overlapping encode work, and the byte-identity
+/// and scaling properties must hold (and be exercised) on 1-CPU hosts.
+const POOL_THREADS: usize = 8;
+
+struct PoolState {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+/// Handle to the process-wide worker pool.
+pub(crate) struct WorkerPool {
+    state: &'static PoolState,
+}
+
+static STATE: OnceLock<&'static PoolState> = OnceLock::new();
+
+/// The process-wide pool; threads are spawned on first use and live for
+/// the rest of the process, parked when idle.
+pub(crate) fn pool() -> WorkerPool {
+    let state = *STATE.get_or_init(|| {
+        let state: &'static PoolState = Box::leak(Box::new(PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+        }));
+        for i in 0..POOL_THREADS {
+            std::thread::Builder::new()
+                .name(format!("zapc-ckpt-{i}"))
+                .spawn(move || worker_loop(state))
+                .expect("spawn checkpoint worker");
+        }
+        state
+    });
+    WorkerPool { state }
+}
+
+fn worker_loop(state: &'static PoolState) {
+    loop {
+        let job = {
+            let mut q = state.queue.lock();
+            loop {
+                match q.pop_front() {
+                    Some(job) => break job,
+                    None => state.available.wait(&mut q),
+                }
+            }
+        };
+        job();
+    }
+}
+
+impl WorkerPool {
+    /// Enqueues one job. Never blocks; an idle pool thread picks it up.
+    pub(crate) fn submit(&self, job: Job) {
+        self.state.queue.lock().push_back(job);
+        self.state.available.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_run_and_pool_survives_reuse() {
+        let p = pool();
+        let hits = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..32 {
+            let hits = Arc::clone(&hits);
+            let tx = tx.clone();
+            p.submit(Box::new(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+                tx.send(()).unwrap();
+            }));
+        }
+        for _ in 0..32 {
+            rx.recv_timeout(std::time::Duration::from_secs(10)).expect("job ran");
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+    }
+}

@@ -178,12 +178,17 @@ impl DecodedPod {
     pub fn memory_digest(&self) -> u64 {
         let mut vpids: Vec<u32> = self.mems.keys().copied().collect();
         vpids.sort_unstable();
-        let mut w = zapc_proto::RecordWriter::new();
+        let total: usize = self.mems.values().map(|m| m.total_bytes() + 64).sum();
+        // The canonical encoding buffer is pooled: per-round digests in a
+        // pipelined restore reuse one allocation instead of regrowing it.
+        let mut w = zapc_proto::RecordWriter::with_buffer(crate::bufpool::take(total));
         for vpid in vpids {
             w.put_u32(vpid);
             self.mems[&vpid].encode(&mut w);
         }
-        zapc_proto::crc::fnv1a64(w.bytes())
+        let digest = zapc_proto::crc::fnv1a64(w.bytes());
+        crate::bufpool::give(w.into_bytes());
+        digest
     }
 
     /// Reinstates the accumulated state into `pod` (created beforehand

@@ -2,11 +2,14 @@
 
 use crate::delta::MemoryDeltaRecord;
 use crate::records::{ClockRecord, FdRecord, PipeTable, ProcRecord, ProcStateRecord};
-use crate::{CkptError, CkptResult};
+use crate::{bufpool, pool, CkptError, CkptResult};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use zapc_pod::Pod;
 use zapc_proto::{Encode, ImageWriter, RecordWriter, SectionTag};
 use zapc_sim::fdtable::FdKind;
+use zapc_sim::process::Process;
 use zapc_sim::{Pid, ProcState};
 
 /// Options for [`checkpoint_standalone_with`].
@@ -15,7 +18,10 @@ pub struct SaveOpts {
     /// Worker threads for encoding process payloads; `0`/`1` = serial.
     /// Processes are suspended, so their locks are uncontended and the
     /// encodes are embarrassingly parallel (§6.1: the memory dump
-    /// dominates checkpoint latency).
+    /// dominates checkpoint latency). Workers come from a persistent
+    /// process-wide pool; the calling thread always participates, so a
+    /// worker count never costs a thread spawn and degrades to serial
+    /// speed when the pool is busy.
     pub workers: usize,
     /// Per-vpid address-space generation of the parent image. When set,
     /// a vpid present in the map gets a [`SectionTag::MemoryDelta`]
@@ -53,7 +59,8 @@ pub fn checkpoint_standalone(pod: &Pod, w: &mut ImageWriter) -> CkptResult<()> {
 }
 
 /// One process's encoded payloads, produced (possibly off-thread) while
-/// the main thread owns the image writer.
+/// the main thread owns the image writer. Payload buffers come from (and
+/// return to) the [`bufpool`] once the merge has copied them out.
 struct ProcPayload {
     proc_bytes: Vec<u8>,
     mem_tag: SectionTag,
@@ -69,13 +76,14 @@ struct ProcPayload {
 /// (`opts.base_gens`) and with intra-pod parallel payload encoding
 /// (`opts.workers`). Section order is deterministic and identical to the
 /// serial path: Namespace, Timers, FdTable, then per process (in vpid
-/// order) Process followed by its Memory/MemoryDelta.
+/// order) Process followed by its Memory/MemoryDelta — regardless of
+/// worker count or which worker encoded which process.
 pub fn checkpoint_standalone_with(
     pod: &Pod,
     w: &mut ImageWriter,
     opts: &SaveOpts,
 ) -> CkptResult<SaveOutcome> {
-    let ordinals = socket_ordinals(pod);
+    let ordinals = Arc::new(socket_ordinals(pod));
 
     // Namespace.
     let ns = pod.namespace();
@@ -93,57 +101,39 @@ pub fn checkpoint_standalone_with(
     let obs = &opts.obs;
     let key = pod.name();
 
-    let payloads: Vec<ProcPayload> = if workers <= 1 {
+    let mut payloads: Vec<ProcPayload> = if workers <= 1 {
         let _span = obs.span(&key, "ckpt.worker");
         let mut out = Vec::with_capacity(vpids.len());
         for &(vpid, pid) in &vpids {
-            out.push(encode_process(pod, vpid, pid, &ordinals, opts.base_gens.as_ref())?);
+            let parc = resolve_process(pod, pid)?;
+            out.push(encode_process(vpid, &parc, &ordinals, opts.base_gens.as_ref())?);
         }
         out
     } else {
-        // Contiguous chunks keep the merge order equal to vpid order.
-        // All processes are Stopped, so worker-side locks never contend
-        // with the scheduler.
-        let chunk = vpids.len().div_ceil(workers);
-        let results: Vec<CkptResult<Vec<ProcPayload>>> = std::thread::scope(|s| {
-            let handles: Vec<_> = vpids
-                .chunks(chunk)
-                .map(|part| {
-                    let ordinals = &ordinals;
-                    let base = opts.base_gens.as_ref();
-                    let key = &key;
-                    s.spawn(move || {
-                        let _span = obs.span(key, "ckpt.worker");
-                        part.iter()
-                            .map(|&(vpid, pid)| encode_process(pod, vpid, pid, ordinals, base))
-                            .collect::<CkptResult<Vec<_>>>()
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("ckpt worker panicked")).collect()
-        });
-        let mut out = Vec::with_capacity(vpids.len());
-        for r in results {
-            out.extend(r?);
-        }
-        out
+        encode_parallel(pod, &vpids, workers, &ordinals, opts, &key)?
     };
 
     // Merge: pod-wide pipe table deduplicated in vpid order, then the
-    // per-process sections stitched deterministically.
+    // per-process sections stitched deterministically. Pipe payloads are
+    // moved, not cloned; duplicates go back to the buffer pool.
     let _merge_span = obs.span(&key, "ckpt.merge");
     let mut pipe_table = PipeTable::default();
     let mut seen_pipes: HashSet<u64> = HashSet::new();
-    for p in &payloads {
-        for (id, data, rc, wc) in &p.pipes {
-            if seen_pipes.insert(*id) {
-                pipe_table.pipes.push((*id, data.clone(), *rc, *wc));
+    for p in &mut payloads {
+        for (id, data, rc, wc) in p.pipes.drain(..) {
+            if seen_pipes.insert(id) {
+                pipe_table.pipes.push((id, data, rc, wc));
+            } else {
+                bufpool::give(data);
             }
         }
     }
 
     let mut outcome = SaveOutcome::default();
     w.section(SectionTag::FdTable, |r| pipe_table.encode(r));
+    for (_, data, _, _) in pipe_table.pipes.drain(..) {
+        bufpool::give(data);
+    }
     for p in payloads {
         outcome.gens.insert(p.vpid, p.gen);
         outcome.memory_payload_bytes += p.mem_bytes.len();
@@ -160,8 +150,112 @@ pub fn checkpoint_standalone_with(
         }
         w.section_bytes(SectionTag::Process, &p.proc_bytes);
         w.section_bytes(p.mem_tag, &p.mem_bytes);
+        bufpool::give(p.proc_bytes);
+        bufpool::give(p.mem_bytes);
     }
     Ok(outcome)
+}
+
+/// Shared state of one parallel encode: the resolved work items and the
+/// claim cursor. Owned (`'static`) so jobs can run on the persistent
+/// pool without scoped-thread lifetime tricks.
+struct ParCtx {
+    items: Vec<(u32, Arc<parking_lot::Mutex<Process>>)>,
+    next: AtomicUsize,
+    ordinals: Arc<HashMap<zapc_net::SocketId, u32>>,
+    base_gens: Option<HashMap<u32, u64>>,
+    obs: zapc_obs::Observer,
+    key: String,
+}
+
+/// Fans the per-process encodes out over the persistent worker pool with
+/// per-item work stealing: every participant (pool workers *and* the
+/// calling thread) repeatedly claims the next unclaimed item, so load
+/// balances at process granularity — no static chunking, no stranded
+/// workers, no per-call thread spawn.
+fn encode_parallel(
+    pod: &Pod,
+    vpids: &[(u32, Pid)],
+    workers: usize,
+    ordinals: &Arc<HashMap<zapc_net::SocketId, u32>>,
+    opts: &SaveOpts,
+    key: &str,
+) -> CkptResult<Vec<ProcPayload>> {
+    // Resolve every process handle up front: work items must own their
+    // target process so the jobs are 'static.
+    let mut items = Vec::with_capacity(vpids.len());
+    for &(vpid, pid) in vpids {
+        items.push((vpid, resolve_process(pod, pid)?));
+    }
+    let n = items.len();
+    let ctx = Arc::new(ParCtx {
+        items,
+        next: AtomicUsize::new(0),
+        ordinals: Arc::clone(ordinals),
+        base_gens: opts.base_gens.clone(),
+        obs: opts.obs.clone(),
+        key: key.to_owned(),
+    });
+
+    let (tx, rx) = mpsc::channel::<(usize, CkptResult<ProcPayload>)>();
+    for _ in 1..workers {
+        let ctx = Arc::clone(&ctx);
+        let tx = tx.clone();
+        pool::pool().submit(Box::new(move || {
+            let _span = ctx.obs.span(&ctx.key, "ckpt.worker");
+            loop {
+                let i = ctx.next.fetch_add(1, Ordering::Relaxed);
+                if i >= ctx.items.len() {
+                    break;
+                }
+                let res = encode_item(&ctx, i);
+                let _ = tx.send((i, res));
+            }
+        }));
+    }
+    drop(tx);
+
+    // The caller is always a worker too: claim items until the cursor is
+    // exhausted, then wait for whatever the pool claimed.
+    let mut results: Vec<Option<CkptResult<ProcPayload>>> = Vec::new();
+    results.resize_with(n, || None);
+    let mut mine = 0usize;
+    {
+        let _span = ctx.obs.span(&ctx.key, "ckpt.worker");
+        loop {
+            let i = ctx.next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            results[i] = Some(encode_item(&ctx, i));
+            mine += 1;
+        }
+    }
+    for _ in 0..n - mine {
+        let (i, res) = rx.recv().expect("checkpoint pool worker died");
+        results[i] = Some(res);
+    }
+
+    // Deterministic assembly and error selection: vpid (= item) order.
+    let mut out = Vec::with_capacity(n);
+    for r in results {
+        out.push(r.expect("every item claimed exactly once")?);
+    }
+    Ok(out)
+}
+
+/// One work item, panic-isolated so a worker panic surfaces as a typed
+/// error on the caller instead of wedging the channel wait.
+fn encode_item(ctx: &ParCtx, i: usize) -> CkptResult<ProcPayload> {
+    let (vpid, parc) = &ctx.items[i];
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        encode_process(*vpid, parc, &ctx.ordinals, ctx.base_gens.as_ref())
+    }))
+    .unwrap_or(Err(CkptError::Inconsistent("checkpoint worker panicked")))
+}
+
+fn resolve_process(pod: &Pod, pid: Pid) -> CkptResult<Arc<parking_lot::Mutex<Process>>> {
+    pod.node().process(pid).ok_or(CkptError::Inconsistent("process vanished during checkpoint"))
 }
 
 /// One process's memory payload captured by a live pre-copy round.
@@ -172,13 +266,22 @@ pub struct RoundPayload {
     /// [`SectionTag::Memory`] (base round, or a process new since the
     /// base) or [`SectionTag::MemoryDelta`].
     pub tag: SectionTag,
-    /// Encoded section payload, ready to frame and ship.
+    /// Encoded section payload, ready to frame and ship. Drawn from the
+    /// checkpoint buffer pool; hand it back with [`RoundPayload::recycle`]
+    /// once framed so long pre-copies stop allocating per round.
     pub payload: Vec<u8>,
     /// Address-space generation at capture time — the next round's base.
     pub gen: u64,
     /// Region-content bytes the payload carries (the residual dirty set
     /// for deltas); what the convergence policy meters.
     pub region_bytes: usize,
+}
+
+impl RoundPayload {
+    /// Returns the payload's allocation to the checkpoint buffer pool.
+    pub fn recycle(self) {
+        bufpool::give(self.payload);
+    }
 }
 
 /// Captures one pre-copy round of memory payloads *without* suspending the
@@ -190,13 +293,14 @@ pub struct RoundPayload {
 /// quiesced cut ([`checkpoint_standalone_with`] with `base_gens` from the
 /// last round) closes the window.
 ///
-/// `base_gens` selects full vs delta payloads exactly as in [`SaveOpts`];
-/// `scratch` is reused across payloads and rounds (cleared, capacity
-/// kept) so a long pre-copy does not re-pay buffer growth every round.
+/// `base_gens` selects full vs delta payloads exactly as in [`SaveOpts`].
+/// Payload buffers come from the checkpoint buffer pool and are encoded
+/// in place (no intermediate scratch-then-copy), so a long pre-copy's
+/// steady state allocates nothing per round — provided the caller
+/// [`RoundPayload::recycle`]s payloads after shipping them.
 pub fn capture_memory_round(
     pod: &Pod,
     base_gens: Option<&HashMap<u32, u64>>,
-    scratch: &mut RecordWriter,
 ) -> CkptResult<Vec<RoundPayload>> {
     let mut out = Vec::new();
     for (vpid, pid) in pod.vpid_pids() {
@@ -206,49 +310,48 @@ pub fn capture_memory_round(
             .ok_or(CkptError::Inconsistent("process vanished during pre-copy round"))?;
         let proc = parc.lock();
         let gen = proc.mem.generation();
-        scratch.reset();
-        let (tag, region_bytes) = match base_gens.and_then(|b| b.get(&vpid).copied()) {
+        let (tag, region_bytes, payload) = match base_gens.and_then(|b| b.get(&vpid).copied()) {
             Some(base_gen) => {
                 let delta = MemoryDeltaRecord::capture(vpid, base_gen, &proc.mem);
                 let bytes = delta.dirty.iter().map(|r| r.data.byte_len()).sum();
-                delta.encode(scratch);
-                (SectionTag::MemoryDelta, bytes)
+                let mut pw = RecordWriter::with_buffer(bufpool::take(1024));
+                delta.encode(&mut pw);
+                (SectionTag::MemoryDelta, bytes, pw.into_bytes())
             }
             None => {
-                scratch.put_u32(vpid);
-                proc.mem.encode(scratch);
-                (SectionTag::Memory, proc.mem.total_bytes())
+                let mut pw =
+                    RecordWriter::with_buffer(bufpool::take(proc.mem.total_bytes() + 64));
+                pw.put_u32(vpid);
+                proc.mem.encode(&mut pw);
+                (SectionTag::Memory, proc.mem.total_bytes(), pw.into_bytes())
             }
         };
-        out.push(RoundPayload { vpid, tag, payload: scratch.bytes().to_vec(), gen, region_bytes });
+        out.push(RoundPayload { vpid, tag, payload, gen, region_bytes });
     }
     Ok(out)
 }
 
 /// Encodes one suspended process: control block, descriptor records, and
-/// its memory payload (full, or a delta against `base_gens[vpid]`).
+/// its memory payload (full, or a delta against `base_gens[vpid]`). All
+/// scratch buffers are drawn from the checkpoint buffer pool; the caller
+/// returns the produced payload buffers after copying them into the image.
 fn encode_process(
-    pod: &Pod,
     vpid: u32,
-    pid: Pid,
+    parc: &Arc<parking_lot::Mutex<Process>>,
     ordinals: &HashMap<zapc_net::SocketId, u32>,
     base_gens: Option<&HashMap<u32, u64>>,
 ) -> CkptResult<ProcPayload> {
-    let parc = pod
-        .node()
-        .process(pid)
-        .ok_or(CkptError::Inconsistent("process vanished during checkpoint"))?;
     let proc = parc.lock();
     let state = match proc.state {
         ProcState::Stopped => ProcStateRecord::Live,
         ProcState::Exited(code) => ProcStateRecord::Exited(code),
-        ProcState::Runnable => return Err(CkptError::NotSuspended(pid)),
+        ProcState::Runnable => return Err(CkptError::NotSuspended(proc.pid)),
     };
 
     // Program control state.
     let (program_type, program_state) = match &proc.program {
         Some(prog) => {
-            let mut pw = RecordWriter::new();
+            let mut pw = RecordWriter::with_buffer(bufpool::take(64));
             prog.save(&mut pw);
             (prog.type_name().to_owned(), pw.into_bytes())
         }
@@ -294,19 +397,20 @@ fn encode_process(
         program_state,
         fds,
     };
-    let mut pw = RecordWriter::new();
+    let mut pw = RecordWriter::with_buffer(bufpool::take(256));
     rec.encode(&mut pw);
+    bufpool::give(rec.program_state);
 
     let gen = proc.mem.generation();
     let (mem_tag, mem_bytes) = match base_gens.and_then(|b| b.get(&vpid).copied()) {
         Some(base_gen) => {
             let delta = MemoryDeltaRecord::capture(vpid, base_gen, &proc.mem);
-            let mut mw = RecordWriter::new();
+            let mut mw = RecordWriter::with_buffer(bufpool::take(1024));
             delta.encode(&mut mw);
             (SectionTag::MemoryDelta, mw.into_bytes())
         }
         None => {
-            let mut mw = RecordWriter::with_capacity(proc.mem.total_bytes() + 64);
+            let mut mw = RecordWriter::with_buffer(bufpool::take(proc.mem.total_bytes() + 64));
             mw.put_u32(vpid);
             proc.mem.encode(&mut mw);
             (SectionTag::Memory, mw.into_bytes())

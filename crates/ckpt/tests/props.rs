@@ -10,10 +10,15 @@
 //! and compares FNV-1a digests of the canonical `Memory` encoding.
 
 use proptest::prelude::*;
-use zapc_ckpt::{DecodedPod, MemoryDeltaRecord};
+use std::time::Duration;
+use zapc_ckpt::{checkpoint_standalone_with, DecodedPod, MemoryDeltaRecord, SaveOpts};
+use zapc_net::{Network, NetworkConfig};
+use zapc_pod::{Pod, PodConfig};
 use zapc_proto::crc::fnv1a64;
-use zapc_proto::{Encode, RecordWriter, SectionTag};
+use zapc_proto::image::Header;
+use zapc_proto::{Encode, ImageReader, ImageWriter, RecordWriter, SectionTag};
 use zapc_sim::memory::AddressSpace;
+use zapc_sim::{ClusterClock, Node, NodeConfig, ProcessCtx, Program, SimFs, StepOutcome};
 
 /// One mutation of one process's address space between capture rounds.
 #[derive(Debug, Clone)]
@@ -154,5 +159,146 @@ proptest! {
         delta.encode(&mut w);
         let mut parts = DecodedPod::new();
         prop_assert!(parts.apply_section(SectionTag::MemoryDelta, w.bytes()).is_err());
+    }
+}
+
+/// A writer whose memory footprint is parameterized by the property
+/// inputs: `regions` f64 regions of `len` elements, filled from `seed`,
+/// then a busy phase so the checkpoint catches it mid-run.
+struct PropWriter {
+    phase: u8,
+    regions: u32,
+    len: u32,
+    seed: u64,
+    bases: Vec<u64>,
+}
+
+impl Program for PropWriter {
+    fn type_name(&self) -> &'static str {
+        "test.prop-writer"
+    }
+
+    fn step(&mut self, ctx: &mut ProcessCtx<'_>) -> StepOutcome {
+        if self.phase == 0 {
+            for r in 0..self.regions {
+                let base = ctx.mem.map_f64(&format!("pw.{r}"), self.len as usize);
+                let data = ctx.mem.f64_mut(base).unwrap();
+                for (i, x) in data.iter_mut().enumerate() {
+                    *x = (self.seed.wrapping_add(i as u64) % 8191) as f64 * 0.5;
+                }
+                self.bases.push(base);
+            }
+            self.phase = 1;
+        }
+        ctx.consume_cpu(500);
+        StepOutcome::Ready
+    }
+
+    fn save(&self, w: &mut RecordWriter) {
+        w.put_u8(self.phase);
+        w.put_u32(self.regions);
+        w.put_u32(self.len);
+        w.put_u64(self.seed);
+        w.put_u64(self.bases.len() as u64);
+        for b in &self.bases {
+            w.put_u64(*b);
+        }
+    }
+}
+
+/// Payloads of every section except `Timers`, whose `real_ms` advances
+/// between back-to-back checkpoints of the same suspended pod.
+fn stable_sections(bytes: &[u8]) -> Vec<(SectionTag, Vec<u8>)> {
+    let mut rd = ImageReader::open(bytes).unwrap();
+    let mut out = Vec::new();
+    while let Some(s) = rd.next_section().unwrap() {
+        if s.tag != SectionTag::Timers {
+            out.push((s.tag, s.payload.to_vec()));
+        }
+    }
+    out
+}
+
+proptest! {
+    // Each case spins up a real pod (scheduler threads + settle sleeps),
+    // so keep the case count small; the worker/buffer matrix inside each
+    // case does the combinatorial work.
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Property: the checkpoint image is a pure function of pod state —
+    /// neither the worker count (1/2/4/8, including workers > procs)
+    /// nor recycling a pooled image buffer may change a byte of any
+    /// section, in content or in order.
+    #[test]
+    fn image_bytes_invariant_under_workers_and_buffer_reuse(
+        procs in 1usize..5,
+        regions in 1u32..4,
+        len in 1u32..64,
+        seed in any::<u64>(),
+    ) {
+        let net = Network::new(NetworkConfig::default());
+        let fs = SimFs::new();
+        let node = Node::new(NodeConfig { id: 0, cpus: 2 }, net.handle(), fs);
+        let clock = ClusterClock::new();
+        let pod = Pod::create(PodConfig::new("prop-img", zapc_pod::pod_vip(41)), &node, &clock);
+        for i in 0..procs {
+            pod.spawn(
+                &format!("pw{i}"),
+                Box::new(PropWriter {
+                    phase: 0,
+                    regions,
+                    len,
+                    seed: seed.wrapping_add(i as u64),
+                    bases: Vec::new(),
+                }),
+            );
+        }
+        std::thread::sleep(Duration::from_millis(15));
+        pod.suspend().unwrap();
+
+        let header =
+            Header { pod: pod.name(), host: "prop-node".into(), wall_ms: 0, flags: 0 };
+        let checkpoint = |workers: usize, buffer: Option<Vec<u8>>| {
+            let opts = SaveOpts { workers, ..Default::default() };
+            let mut w = match buffer {
+                Some(buf) => ImageWriter::with_buffer(&header, buf),
+                None => ImageWriter::new(&header),
+            };
+            checkpoint_standalone_with(&pod, &mut w, &opts).unwrap();
+            w.finish()
+        };
+
+        // Reference: serial encode into a fresh buffer.
+        let reference = checkpoint(1, None);
+        let want = stable_sections(&reference);
+
+        // Worker counts, including more workers than processes.
+        for workers in [2usize, 4, 8] {
+            let image = checkpoint(workers, None);
+            prop_assert!(
+                want == stable_sections(&image),
+                "image changed with {} workers",
+                workers
+            );
+        }
+
+        // Pooled-buffer reuse: recycle one image allocation through
+        // repeated checkpoints (the steady-state dump path) and poison
+        // the buffer between rounds to catch stale-byte leaks.
+        let mut buf = Vec::new();
+        for round in 0..3usize {
+            buf.clear();
+            buf.resize(64, 0xA5); // poison: must be fully overwritten
+            let image = checkpoint(4, Some(std::mem::take(&mut buf)));
+            prop_assert!(
+                want == stable_sections(&image),
+                "image changed on pooled-buffer round {}",
+                round
+            );
+            buf = image;
+        }
+
+        pod.destroy();
+        node.shutdown();
     }
 }

@@ -24,13 +24,26 @@
 //! `Option` before doing anything else. Keys are `&str` precisely so call
 //! sites never build a `String` ahead of the branch.
 //!
+//! **Enabled-path cost model** (the hot-path speed pass): subject keys
+//! are interned to `Arc<str>` through a per-thread cache, so the steady
+//! state allocates nothing per event; span/counter aggregation goes
+//! through interned [`AggCell`]s — plain relaxed atomics resolved through
+//! the same per-thread cache — so the aggregate path takes **no lock and
+//! performs no hashing of owned strings** once a `(key, name)` pair has
+//! been seen by a thread. The only per-event lock is the ring buffer's,
+//! which exists to preserve the ordered event log. Aggregates are merged
+//! lazily: [`RingCollector::phase_totals`] and friends read the atomic
+//! cells at snapshot time (O(cells) refcount bumps, no per-key string
+//! clones).
+//!
 //! This crate is intentionally dependency-free (std only): it sits below
 //! every other crate in the workspace.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::{HashMap, VecDeque};
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -69,8 +82,9 @@ pub struct Event {
     /// since the observer was created.
     pub t_us: u64,
     /// Subject of the observation: a pod name, `"manager"`, or a
-    /// composite like `"w0/3"` (pod `w0`, socket ordinal 3).
-    pub key: String,
+    /// composite like `"w0/3"` (pod `w0`, socket ordinal 3). Interned:
+    /// repeated events for the same subject share one allocation.
+    pub key: Arc<str>,
     /// The observation itself.
     pub kind: EventKind,
 }
@@ -82,34 +96,188 @@ pub trait EventSink: Send + Sync {
     fn record(&self, ev: Event);
 }
 
-/// Bounded in-memory sink: keeps the most recent `capacity` events behind
-/// one mutex and counts what it evicted. Also aggregates per-phase span
-/// totals and counter totals so reports don't have to replay the ring.
-pub struct RingCollector {
-    capacity: usize,
-    ring: Mutex<VecDeque<Event>>,
-    /// (key, phase) → (span count, total µs).
-    spans: Mutex<HashMap<AggKey, SpanTotal>>,
-    /// (key, counter name) → total.
-    counters: Mutex<HashMap<AggKey, u64>>,
-    dropped: AtomicU64,
-}
-
-/// Aggregation key: `(subject key, phase or counter name)`.
-pub type AggKey = (String, &'static str);
+/// Aggregation key: `(subject key, phase or counter name)`. The subject
+/// is an interned `Arc<str>` — snapshot paths clone refcounts, never
+/// string bytes.
+pub type AggKey = (Arc<str>, &'static str);
 /// Span aggregate: `(span count, total µs)`.
 pub type SpanTotal = (u64, u64);
+
+// ---------------------------------------------------------------------------
+// FNV-1a — the workspace's standard cheap hash, used here to key the
+// per-thread caches without owning the string.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Process-wide id source so per-thread caches can tell instances apart.
+static NEXT_INSTANCE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn next_instance_id() -> u64 {
+    NEXT_INSTANCE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Per-thread caches are bounded so long-lived threads observing many
+/// short-lived collectors (the test suite) can't grow without bound.
+const THREAD_CACHE_CAP: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// Key interner: &str → Arc<str> with a per-thread cache so the enabled
+// hot path allocates nothing for a subject it has seen before.
+
+struct Interner {
+    id: u64,
+    table: Mutex<HashSet<Arc<str>>>,
+}
+
+thread_local! {
+    /// (interner id, fnv(key)) → interned key. Verified on hit.
+    static KEY_CACHE: RefCell<HashMap<(u64, u64), Arc<str>>> =
+        RefCell::new(HashMap::new());
+}
+
+impl Interner {
+    fn new() -> Interner {
+        Interner { id: next_instance_id(), table: Mutex::new(HashSet::new()) }
+    }
+
+    fn intern(&self, key: &str) -> Arc<str> {
+        let slot = (self.id, fnv1a(key.as_bytes()));
+        let hit = KEY_CACHE.with(|c| match c.borrow().get(&slot) {
+            Some(a) if **a == *key => Some(Arc::clone(a)),
+            _ => None,
+        });
+        if let Some(a) = hit {
+            return a;
+        }
+        // Cold path: consult (and fill) the shared table, then cache.
+        let interned = {
+            let mut table = self.table.lock().expect("interner poisoned");
+            match table.get(key) {
+                Some(a) => Arc::clone(a),
+                None => {
+                    let a: Arc<str> = Arc::from(key);
+                    table.insert(Arc::clone(&a));
+                    a
+                }
+            }
+        };
+        KEY_CACHE.with(|c| {
+            let mut c = c.borrow_mut();
+            if c.len() >= THREAD_CACHE_CAP {
+                c.clear();
+            }
+            c.insert(slot, Arc::clone(&interned));
+        });
+        interned
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate cells: one interned cell per (subject, name, kind), updated
+// with relaxed atomics and read lazily at snapshot time.
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum CellKind {
+    Span,
+    Counter,
+}
+
+/// One aggregation slot. `n` counts events (span closes / counter
+/// increments); `v` accumulates the value (µs / delta). Zeroed — not
+/// discarded — on [`RingCollector::reset`] so per-thread caches stay
+/// coherent.
+struct AggCell {
+    key: Arc<str>,
+    name: &'static str,
+    kind: CellKind,
+    n: AtomicU64,
+    v: AtomicU64,
+}
+
+type CellsByName = HashMap<(&'static str, CellKind), Arc<AggCell>>;
+
+/// Cache slot: (collector id, name ptr, fnv(key), kind). Verified on hit.
+type CellSlot = (u64, usize, u64, u8);
+
+thread_local! {
+    static CELL_CACHE: RefCell<HashMap<CellSlot, Arc<AggCell>>> =
+        RefCell::new(HashMap::new());
+}
+
+/// Bounded in-memory sink: keeps the most recent `capacity` events behind
+/// one mutex and counts what it evicted. Also aggregates per-phase span
+/// totals and counter totals so reports don't have to replay the ring —
+/// aggregates survive ring eviction and are updated lock-free (interned
+/// atomic cells) on the hot path.
+pub struct RingCollector {
+    id: u64,
+    capacity: usize,
+    ring: Mutex<VecDeque<Event>>,
+    /// subject → (name, kind) → cell. Locked only to intern a cell the
+    /// recording thread hasn't cached yet, and at snapshot time.
+    cells: Mutex<HashMap<Arc<str>, CellsByName>>,
+    dropped: AtomicU64,
+}
 
 impl RingCollector {
     /// A collector retaining the last `capacity` events (min 16).
     pub fn new(capacity: usize) -> Arc<RingCollector> {
         Arc::new(RingCollector {
+            id: next_instance_id(),
             capacity: capacity.max(16),
             ring: Mutex::new(VecDeque::new()),
-            spans: Mutex::new(HashMap::new()),
-            counters: Mutex::new(HashMap::new()),
+            cells: Mutex::new(HashMap::new()),
             dropped: AtomicU64::new(0),
         })
+    }
+
+    /// Resolves the aggregate cell for `(key, name, kind)`: per-thread
+    /// cache first (no lock, no allocation), interning under the mutex
+    /// only the first time this thread meets the pair.
+    fn cell(&self, key: &str, name: &'static str, kind: CellKind) -> Arc<AggCell> {
+        let slot = (self.id, name.as_ptr() as usize, fnv1a(key.as_bytes()), kind as u8);
+        let hit = CELL_CACHE.with(|c| match c.borrow().get(&slot) {
+            Some(cell) if cell.name == name && *cell.key == *key => Some(Arc::clone(cell)),
+            _ => None,
+        });
+        if let Some(cell) = hit {
+            return cell;
+        }
+        let cell = {
+            let mut cells = self.cells.lock().expect("cells poisoned");
+            let interned: Arc<str> = match cells.get_key_value(key) {
+                Some((k, _)) => Arc::clone(k),
+                None => Arc::from(key),
+            };
+            let by_name = cells.entry(Arc::clone(&interned)).or_default();
+            Arc::clone(by_name.entry((name, kind)).or_insert_with(|| {
+                Arc::new(AggCell {
+                    key: interned,
+                    name,
+                    kind,
+                    n: AtomicU64::new(0),
+                    v: AtomicU64::new(0),
+                })
+            }))
+        };
+        CELL_CACHE.with(|c| {
+            let mut c = c.borrow_mut();
+            if c.len() >= THREAD_CACHE_CAP {
+                c.clear();
+            }
+            c.insert(slot, Arc::clone(&cell));
+        });
+        cell
     }
 
     /// Snapshot of the retained events, oldest first.
@@ -124,48 +292,76 @@ impl RingCollector {
 
     /// Per-phase aggregation over *all* events seen (not just the ones
     /// still in the ring): `(key, phase) → (count, total µs)`, sorted.
+    /// Merge happens here, lazily: each cell's relaxed atomics are read
+    /// once; keys are refcount clones of the interned `Arc<str>`s.
     pub fn phase_totals(&self) -> Vec<(AggKey, SpanTotal)> {
-        let mut v: Vec<_> =
-            self.spans.lock().expect("spans poisoned").iter().map(|(k, t)| (k.clone(), *t)).collect();
+        let mut v = self.snapshot_cells(CellKind::Span);
         v.sort();
         v
     }
 
     /// Counter totals over all events seen: `(key, name) → total`, sorted.
     pub fn counter_totals(&self) -> Vec<(AggKey, u64)> {
-        let mut v: Vec<_> =
-            self.counters.lock().expect("counters poisoned").iter().map(|(k, t)| (k.clone(), *t)).collect();
+        let mut v: Vec<_> = self
+            .snapshot_cells(CellKind::Counter)
+            .into_iter()
+            .map(|(k, (_, total))| (k, total))
+            .collect();
         v.sort();
         v
     }
 
+    /// Reads every live cell of `kind` as `(key, (n, v))`, skipping cells
+    /// that have recorded nothing (fresh or zeroed by [`Self::reset`]).
+    fn snapshot_cells(&self, kind: CellKind) -> Vec<(AggKey, (u64, u64))> {
+        let cells = self.cells.lock().expect("cells poisoned");
+        cells
+            .values()
+            .flat_map(|by_name| by_name.values())
+            .filter(|c| c.kind == kind)
+            .filter_map(|c| {
+                let n = c.n.load(Ordering::Relaxed);
+                if n == 0 {
+                    return None;
+                }
+                Some(((Arc::clone(&c.key), c.name), (n, c.v.load(Ordering::Relaxed))))
+            })
+            .collect()
+    }
+
     /// Sum of one counter across every key.
     pub fn counter_sum(&self, name: &str) -> u64 {
-        self.counters
-            .lock()
-            .expect("counters poisoned")
-            .iter()
-            .filter(|((_, n), _)| *n == name)
-            .map(|(_, t)| *t)
+        let cells = self.cells.lock().expect("cells poisoned");
+        cells
+            .values()
+            .flat_map(|by_name| by_name.values())
+            .filter(|c| c.kind == CellKind::Counter && c.name == name)
+            .map(|c| c.v.load(Ordering::Relaxed))
             .sum()
     }
 
     /// Total microseconds spent in `phase` across every key.
     pub fn phase_us(&self, phase: &str) -> u64 {
-        self.spans
-            .lock()
-            .expect("spans poisoned")
-            .iter()
-            .filter(|((_, p), _)| *p == phase)
-            .map(|(_, (_, us))| *us)
+        let cells = self.cells.lock().expect("cells poisoned");
+        cells
+            .values()
+            .flat_map(|by_name| by_name.values())
+            .filter(|c| c.kind == CellKind::Span && c.name == phase)
+            .map(|c| c.v.load(Ordering::Relaxed))
             .sum()
     }
 
-    /// Clears the ring and the aggregations.
+    /// Clears the ring and the aggregations. Cells are zeroed in place
+    /// rather than discarded: per-thread caches in other threads keep
+    /// pointing at live cells, so no increment recorded after the reset
+    /// can be lost.
     pub fn reset(&self) {
         self.ring.lock().expect("ring poisoned").clear();
-        self.spans.lock().expect("spans poisoned").clear();
-        self.counters.lock().expect("counters poisoned").clear();
+        let cells = self.cells.lock().expect("cells poisoned");
+        for cell in cells.values().flat_map(|by_name| by_name.values()) {
+            cell.n.store(0, Ordering::Relaxed);
+            cell.v.store(0, Ordering::Relaxed);
+        }
         self.dropped.store(0, Ordering::Relaxed);
     }
 }
@@ -174,18 +370,14 @@ impl EventSink for RingCollector {
     fn record(&self, ev: Event) {
         match ev.kind {
             EventKind::SpanEnd { phase, dur_us } => {
-                let mut spans = self.spans.lock().expect("spans poisoned");
-                let e = spans.entry((ev.key.clone(), phase)).or_insert((0, 0));
-                e.0 += 1;
-                e.1 += dur_us;
+                let cell = self.cell(&ev.key, phase, CellKind::Span);
+                cell.n.fetch_add(1, Ordering::Relaxed);
+                cell.v.fetch_add(dur_us, Ordering::Relaxed);
             }
             EventKind::Counter { name, delta } => {
-                *self
-                    .counters
-                    .lock()
-                    .expect("counters poisoned")
-                    .entry((ev.key.clone(), name))
-                    .or_insert(0) += delta;
+                let cell = self.cell(&ev.key, name, CellKind::Counter);
+                cell.n.fetch_add(1, Ordering::Relaxed);
+                cell.v.fetch_add(delta, Ordering::Relaxed);
             }
             EventKind::SpanStart { .. } => {}
         }
@@ -210,6 +402,7 @@ impl std::fmt::Debug for RingCollector {
 
 struct ObsInner {
     sink: Arc<dyn EventSink>,
+    interner: Arc<Interner>,
     seq: AtomicU64,
     t0: Instant,
     /// Microsecond source; `None` uses `t0.elapsed()`.
@@ -234,6 +427,7 @@ impl Observer {
         Observer {
             inner: Some(Arc::new(ObsInner {
                 sink,
+                interner: Arc::new(Interner::new()),
                 seq: AtomicU64::new(0),
                 t0: Instant::now(),
                 clock: None,
@@ -255,6 +449,7 @@ impl Observer {
             Some(i) => Observer {
                 inner: Some(Arc::new(ObsInner {
                     sink: Arc::clone(&i.sink),
+                    interner: Arc::clone(&i.interner),
                     seq: AtomicU64::new(i.seq.load(Ordering::Relaxed)),
                     t0: i.t0,
                     clock: Some(Arc::new(clock)),
@@ -278,15 +473,16 @@ impl Observer {
         }
     }
 
-    fn emit(inner: &ObsInner, key: &str, kind: EventKind) {
+    fn emit(inner: &ObsInner, key: Arc<str>, kind: EventKind) {
         let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
-        inner.sink.record(Event { seq, t_us: Self::now_us(inner), key: key.to_owned(), kind });
+        inner.sink.record(Event { seq, t_us: Self::now_us(inner), key, kind });
     }
 
     /// Advances monotonic counter `name` (keyed by `key`) by `delta`.
     #[inline]
     pub fn counter(&self, key: &str, name: &'static str, delta: u64) {
         if let Some(inner) = &self.inner {
+            let key = inner.interner.intern(key);
             Self::emit(inner, key, EventKind::Counter { name, delta });
         }
     }
@@ -297,10 +493,9 @@ impl Observer {
     pub fn span(&self, key: &str, phase: &'static str) -> Span {
         match &self.inner {
             Some(inner) => {
-                Self::emit(inner, key, EventKind::SpanStart { phase });
-                Span {
-                    state: Some((Arc::clone(inner), key.to_owned(), phase, Instant::now())),
-                }
+                let key = inner.interner.intern(key);
+                Self::emit(inner, Arc::clone(&key), EventKind::SpanStart { phase });
+                Span { state: Some((Arc::clone(inner), key, phase, Instant::now())) }
             }
             None => Span { state: None },
         }
@@ -318,7 +513,7 @@ impl std::fmt::Debug for Observer {
 /// is too coarse for sub-millisecond phases).
 #[must_use = "a span measures the scope it lives in; bind it to a variable"]
 pub struct Span {
-    state: Option<(Arc<ObsInner>, String, &'static str, Instant)>,
+    state: Option<(Arc<ObsInner>, Arc<str>, &'static str, Instant)>,
 }
 
 impl Span {
@@ -332,7 +527,7 @@ impl Span {
         match self.state.take() {
             Some((inner, key, phase, start)) => {
                 let dur_us = start.elapsed().as_micros() as u64;
-                Observer::emit(&inner, &key, EventKind::SpanEnd { phase, dur_us });
+                Observer::emit(&inner, key, EventKind::SpanEnd { phase, dur_us });
                 dur_us
             }
             None => 0,
@@ -450,5 +645,57 @@ mod tests {
         let obs = obs.with_clock(|| 42_000_000);
         obs.counter("k", "c", 1);
         assert_eq!(ring.events()[0].t_us, 42_000_000);
+    }
+
+    #[test]
+    fn interned_events_share_one_key_allocation() {
+        let (obs, ring) = Observer::ring(64);
+        for _ in 0..5 {
+            obs.counter("same-subject", "c", 1);
+        }
+        let evs = ring.events();
+        for w in evs.windows(2) {
+            assert!(
+                Arc::ptr_eq(&w[0].key, &w[1].key),
+                "interner must hand out one shared Arc per subject"
+            );
+        }
+    }
+
+    #[test]
+    fn reset_keeps_cells_coherent_for_cached_threads() {
+        // A recording thread that cached its cells before a reset keeps
+        // writing into the *same* (zeroed) cells: nothing recorded after
+        // the reset is lost, and stale pre-reset values don't resurface.
+        let (obs, ring) = Observer::ring(64);
+        obs.counter("k", "c", 7);
+        let _s = obs.span("k", "p").end();
+        ring.reset();
+        assert!(ring.counter_totals().is_empty());
+        assert!(ring.phase_totals().is_empty());
+        obs.counter("k", "c", 2);
+        assert_eq!(ring.counter_totals(), vec![(("k".into(), "c"), 2)]);
+    }
+
+    #[test]
+    fn totals_survive_eviction_from_many_threads() {
+        let (obs, ring) = Observer::ring(16);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let obs = obs.clone();
+                std::thread::spawn(move || {
+                    let key = format!("t{t}");
+                    for _ in 0..100 {
+                        obs.counter(&key, "c", 1);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(ring.counter_sum("c"), 400);
+        assert_eq!(ring.events().len(), 16);
+        assert_eq!(ring.dropped(), 400 - 16);
     }
 }

@@ -49,6 +49,15 @@ impl RecordWriter {
         RecordWriter { buf: Vec::with_capacity(cap) }
     }
 
+    /// Creates a writer that reuses `buf`'s allocation (contents are
+    /// cleared, capacity kept). The checkpoint hot path feeds this from a
+    /// buffer pool so steady-state encodes allocate nothing; pairs with
+    /// [`RecordWriter::into_bytes`] to hand the allocation back.
+    pub fn with_buffer(mut buf: Vec<u8>) -> Self {
+        buf.clear();
+        RecordWriter { buf }
+    }
+
     /// Number of bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()

@@ -514,11 +514,11 @@ fn live_source(
     };
     let obs = &cluster.obs;
 
-    // Reused across every round and the final cut: the payload scratch
-    // (cleared, capacity kept) and the frame writer. Pre-copy runs many
-    // serialization rounds, so rebuilding these per cut would re-pay
+    // Reused across every round and the final cut: the frame writer is
+    // cleared (capacity kept) per frame, and round payload buffers are
+    // recycled through the checkpoint buffer pool after framing. Pre-copy
+    // runs many serialization rounds, so allocating per cut would re-pay
     // buffer regrowth dozens of times (ROADMAP item 5).
-    let mut scratch = RecordWriter::with_capacity(64 * 1024);
     let mut fw = RecordWriter::with_capacity(64 * 1024);
 
     // ── Pre-copy loop: the pod keeps running throughout. ──
@@ -551,7 +551,7 @@ fn live_source(
         }
 
         let round_span = obs.span(pod_name, "mig.round");
-        let payloads = match capture_memory_round(&pod, gens.as_ref(), &mut scratch) {
+        let payloads = match capture_memory_round(&pod, gens.as_ref()) {
             Ok(p) => p,
             Err(e) => {
                 send_done(Err(format!("pre-copy capture failed: {e}")));
@@ -569,12 +569,15 @@ fn live_source(
         }
         let mut shipped = 0usize;
         let mut next_gens: HashMap<u32, u64> = HashMap::new();
-        for p in &payloads {
+        for p in payloads {
             next_gens.insert(p.vpid, p.gen);
             shipped += p.region_bytes;
             fw.reset();
             fw.put_u16(p.tag as u16);
             fw.put_bytes(&p.payload);
+            // The frame writer copied the payload; hand its buffer back
+            // so the next round's capture reuses the allocation.
+            p.recycle();
             if send_frame(cluster, pod_name, &stream, finish_frame(&mut fw, FRAME_SECTION)).is_err() {
                 send_done(Err("stream receiver gone during pre-copy".into()));
                 return;

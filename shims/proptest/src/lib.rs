@@ -102,7 +102,7 @@ pub mod prelude {
     //! The usual `use proptest::prelude::*` surface.
 
     pub use crate::strategy::{any, Just, Strategy};
-    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }
 
@@ -170,9 +170,35 @@ macro_rules! prop_assume {
 }
 
 /// Declares property tests: each `fn name(arg in strategy, ...) { body }`
-/// becomes a `#[test]` running the body over generated cases.
+/// becomes a `#[test]` running the body over generated cases. An optional
+/// leading `#![proptest_config($cfg)]` sets the case count for every test
+/// in the block (the real proptest's inner-attribute form).
 #[macro_export]
 macro_rules! proptest {
+    (#![proptest_config($cfg:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __proptest_cfg: $crate::test_runner::ProptestConfig = $cfg;
+                $crate::test_runner::run_cases_n(
+                    stringify!($name),
+                    __proptest_cfg.cases as u64,
+                    |__proptest_rng| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);)+
+                        let __proptest_result: ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                        __proptest_result
+                    },
+                );
+            }
+        )*
+    };
     ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
         $(
             $(#[$meta])*

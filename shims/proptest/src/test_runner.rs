@@ -60,12 +60,39 @@ pub fn case_count() -> u64 {
         .unwrap_or(64)
 }
 
+/// Per-block runner configuration, set via the real proptest's
+/// `#![proptest_config(ProptestConfig { cases: N, .. })]` attribute.
+/// Only `cases` is honored; the default pulls [`case_count`] so
+/// `PROPTEST_CASES` still applies to unconfigured blocks.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Cases to generate per test in the block.
+    pub cases: u32,
+    /// Accepted for source compatibility; this shim never shrinks.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: case_count() as u32, max_shrink_iters: 0 }
+    }
+}
+
 /// Runs `f` over `case_count()` generated cases; panics on the first
 /// failing case with its number (the same number regenerates the same
 /// inputs — seeds are a pure function of test name and case index).
-pub fn run_cases(name: &str, mut f: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+pub fn run_cases(name: &str, f: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>) {
+    run_cases_n(name, case_count(), f)
+}
+
+/// [`run_cases`] with an explicit case count (the
+/// `proptest_config` path).
+pub fn run_cases_n(
+    name: &str,
+    cases: u64,
+    mut f: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
     let base = fnv1a(name);
-    let cases = case_count();
     let mut rejected = 0u64;
     let mut case = 0u64;
     let mut attempts = 0u64;

@@ -428,6 +428,80 @@ fn clobbered_parent_link_detected_at_restart() {
     );
 }
 
+// ---- observability under aborts ---------------------------------------
+
+#[test]
+fn aborted_checkpoint_keeps_observer_aggregates_consistent_with_ring() {
+    // An aborted checkpoint drains mid-protocol: Agents roll back, spans
+    // close on error paths, late replies are discarded. None of that may
+    // lose observability — the sharded aggregate cells (merged lazily at
+    // snapshot) must agree *exactly* with a replay of the event ring, and
+    // a generously sized ring must not have evicted anything.
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+    use zapc_obs::{EventKind, Observer};
+
+    let (obs, ring) = Observer::ring(65_536);
+    let plan = FaultPlan::script()
+        .always("agent.pre_continue", Some("oag-0"), FaultAction::Crash)
+        .build();
+    let c = Cluster::builder()
+        .nodes(2)
+        .registry(full_registry())
+        .faults(plan)
+        .observer(obs)
+        .build();
+    let app = launch_app(&c, "oag", &small(AppKind::Cpi, 2));
+    std::thread::sleep(Duration::from_millis(5));
+
+    let err = checkpoint(&c, &snapshots(&app.pods)).unwrap_err();
+    assert!(matches!(err, ZapcError::Aborted(_)), "got {err:?}");
+    assert!(c.faults.fired() > 0, "fault must have fired");
+
+    // Let the app finish so nothing emits while we compare.
+    let _ = app.wait(&c, WAIT).unwrap();
+    app.destroy(&c);
+    std::thread::sleep(Duration::from_millis(10));
+
+    assert_eq!(ring.dropped(), 0, "ring sized for the whole run must not evict");
+    let events = ring.events();
+    assert!(
+        events.iter().any(|e| matches!(e.kind, EventKind::SpanEnd { .. })),
+        "the aborted attempt must still have closed spans"
+    );
+
+    // Replay the ring into per-(key, phase) span totals and per-
+    // (key, name) counter totals, then compare against the lazily merged
+    // aggregate cells.
+    let mut spans: BTreeMap<(Arc<str>, &'static str), (u64, u64)> = BTreeMap::new();
+    let mut counters: BTreeMap<(Arc<str>, &'static str), u64> = BTreeMap::new();
+    for e in &events {
+        match e.kind {
+            EventKind::SpanEnd { phase, dur_us } => {
+                let cell = spans.entry((Arc::clone(&e.key), phase)).or_default();
+                cell.0 += 1;
+                cell.1 += dur_us;
+            }
+            EventKind::Counter { name, delta } => {
+                *counters.entry((Arc::clone(&e.key), name)).or_default() += delta;
+            }
+            _ => {}
+        }
+    }
+    let replayed_spans: Vec<_> = spans.into_iter().collect();
+    let replayed_counters: Vec<_> = counters.into_iter().collect();
+    assert_eq!(
+        ring.phase_totals(),
+        replayed_spans,
+        "span aggregates must replay exactly from the ring after an abort"
+    );
+    assert_eq!(
+        ring.counter_totals(),
+        replayed_counters,
+        "counter aggregates must replay exactly from the ring after an abort"
+    );
+}
+
 // ---- seeded soak ------------------------------------------------------
 
 #[test]
