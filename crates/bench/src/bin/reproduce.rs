@@ -1,7 +1,7 @@
 //! Regenerates the paper's figures as text tables.
 //!
 //! ```sh
-//! cargo run --release -p zapc-bench --bin reproduce -- [--quick] [fig5|fig6a|fig6b|fig6c|inc|phases|all]
+//! cargo run --release -p zapc-bench --bin reproduce -- [--quick] [fig5|fig6a|fig6b|fig6c|inc|phases|mig|speed|storm|all]
 //! ```
 //!
 //! `--quick` uses miniature problem sizes (seconds); the default uses the
@@ -11,7 +11,10 @@
 //! runs the per-phase cost decomposition under an enabled observer and
 //! writes `BENCH_4.json`; `speed` runs the hot-path speed ablation
 //! (observer overhead, worker scaling, base capture, allocations per
-//! checkpoint) and writes `BENCH_7.json`.
+//! checkpoint) and writes `BENCH_7.json`; `storm` runs the
+//! restart-storm recovery experiment (partition/kill mid-checkpoint,
+//! recover the fleet from manifests under background faults) and writes
+//! `BENCH_8.json`.
 
 use zapc_apps::launch::AppKind;
 use zapc_bench::figures::{
@@ -22,6 +25,7 @@ use zapc_bench::incremental::{run_ablation, run_parallel, to_json, AblationRow, 
 use zapc_bench::migration::{mig_to_json, run_adversarial, run_curve, run_headline, MigRow};
 use zapc_bench::phases::{phases_to_json, run_phases, OpBreakdown, PhasesReport};
 use zapc_bench::speed::{baseline, run_speed, speed_to_json};
+use zapc_bench::storm::{run_storm, storm_to_json};
 
 /// Counting allocator: powers the allocations-per-checkpoint ablation of
 /// `speed` (two relaxed atomic adds per allocation — negligible for the
@@ -53,6 +57,7 @@ fn main() {
         "phases" => phases(&cfg, quick),
         "mig" => mig(&cfg, quick),
         "speed" => speed(&cfg, quick),
+        "storm" => storm(quick),
         "all" => {
             fig5(&cfg);
             fig6a(&cfg);
@@ -62,9 +67,10 @@ fn main() {
             phases(&cfg, quick);
             mig(&cfg, quick);
             speed(&cfg, quick);
+            storm(quick);
         }
         other => {
-            eprintln!("unknown figure {other:?}; use fig5|fig6a|fig6b|fig6c|inc|phases|mig|speed|all");
+            eprintln!("unknown figure {other:?}; use fig5|fig6a|fig6b|fig6c|inc|phases|mig|speed|storm|all");
             std::process::exit(2);
         }
     }
@@ -249,6 +255,47 @@ fn speed(cfg: &RunCfg, quick: bool) {
     match std::fs::write("BENCH_7.json", &json) {
         Ok(()) => println!("\nwrote BENCH_7.json ({} bytes)", json.len()),
         Err(e) => eprintln!("\nfailed to write BENCH_7.json: {e}"),
+    }
+}
+
+fn storm(quick: bool) {
+    println!("== Restart storm (PR 8): partition/kill mid-checkpoint, recover from manifests ==");
+    println!("   (⌈N/3⌉ nodes partitioned + ⌈N/6⌉ killed during a durable checkpoint;");
+    println!("    recovery = heal → recover() → rejoin → restart_from_manifest → fresh commit,");
+    println!("    all under a sustained seeded ctl.partition fault plan)\n");
+    let seed = 8;
+    let rows = run_storm(quick, seed);
+    println!(
+        "{:>5} {:>5} {:>6} | {:>7} {:>6} | {:>11} {:>8} {:>7} | {:>5} {:>5} {:>7}",
+        "nodes", "part", "killed", "aborted", "commits", "recovery", "retried", "fenced", "lost", "dup", "orphans"
+    );
+    for r in &rows {
+        println!(
+            "{:>5} {:>5} {:>6} | {:>7} {:>3}→{:<2} | {:>8.2} ms {:>8} {:>7} | {:>5} {:>5} {:>7}",
+            r.nodes,
+            r.partitioned,
+            r.killed,
+            if r.storm_ckpt_aborted { "yes" } else { "no" },
+            r.commits_before,
+            r.commits_after,
+            r.recovery_ms,
+            r.ops_retried,
+            r.fenced_replies,
+            r.lost,
+            r.duplicated,
+            r.orphans,
+        );
+    }
+    let clean = rows.iter().all(|r| r.lost == 0 && r.duplicated == 0 && r.orphans == 0);
+    println!(
+        "\ninvariants: {} (zero lost / duplicated committed checkpoints, zero store orphans)",
+        if clean { "CLEAN" } else { "VIOLATED" }
+    );
+
+    let json = storm_to_json(quick, seed, &rows);
+    match std::fs::write("BENCH_8.json", &json) {
+        Ok(()) => println!("wrote BENCH_8.json ({} bytes)", json.len()),
+        Err(e) => eprintln!("failed to write BENCH_8.json: {e}"),
     }
 }
 

@@ -27,6 +27,12 @@
 //!   binary installs it), emitted as `BENCH_7.json` with the pre-PR-7
 //!   baselines embedded for before/after comparison.
 //!
+//! * [`storm`] — the PR 8 restart-storm experiment: partition/kill a
+//!   large fraction of the fleet mid-checkpoint, recover everything from
+//!   committed manifests under a sustained background fault plan, and
+//!   verify zero lost/duplicated committed checkpoints and zero store
+//!   orphans, emitted as `BENCH_8.json`.
+//!
 //! Criterion benches under `benches/` and the `reproduce` binary both
 //! drive this module; `reproduce` prints the paper-style tables recorded
 //! in EXPERIMENTS.md.
@@ -37,3 +43,4 @@ pub mod incremental;
 pub mod migration;
 pub mod phases;
 pub mod speed;
+pub mod storm;

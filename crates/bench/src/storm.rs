@@ -1,0 +1,343 @@
+//! Restart-storm recovery benchmark: partition/kill a large fraction of
+//! the fleet mid-checkpoint, then recover the whole application from
+//! committed manifests under a sustained background fault plan (the PR 8
+//! `BENCH_8.json` experiment).
+//!
+//! One trial per fleet size:
+//!
+//! 1. **Baseline** — a writer pod per node, two committed durable
+//!    checkpoints (so retention and lineage are populated).
+//! 2. **Storm** — a third `checkpoint_commit` is launched, and a few
+//!    milliseconds in, a third of the nodes are partitioned from the
+//!    Manager and another sixth are killed outright. The in-flight
+//!    checkpoint aborts (or squeaks through — both are legal; the
+//!    invariants below hold either way) while a seeded background
+//!    `ctl.partition` plan keeps eating control messages.
+//! 3. **Recovery (timed)** — heal, `recover()` (epoch bump + fence +
+//!    rollback + GC), `rejoin_node` every leaseless survivor, then
+//!    `restart_from_manifest` reschedules the dead nodes' pods onto live
+//!    ones. A final `checkpoint_commit` proves the rebuilt fleet can make
+//!    durable progress. Ops that had to be re-run are counted.
+//!
+//! Invariants checked per row and surfaced in the JSON: zero committed
+//! checkpoints lost, zero duplicated manifest ids, zero store orphans
+//! after the recovery GC.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+use zapc::{
+    checkpoint_commit, recover, rejoin_node, restart_from_manifest, Cluster, CommitOptions,
+    FaultPlan, NodeStatus, ZapcError, MANAGER,
+};
+use zapc_apps::launch::full_registry;
+use zapc_apps::writer::{DirtyWriter, WriterConfig};
+
+/// One fleet-size trial of the storm experiment.
+#[derive(Debug, Clone)]
+pub struct StormRow {
+    /// Fleet size (nodes; one writer pod per node).
+    pub nodes: usize,
+    /// Nodes partitioned from the Manager mid-checkpoint.
+    pub partitioned: usize,
+    /// Nodes killed outright mid-checkpoint.
+    pub killed: usize,
+    /// Committed checkpoints before the storm.
+    pub commits_before: usize,
+    /// Committed checkpoints after recovery (retention may prune, the
+    /// in-flight one may or may not have made it — never duplicated).
+    pub commits_after: usize,
+    /// Whether the storm-time checkpoint aborted (true) or committed
+    /// anyway (false — the faults landed after its commit point).
+    pub storm_ckpt_aborted: bool,
+    /// Wall time of the whole recovery: heal → fleet checkpointing again
+    /// (ms).
+    pub recovery_ms: f64,
+    /// Operations that needed more than one attempt during the storm and
+    /// recovery (extra attempts, summed).
+    pub ops_retried: u64,
+    /// Stale-epoch Agent replies the Manager refused (the fencing
+    /// counter).
+    pub fenced_replies: u64,
+    /// Committed checkpoint ids present before the storm, retained by the
+    /// retention policy, but missing after recovery. Must be 0.
+    pub lost: usize,
+    /// Duplicate manifest ids after recovery. Must be 0.
+    pub duplicated: usize,
+    /// Store files reachable from no manifest after the recovery GC
+    /// (staged litter and tmp files). Must be 0.
+    pub orphans: usize,
+}
+
+/// Fleet sizes exercised per mode.
+pub fn fleet_sizes(quick: bool) -> &'static [usize] {
+    if quick {
+        &[4, 8]
+    } else {
+        &[4, 8, 16]
+    }
+}
+
+/// Retries a fallible op up to `tries` times, counting the extra attempts
+/// into `retried`. Returns the first success or the last error.
+fn counted<T>(
+    tries: u32,
+    retried: &mut u64,
+    mut op: impl FnMut() -> Result<T, ZapcError>,
+) -> Result<T, ZapcError> {
+    let mut last = None;
+    for attempt in 0..tries.max(1) {
+        match op() {
+            Ok(v) => return Ok(v),
+            Err(e) => {
+                if attempt + 1 < tries.max(1) {
+                    *retried += 1;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                last = Some(e);
+            }
+        }
+    }
+    Err(last.expect("at least one attempt"))
+}
+
+/// Image refs and tmp files no committed manifest reaches — what a
+/// correct recovery GC leaves at zero.
+fn orphan_count(c: &Cluster) -> usize {
+    let mut live: HashSet<String> = HashSet::new();
+    for id in c.istore.manifest_ids() {
+        if let Ok(m) = c.istore.manifest(id) {
+            for e in &m.entries {
+                live.insert(e.image_ref.clone());
+                if !e.parent.is_empty() {
+                    live.insert(e.parent.clone());
+                }
+            }
+        }
+    }
+    let dangling =
+        c.istore.image_refs().into_iter().filter(|r| !live.contains(r)).count();
+    dangling + c.istore.tmp_files().len()
+}
+
+/// One storm trial at `nodes` fleet size.
+pub fn run_storm_trial(nodes: usize, seed: u64) -> StormRow {
+    let lease_ms = 150u64;
+    // Sustained background chaos on the control path: each pod's first 24
+    // `ctl.partition` hits fire with probability 1/8, so staging and
+    // recovery both pay occasional eaten replies — but the plan drains
+    // eventually, so a retried recovery always makes progress.
+    let faults = FaultPlan::from_seed_with(seed, 8, 24).scoped(&["ctl.partition"]);
+    let c = Cluster::builder()
+        .nodes(nodes)
+        .registry(full_registry())
+        .lease_ms(lease_ms)
+        .faults(faults)
+        .build();
+    let wcfg = WriterConfig {
+        ballast_bytes: 256 * 1024,
+        hot_regions: 4,
+        region_bytes: 16 * 1024,
+        dirty_rate: 0.5,
+        steps: u64::MAX,
+    };
+    let pods: Vec<String> = (0..nodes)
+        .map(|i| {
+            let name = format!("storm-{i}");
+            let pod = c.create_pod(&name, i);
+            pod.spawn("writer", Box::new(DirtyWriter::new(wcfg.clone())));
+            name
+        })
+        .collect();
+    let pod_refs: Vec<&str> = pods.iter().map(|s| s.as_str()).collect();
+    // Short timeouts: an eaten reply should cost an abort+retry, not a
+    // 30 s stall. Retention keeps every baseline commit so loss is
+    // observable.
+    let opts = CommitOptions { timeout: Duration::from_millis(500), retries: 2, keep: 8 };
+
+    // Standing Agent heartbeats: each node renews its lease while its link
+    // to the Manager is up. Heartbeats deliberately do NOT resurrect a
+    // leaseless node — a node that lapsed must come back through
+    // `rejoin_node`, or a stale agent could sneak back in through a beat.
+    let stop_beats = AtomicBool::new(false);
+    // Raised on every exit path — including an unwinding panic — so the
+    // heartbeat thread can't keep the scope join alive forever.
+    struct StopOnDrop<'a>(&'a AtomicBool);
+    impl Drop for StopOnDrop<'_> {
+        fn drop(&mut self) {
+            self.0.store(true, Ordering::Relaxed);
+        }
+    }
+    let (rec, storm_aborted, recovery_ms, retried, n_part, n_kill, before) =
+        std::thread::scope(|scope| {
+            let _stop_guard = StopOnDrop(&stop_beats);
+            scope.spawn(|| {
+                while !stop_beats.load(Ordering::Relaxed) {
+                    for node in 0..nodes as u32 {
+                        if c.health.status(node) == NodeStatus::Alive
+                            && !c.partition.is_cut(node, MANAGER)
+                        {
+                            c.health.beat(node);
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+            });
+
+            let mut retried = 0u64;
+            for _ in 0..2 {
+                counted(4, &mut retried, || {
+                    checkpoint_commit(&c, &pod_refs, &opts).map(|_| ())
+                })
+                .expect("baseline durable checkpoint");
+            }
+            let before: Vec<u64> = c.istore.manifest_ids();
+
+            // ── Storm: partition ⌈N/3⌉ nodes and kill ⌈N/6⌉ more, a few
+            // ms into a fresh durable checkpoint. ──
+            let n_part = nodes.div_ceil(3);
+            let n_kill = (nodes / 6).max(1).min(nodes - n_part);
+            let storm_aborted = std::thread::scope(|inner| {
+                let h = inner.spawn(|| checkpoint_commit(&c, &pod_refs, &opts).map(|_| ()));
+                std::thread::sleep(Duration::from_millis(3));
+                for node in 0..n_part {
+                    c.partition.isolate(node as u32);
+                }
+                for node in n_part..n_part + n_kill {
+                    c.health.kill(node as u32);
+                }
+                h.join().expect("storm checkpoint thread").is_err()
+            });
+            // Let the partitioned nodes' leases lapse so they read
+            // `Leaseless`.
+            std::thread::sleep(Duration::from_millis(2 * lease_ms));
+
+            // ── Recovery (timed). ──
+            let t0 = Instant::now();
+            c.partition.heal_all();
+            let rec = recover(&c);
+            for node in 0..nodes as u32 {
+                if c.health.status(node) == NodeStatus::Leaseless {
+                    counted(4, &mut retried, || rejoin_node(&c, node).map(|_| ()))
+                        .expect("rejoin after heal");
+                }
+            }
+            counted(4, &mut retried, || {
+                restart_from_manifest(&c, None, Duration::from_secs(5)).map(|_| ())
+            })
+            .expect("restart fleet from manifest");
+            counted(8, &mut retried, || {
+                checkpoint_commit(&c, &pod_refs, &opts).map(|_| ())
+            })
+            .expect("post-recovery durable checkpoint");
+            let recovery_ms = t0.elapsed().as_secs_f64() * 1000.0;
+
+            stop_beats.store(true, Ordering::Relaxed);
+            (rec, storm_aborted, recovery_ms, retried, n_part, n_kill, before)
+        });
+
+    // ── Invariants. ──
+    let after: Vec<u64> = c.istore.manifest_ids();
+    let after_set: HashSet<u64> = after.iter().copied().collect();
+    let duplicated = after.len() - after_set.len();
+    // Every baseline commit the recovery classified as sound must still
+    // be restorable (retention ran with `keep` ≥ everything this trial
+    // writes, so nothing legitimate is pruned).
+    let lost = before
+        .iter()
+        .filter(|id| rec.committed.contains(id) && !after_set.contains(id))
+        .count();
+    let orphans = orphan_count(&c);
+
+    StormRow {
+        nodes,
+        partitioned: n_part,
+        killed: n_kill,
+        commits_before: before.len(),
+        commits_after: after.len(),
+        storm_ckpt_aborted: storm_aborted,
+        recovery_ms,
+        ops_retried: retried,
+        fenced_replies: c.fenced_replies(),
+        lost,
+        duplicated,
+        orphans,
+    }
+}
+
+/// Runs the whole sweep.
+pub fn run_storm(quick: bool, seed: u64) -> Vec<StormRow> {
+    fleet_sizes(quick).iter().map(|&n| run_storm_trial(n, seed)).collect()
+}
+
+fn json_row(r: &StormRow) -> String {
+    format!(
+        "{{\"nodes\": {}, \"partitioned\": {}, \"killed\": {}, \"commits_before\": {}, \
+         \"commits_after\": {}, \"storm_ckpt_aborted\": {}, \"recovery_ms\": {:.4}, \
+         \"ops_retried\": {}, \"fenced_replies\": {}, \"lost\": {}, \"duplicated\": {}, \
+         \"orphans\": {}}}",
+        r.nodes,
+        r.partitioned,
+        r.killed,
+        r.commits_before,
+        r.commits_after,
+        r.storm_ckpt_aborted,
+        r.recovery_ms,
+        r.ops_retried,
+        r.fenced_replies,
+        r.lost,
+        r.duplicated,
+        r.orphans,
+    )
+}
+
+/// Serializes the experiment to the `BENCH_8.json` schema.
+pub fn storm_to_json(quick: bool, seed: u64, rows: &[StormRow]) -> String {
+    let clean = rows.iter().all(|r| r.lost == 0 && r.duplicated == 0 && r.orphans == 0);
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"zapc-bench-8\",\n");
+    out.push_str(&format!("  \"quick\": {quick},\n"));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"invariants_clean\": {clean},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {}{}\n",
+            json_row(r),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let row = StormRow {
+            nodes: 8,
+            partitioned: 3,
+            killed: 1,
+            commits_before: 2,
+            commits_after: 3,
+            storm_ckpt_aborted: true,
+            recovery_ms: 12.5,
+            ops_retried: 2,
+            fenced_replies: 1,
+            lost: 0,
+            duplicated: 0,
+            orphans: 0,
+        };
+        let j = storm_to_json(true, 7, &[row.clone(), row]);
+        assert!(j.contains("\"zapc-bench-8\""));
+        assert!(j.contains("\"invariants_clean\": true"));
+        assert!(j.contains("\"recovery_ms\": 12.5000"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+}

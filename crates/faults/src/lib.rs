@@ -27,6 +27,8 @@
 //! | `store.pre_rename`     | zapc store  | store writer dies before the atomic rename     |
 //! | `net.segment`          | net wire    | segment dropped / duplicated / delayed         |
 //! | `node.sched`           | sim node    | scheduler sweep latency (slow node)            |
+//! | `ctl.partition`        | zapc ctl    | ctl message (meta/continue/done) eaten by a partition |
+//! | `net.partition`        | zapc stream | migration stream frame eaten by a partition    |
 //!
 //! A [`FaultPlan`] is built either from a `u64` seed ([`FaultPlan::from_seed`])
 //! or from an explicit script ([`FaultPlan::script`]). Decisions are a
@@ -38,6 +40,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod partition;
+
+pub use partition::{Partition, MANAGER};
 
 use std::collections::HashMap;
 use std::sync::Mutex;
@@ -65,6 +71,8 @@ pub const SITES: &[&str] = &[
     "store.pre_rename",
     "net.segment",
     "node.sched",
+    "ctl.partition",
+    "net.partition",
 ];
 
 /// What happens when a site fires.
@@ -200,6 +208,14 @@ fn action_for(site: &str, h: u64) -> FaultAction {
             FaultAction::Drop
         } else {
             FaultAction::Delay { micros: 500 + pick % 5_000 }
+        }
+    } else if site == "ctl.partition" || site == "net.partition" {
+        // A partitioned link eats the message outright; a flapping or
+        // congested one delivers it late.
+        if pick.is_multiple_of(4) {
+            FaultAction::Delay { micros: 500 + pick % 5_000 }
+        } else {
+            FaultAction::Drop
         }
     } else if site == "agent.slow" || site == "node.sched" {
         FaultAction::Delay { micros: 500 + pick % 20_000 }
@@ -497,6 +513,12 @@ mod tests {
             }
             if let Some(a) = p.hit("agent.pre_meta", "p") {
                 assert_eq!(a, FaultAction::Crash);
+            }
+            if let Some(a) = p.hit("ctl.partition", "p") {
+                assert!(matches!(a, FaultAction::Drop | FaultAction::Delay { .. }));
+            }
+            if let Some(a) = p.hit("net.partition", "p") {
+                assert!(matches!(a, FaultAction::Drop | FaultAction::Delay { .. }));
             }
         }
     }

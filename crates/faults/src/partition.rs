@@ -1,0 +1,290 @@
+//! Link-level network partition model.
+//!
+//! A [`Partition`] is a shared, time-scripted table of directed link cuts
+//! between *nodes* (the Manager is addressed as the pseudo-node
+//! [`MANAGER`]). The consulting layers — the ctl RPC path, the Agent
+//! stream path, and the wire's netfilter — ask [`Partition::is_cut`] per
+//! message and drop (or refuse) anything crossing a cut link, so one
+//! installed schedule partitions every path at once.
+//!
+//! Three shapes cover the failure modes observed in production clusters:
+//!
+//! * **symmetric splits** ([`Partition::split`]) — two node groups lose
+//!   all connectivity in both directions;
+//! * **asymmetric one-way links** ([`Partition::one_way`]) — `src` can no
+//!   longer reach `dst`, while `dst → src` still delivers (the classic
+//!   "the coordinator hears nobody but everyone hears the coordinator");
+//! * **flapping links** ([`Partition::flap_link`]) — the link goes down
+//!   for `down_ms` at the start of every `period_ms` window.
+//!
+//! Every rule carries a scripted heal time (`for_ms`, or `u64::MAX` for
+//! "until [`Partition::heal_all`]"); time comes from a pluggable
+//! millisecond clock so schedules can run on the simulated cluster clock
+//! and stay reproducible.
+//!
+//! This table is deliberately *stateful and time-driven* — the
+//! deterministic per-hit layer lives in [`crate::FaultPlan`] under the
+//! `ctl.partition` / `net.partition` sites, which the same paths consult.
+//! Use the plan for seed-reproducible chaos, the schedule for scenarios
+//! with real heal times (restart storms, rejoin protocols).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Pseudo-node id addressing the Manager end of the ctl RPC path.
+pub const MANAGER: u32 = u32::MAX;
+
+/// One directed cut rule.
+#[derive(Debug, Clone)]
+struct LinkRule {
+    /// Source node; `None` matches every source.
+    src: Option<u32>,
+    /// Destination node; `None` matches every destination.
+    dst: Option<u32>,
+    /// Rule becomes active at this clock reading (ms).
+    from_ms: u64,
+    /// Rule heals at this clock reading (ms); `u64::MAX` = until
+    /// [`Partition::heal_all`].
+    until_ms: u64,
+    /// Flapping: within each `period_ms` window starting at `from_ms`,
+    /// the link is down for the first `down_ms`.
+    flap: Option<(u64, u64)>,
+}
+
+impl LinkRule {
+    fn covers(&self, src: u32, dst: u32) -> bool {
+        self.src.map(|s| s == src).unwrap_or(true) && self.dst.map(|d| d == dst).unwrap_or(true)
+    }
+
+    fn active_at(&self, now: u64) -> bool {
+        if now < self.from_ms || now >= self.until_ms {
+            return false;
+        }
+        match self.flap {
+            Some((period_ms, down_ms)) => (now - self.from_ms) % period_ms.max(1) < down_ms,
+            None => true,
+        }
+    }
+}
+
+/// A shared, time-scripted partition schedule. Cheap to consult when no
+/// rules are installed (one lock + emptiness check, no clock read).
+pub struct Partition {
+    clock: Box<dyn Fn() -> u64 + Send + Sync>,
+    rules: Mutex<Vec<LinkRule>>,
+    cuts: AtomicU64,
+}
+
+impl std::fmt::Debug for Partition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Partition")
+            .field("rules", &self.rules.lock().unwrap().len())
+            .field("cuts", &self.cuts.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Default for Partition {
+    fn default() -> Self {
+        Partition::new()
+    }
+}
+
+impl Partition {
+    /// A schedule on process-monotonic wall time.
+    pub fn new() -> Partition {
+        let t0 = Instant::now();
+        Partition::with_clock(Box::new(move || t0.elapsed().as_millis() as u64))
+    }
+
+    /// A schedule on a caller-supplied millisecond clock (the cluster
+    /// builder installs the simulated cluster clock here).
+    pub fn with_clock(clock: Box<dyn Fn() -> u64 + Send + Sync>) -> Partition {
+        Partition { clock, rules: Mutex::new(Vec::new()), cuts: AtomicU64::new(0) }
+    }
+
+    fn push(&self, src: Option<u32>, dst: Option<u32>, for_ms: u64, flap: Option<(u64, u64)>) {
+        let now = (self.clock)();
+        self.rules.lock().unwrap().push(LinkRule {
+            src,
+            dst,
+            from_ms: now,
+            until_ms: now.saturating_add(for_ms),
+            flap,
+        });
+    }
+
+    /// Symmetric split: every link between group `a` and group `b` is cut
+    /// in both directions until [`Partition::heal_all`]. Include
+    /// [`MANAGER`] in a group to put the Manager on that side.
+    pub fn split(&self, a: &[u32], b: &[u32]) {
+        self.split_for(a, b, u64::MAX);
+    }
+
+    /// [`Partition::split`] with a scripted heal after `for_ms`.
+    pub fn split_for(&self, a: &[u32], b: &[u32], for_ms: u64) {
+        for &x in a {
+            for &y in b {
+                self.push(Some(x), Some(y), for_ms, None);
+                self.push(Some(y), Some(x), for_ms, None);
+            }
+        }
+    }
+
+    /// Asymmetric cut: `src → dst` is dropped, `dst → src` still works,
+    /// until [`Partition::heal_all`].
+    pub fn one_way(&self, src: u32, dst: u32) {
+        self.one_way_for(src, dst, u64::MAX);
+    }
+
+    /// [`Partition::one_way`] with a scripted heal after `for_ms`.
+    pub fn one_way_for(&self, src: u32, dst: u32, for_ms: u64) {
+        self.push(Some(src), Some(dst), for_ms, None);
+    }
+
+    /// Cuts `node` off from everyone, both directions, until
+    /// [`Partition::heal_all`].
+    pub fn isolate(&self, node: u32) {
+        self.isolate_for(node, u64::MAX);
+    }
+
+    /// [`Partition::isolate`] with a scripted heal after `for_ms`.
+    pub fn isolate_for(&self, node: u32, for_ms: u64) {
+        self.push(Some(node), None, for_ms, None);
+        self.push(None, Some(node), for_ms, None);
+    }
+
+    /// Flapping link: `src → dst` goes down for the first `down_ms` of
+    /// every `period_ms` window, for `for_ms` total (then heals).
+    pub fn flap_link(&self, src: u32, dst: u32, period_ms: u64, down_ms: u64, for_ms: u64) {
+        self.push(Some(src), Some(dst), for_ms, Some((period_ms, down_ms)));
+    }
+
+    /// Removes every rule, healed or not.
+    pub fn heal_all(&self) {
+        self.rules.lock().unwrap().clear();
+    }
+
+    /// Whether a message from `src` to `dst` is currently cut. Counts
+    /// every positive answer in [`Partition::cuts`].
+    pub fn is_cut(&self, src: u32, dst: u32) -> bool {
+        let rules = self.rules.lock().unwrap();
+        if rules.is_empty() {
+            return false;
+        }
+        let now = (self.clock)();
+        let cut = rules.iter().any(|r| r.covers(src, dst) && r.active_at(now));
+        drop(rules);
+        if cut {
+            self.cuts.fetch_add(1, Ordering::Relaxed);
+        }
+        cut
+    }
+
+    /// Whether any rule is currently active (used to refuse rejoin while
+    /// the partition still stands).
+    pub fn is_active(&self) -> bool {
+        let rules = self.rules.lock().unwrap();
+        if rules.is_empty() {
+            return false;
+        }
+        let now = (self.clock)();
+        rules.iter().any(|r| r.active_at(now))
+    }
+
+    /// Number of messages dropped at cut links so far.
+    pub fn cuts(&self) -> u64 {
+        self.cuts.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    /// A hand-cranked clock so the schedule is tested without sleeping.
+    fn cranked() -> (Partition, Arc<AtomicU64>) {
+        let t = Arc::new(AtomicU64::new(0));
+        let tc = Arc::clone(&t);
+        let p = Partition::with_clock(Box::new(move || tc.load(Ordering::SeqCst)));
+        (p, t)
+    }
+
+    #[test]
+    fn empty_schedule_cuts_nothing() {
+        let (p, _) = cranked();
+        assert!(!p.is_cut(0, 1));
+        assert!(!p.is_active());
+        assert_eq!(p.cuts(), 0);
+    }
+
+    #[test]
+    fn symmetric_split_cuts_both_directions_and_heals() {
+        let (p, t) = cranked();
+        p.split_for(&[0, MANAGER], &[1, 2], 100);
+        assert!(p.is_cut(0, 1));
+        assert!(p.is_cut(1, 0));
+        assert!(p.is_cut(MANAGER, 2));
+        assert!(p.is_cut(2, MANAGER));
+        assert!(!p.is_cut(0, MANAGER), "same side stays connected");
+        t.store(100, Ordering::SeqCst);
+        assert!(!p.is_cut(0, 1), "scripted heal lifts the split");
+        assert!(!p.is_active());
+        assert!(p.cuts() >= 4);
+    }
+
+    #[test]
+    fn one_way_link_is_asymmetric() {
+        let (p, _) = cranked();
+        p.one_way(3, MANAGER);
+        assert!(p.is_cut(3, MANAGER), "agent cannot reach the manager");
+        assert!(!p.is_cut(MANAGER, 3), "manager still reaches the agent");
+    }
+
+    #[test]
+    fn isolate_cuts_everything_and_heal_all_restores() {
+        let (p, _) = cranked();
+        p.isolate(1);
+        assert!(p.is_cut(1, 0));
+        assert!(p.is_cut(0, 1));
+        assert!(p.is_cut(1, MANAGER));
+        assert!(!p.is_cut(0, 2));
+        p.heal_all();
+        assert!(!p.is_cut(1, 0));
+    }
+
+    #[test]
+    fn flapping_link_follows_the_window() {
+        let (p, t) = cranked();
+        p.flap_link(0, 1, 10, 4, 100);
+        for period in 0..3u64 {
+            t.store(period * 10 + 1, Ordering::SeqCst);
+            assert!(p.is_cut(0, 1), "down at start of window {period}");
+            t.store(period * 10 + 6, Ordering::SeqCst);
+            assert!(!p.is_cut(0, 1), "up in back half of window {period}");
+        }
+        t.store(150, Ordering::SeqCst);
+        assert!(!p.is_cut(0, 1), "flap schedule healed");
+    }
+
+    #[test]
+    fn same_clock_readings_give_same_answers() {
+        // The schedule is a pure function of (rules, clock): replaying the
+        // same clock sequence yields the same cut pattern.
+        let run = || {
+            let (p, t) = cranked();
+            p.split_for(&[0], &[1], 50);
+            p.flap_link(1, 0, 8, 3, 40);
+            (0..60u64)
+                .map(|ms| {
+                    t.store(ms, Ordering::SeqCst);
+                    (p.is_cut(0, 1), p.is_cut(1, 0))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -11,7 +11,9 @@
 //! pod is unblocked.
 
 use parking_lot::RwLock;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use zapc_faults::Partition;
 
 /// Packet filter shared by the whole cluster wire.
 #[derive(Debug, Default)]
@@ -25,6 +27,10 @@ struct FilterRules {
     blocked_ips: HashSet<u32>,
     /// Individually blocked directed links `(src_ip, dst_ip)`.
     blocked_links: HashSet<(u32, u32)>,
+    /// Virtual IP → hosting node, for node-level partition rules.
+    node_of: HashMap<u32, u32>,
+    /// Installed partition schedule; consulted per delivery when present.
+    partition: Option<Arc<Partition>>,
     /// Counters for observability/tests.
     dropped: u64,
 }
@@ -55,17 +61,39 @@ impl Netfilter {
         self.inner.write().blocked_links.remove(&(src_ip, dst_ip));
     }
 
+    /// Installs a node-level partition schedule. Every delivery whose
+    /// source and destination IPs map to known nodes (see
+    /// [`Netfilter::set_node_of`]) is checked against it.
+    pub fn set_partition(&self, partition: Arc<Partition>) {
+        self.inner.write().partition = Some(partition);
+    }
+
+    /// Records which node currently hosts virtual IP `ip` (pod placement /
+    /// migration; mirrors the wire's route table).
+    pub fn set_node_of(&self, ip: u32, node: u32) {
+        self.inner.write().node_of.insert(ip, node);
+    }
+
     /// Whether a segment from `src_ip` to `dst_ip` must be dropped.
     /// Increments the drop counter when it is.
     pub fn check_drop(&self, src_ip: u32, dst_ip: u32) -> bool {
         // Fast path: read lock only when no rule matches.
         {
             let r = self.inner.read();
-            if !r.blocked_ips.contains(&src_ip)
-                && !r.blocked_ips.contains(&dst_ip)
-                && !r.blocked_links.contains(&(src_ip, dst_ip))
-            {
-                return false;
+            let blocked = r.blocked_ips.contains(&src_ip)
+                || r.blocked_ips.contains(&dst_ip)
+                || r.blocked_links.contains(&(src_ip, dst_ip));
+            if !blocked {
+                let cut = match &r.partition {
+                    Some(p) => match (r.node_of.get(&src_ip), r.node_of.get(&dst_ip)) {
+                        (Some(&s), Some(&d)) => p.is_cut(s, d),
+                        _ => false,
+                    },
+                    None => false,
+                };
+                if !cut {
+                    return false;
+                }
             }
         }
         self.inner.write().dropped += 1;
@@ -126,5 +154,22 @@ mod tests {
         f.clear();
         assert!(!f.check_drop(5, 9));
         assert!(!f.check_drop(1, 2));
+    }
+
+    #[test]
+    fn partition_rules_drop_by_hosting_node() {
+        let f = Netfilter::new();
+        let p = Arc::new(Partition::new());
+        f.set_partition(Arc::clone(&p));
+        f.set_node_of(10, 0);
+        f.set_node_of(20, 1);
+        assert!(!f.check_drop(10, 20), "no rules yet");
+        p.one_way(0, 1);
+        assert!(f.check_drop(10, 20), "cut direction dropped");
+        assert!(!f.check_drop(20, 10), "reverse direction still delivers");
+        assert!(!f.check_drop(10, 30), "unmapped peer is never cut");
+        p.heal_all();
+        assert!(!f.check_drop(10, 20));
+        assert_eq!(f.dropped(), 1);
     }
 }

@@ -35,6 +35,14 @@ impl ClusterClock {
     pub fn now_us(&self) -> u64 {
         self.epoch.elapsed().as_micros() as u64
     }
+
+    /// A boxed millisecond-clock closure over this clock, for components
+    /// that take a pluggable time source (e.g. a partition schedule) and
+    /// must tick on cluster time rather than their own.
+    pub fn ms_fn(self: &Arc<ClusterClock>) -> Box<dyn Fn() -> u64 + Send + Sync> {
+        let clock = Arc::clone(self);
+        Box::new(move || clock.now_ms())
+    }
 }
 
 /// A pod's view of time: the cluster clock plus a restart bias.

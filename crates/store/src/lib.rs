@@ -93,6 +93,15 @@ pub enum StoreError {
         /// The fault site that fired.
         site: &'static str,
     },
+    /// A manifest commit carried a Manager epoch older than the store's
+    /// fencing token: a newer Manager has already recovered, so this
+    /// writer is a stale incarnation and its commit must lose.
+    Fenced {
+        /// Epoch the stale Manager stamped on the manifest.
+        epoch: u64,
+        /// The store's current fencing token.
+        fence: u64,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -108,6 +117,10 @@ impl fmt::Display for StoreError {
                 write!(f, "manifest at id {path_id} records id {recorded}")
             }
             StoreError::Crashed { site } => write!(f, "store writer crashed at {site}"),
+            StoreError::Fenced { epoch, fence } => write!(
+                f,
+                "manifest commit fenced: manager epoch {epoch} is older than fencing token {fence}"
+            ),
         }
     }
 }
@@ -152,6 +165,12 @@ pub struct ImageStore {
     faults: Arc<FaultPlan>,
     obs: Observer,
     tmp_seq: AtomicU64,
+    /// Fencing token: the highest Manager epoch that has recovered against
+    /// this store. [`ImageStore::commit_manifest`] refuses manifests from
+    /// older epochs, so a stale Manager on the wrong side of a partition
+    /// deterministically loses the commit race (the shared-storage fencing
+    /// idiom — the token lives with the data the race is over).
+    fence: AtomicU64,
 }
 
 impl ImageStore {
@@ -163,7 +182,20 @@ impl ImageStore {
             faults,
             obs,
             tmp_seq: AtomicU64::new(0),
+            fence: AtomicU64::new(0),
         }
+    }
+
+    /// Raises the fencing token to `epoch` (monotonic; a lower value is
+    /// ignored). Called by Manager recovery: every manifest committed by
+    /// an epoch older than the newest recovery is stale.
+    pub fn set_fence(&self, epoch: u64) {
+        self.fence.fetch_max(epoch, Ordering::SeqCst);
+    }
+
+    /// The current fencing token.
+    pub fn fence(&self) -> u64 {
+        self.fence.load(Ordering::SeqCst)
     }
 
     /// The store root path.
@@ -191,8 +223,17 @@ impl ImageStore {
     }
 
     /// Durably writes `bytes` to `final_rel` via tmp + fsync + rename.
-    /// `site_key` scopes the fault sites consulted along the way.
-    fn put_durable(&self, final_rel: &str, mut bytes: Vec<u8>, site_key: &str) -> StoreResult<()> {
+    /// `site_key` scopes the fault sites consulted along the way. When
+    /// `fence_epoch` is given, the fencing token is re-checked right
+    /// before the rename: a recovery that raced past the writer's entry
+    /// check still fences it out, leaving only a tmp orphan for GC.
+    fn put_durable(
+        &self,
+        final_rel: &str,
+        mut bytes: Vec<u8>,
+        site_key: &str,
+        fence_epoch: Option<u64>,
+    ) -> StoreResult<()> {
         let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
         let name = final_rel.rsplit('/').next().unwrap_or(final_rel);
         let tmp = self.abs(&format!("tmp/{seq}-{name}"));
@@ -219,6 +260,12 @@ impl ImageStore {
             // only evidence, and GC will reap it.
             return Err(StoreError::Crashed { site: "store.pre_rename" });
         }
+        if let Some(epoch) = fence_epoch {
+            let fence = self.fence();
+            if epoch < fence {
+                return Err(StoreError::Fenced { epoch, fence });
+            }
+        }
         self.fs.rename(&tmp, &self.abs(final_rel))?;
         Ok(())
     }
@@ -231,7 +278,7 @@ impl ImageStore {
         let span = self.obs.span("store", "store.put");
         let digest = fnv1a64(bytes);
         let rel = Self::image_ref(ckpt, pod);
-        self.put_durable(&rel, bytes.to_vec(), pod)?;
+        self.put_durable(&rel, bytes.to_vec(), pod, None)?;
         self.obs.counter("store", "store.put_bytes", bytes.len() as u64);
         span.end();
         Ok((rel, digest))
@@ -239,11 +286,19 @@ impl ImageStore {
 
     /// Durably publishes a manifest. **The rename inside this call is the
     /// checkpoint's commit point**: before it the checkpoint does not
-    /// exist, after it the checkpoint is fully recoverable.
+    /// exist, after it the checkpoint is fully recoverable. A manifest
+    /// whose recorded epoch is older than the fencing token is refused
+    /// with [`StoreError::Fenced`] — the token is re-checked immediately
+    /// before the rename so a recovery that lands while the manifest
+    /// bytes are being written still wins.
     pub fn commit_manifest(&self, m: &Manifest) -> StoreResult<String> {
+        let fence = self.fence();
+        if m.epoch < fence {
+            return Err(StoreError::Fenced { epoch: m.epoch, fence });
+        }
         let span = self.obs.span("store", "store.commit");
         let rel = Self::manifest_ref(m.ckpt_id);
-        self.put_durable(&rel, m.to_bytes(), &m.ckpt_id.to_string())?;
+        self.put_durable(&rel, m.to_bytes(), &m.ckpt_id.to_string(), Some(m.epoch))?;
         self.obs.counter("store", "store.commits", 1);
         span.end();
         Ok(rel)
@@ -535,6 +590,32 @@ mod tests {
         fs.write(&st.abs(&ImageStore::manifest_ref(9)), &m.to_bytes());
         fs.fsync(&st.abs(&ImageStore::manifest_ref(9))).unwrap();
         assert_eq!(st.manifest(9), Err(StoreError::IdMismatch { path_id: 9, recorded: 5 }));
+    }
+
+    #[test]
+    fn fencing_token_refuses_stale_epochs() {
+        let (_fs, st) = store();
+        let m1 = manifest_for(&st, 1, &[("w0", b"epoch one")]);
+        st.commit_manifest(&m1).unwrap();
+
+        // A newer Manager recovers: fence to epoch 3.
+        st.set_fence(3);
+        assert_eq!(st.fence(), 3);
+        st.set_fence(2);
+        assert_eq!(st.fence(), 3, "fence is monotonic");
+
+        // The stale Manager's in-flight commit (epoch 1) loses, typed.
+        let m2 = manifest_for(&st, 2, &[("w0", b"stale")]);
+        assert_eq!(
+            st.commit_manifest(&m2),
+            Err(StoreError::Fenced { epoch: 1, fence: 3 })
+        );
+        assert_eq!(st.manifest_ids(), vec![1], "no stale manifest landed");
+
+        // The fencing epoch itself (and anything newer) commits fine.
+        let m3 = Manifest { ckpt_id: 3, epoch: 3, wall_ms: 0, entries: vec![] };
+        st.commit_manifest(&m3).unwrap();
+        assert_eq!(st.manifest_ids(), vec![1, 3]);
     }
 
     #[test]

@@ -13,6 +13,7 @@ use crate::uri::Uri;
 use crate::{ZapcError, ZapcResult};
 use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
+use zapc_faults::{FaultAction, MANAGER};
 use std::time::{Duration, Instant};
 use zapc_ckpt::{checkpoint_standalone_with, restore_standalone_obs, ParentRecord,
     RestoredSockets, SaveOpts};
@@ -52,7 +53,10 @@ pub enum SyncPolicy {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CtlMsg {
     /// Proceed (the Manager has everyone's meta-data / everyone is done).
-    Continue,
+    /// Carries the Manager epoch the operation runs under: an Agent that
+    /// has witnessed a newer epoch treats the message as stale and rolls
+    /// back instead of continuing on a dead incarnation's behalf.
+    Continue(u64),
     /// Abort the operation; resume the application.
     Abort,
 }
@@ -114,7 +118,39 @@ pub enum AgentReply {
         /// The encoded image (streaming-migration rendezvous; `None` when
         /// the image went to a file or the memory store).
         image: Option<Arc<Vec<u8>>>,
+        /// Manager epoch the op ran under. A reply whose epoch trails the
+        /// cluster's current epoch is a stale Agent speaking across a
+        /// healed partition — the Manager counts it and ignores it.
+        epoch: u64,
     },
+}
+
+/// Sends one Agent→Manager control-path message unless a partition eats
+/// it. The scripted/seeded `ctl.partition` site fires first (keyed by
+/// pod; `Drop` eats the message, `Delay` postpones it), then the
+/// time-driven partition schedule is consulted for `node → MANAGER`. An
+/// eaten message returns `Ok` — to a real Agent a partitioned send looks
+/// exactly like a delivered one — so only a disconnected channel errors.
+pub(crate) fn ctl_reply(
+    cluster: &Cluster,
+    node: u32,
+    pod_key: &str,
+    reply: &Sender<AgentReply>,
+    msg: AgentReply,
+) -> Result<(), ()> {
+    match cluster.faults.hit("ctl.partition", pod_key) {
+        Some(FaultAction::Drop) => return Ok(()),
+        Some(a) => {
+            if let Some(d) = a.delay() {
+                std::thread::sleep(d);
+            }
+        }
+        None => {}
+    }
+    if cluster.partition.is_cut(node, MANAGER) {
+        return Ok(());
+    }
+    reply.send(msg).map_err(|_| ())
 }
 
 /// Runs the local checkpoint procedure of Figure 1 for one pod.
@@ -130,13 +166,14 @@ pub fn agent_checkpoint(
     dest: &Uri,
     finalize: Finalize,
     policy: SyncPolicy,
+    epoch: u64,
     ctl_timeout: Duration,
     reply: &Sender<AgentReply>,
     ctl: &Receiver<CtlMsg>,
 ) {
     let ckpt = cluster.ckpt;
     agent_checkpoint_ext(
-        cluster, pod_name, dest, finalize, policy, false, ckpt, ctl_timeout, reply, ctl,
+        cluster, pod_name, dest, finalize, policy, false, ckpt, epoch, ctl_timeout, reply, ctl,
     )
 }
 
@@ -154,17 +191,42 @@ pub fn agent_checkpoint_ext(
     policy: SyncPolicy,
     fs_snapshot: bool,
     ckpt: CheckpointOpts,
+    epoch: u64,
     ctl_timeout: Duration,
     reply: &Sender<AgentReply>,
     ctl: &Receiver<CtlMsg>,
 ) {
-    let send_done = |result: Result<PodStats, String>, image: Option<Arc<Vec<u8>>>| {
-        let _ = reply.send(AgentReply::Done { pod: pod_name.to_owned(), result, image });
-    };
     let Some(pod) = cluster.pod(pod_name) else {
-        send_done(Err(format!("unknown pod {pod_name:?}")), None);
+        // No pod, no hosting node: this failure reply bypasses the
+        // partition model (nothing node-local ever ran).
+        let _ = reply.send(AgentReply::Done {
+            pod: pod_name.to_owned(),
+            result: Err(format!("unknown pod {pod_name:?}")),
+            image: None,
+            epoch,
+        });
         return;
     };
+    let node_id = pod.node().id.0;
+    let send_done = |result: Result<PodStats, String>, image: Option<Arc<Vec<u8>>>| {
+        let _ = ctl_reply(
+            cluster,
+            node_id,
+            pod_name,
+            reply,
+            AgentReply::Done { pod: pod_name.to_owned(), result, image, epoch },
+        );
+    };
+    // Epoch fence at entry: an op stamped by a Manager incarnation older
+    // than the one this cluster has already recovered to must not touch
+    // the pod at all.
+    if epoch < cluster.epoch() {
+        send_done(
+            Err(format!("fenced: op epoch {epoch} is stale (cluster at {})", cluster.epoch())),
+            None,
+        );
+        return;
+    }
 
     let obs = &cluster.obs;
     let t0 = Instant::now();
@@ -199,11 +261,18 @@ pub fn agent_checkpoint_ext(
     let (meta, records) = checkpoint_network_obs(&pod, obs);
     net_span.end();
     let net_us = tnet.elapsed().as_micros() as u64;
-    if reply
-        .send(AgentReply::Meta { pod: pod_name.to_owned(), meta: meta.clone(), net_us })
-        .is_err()
+    if ctl_reply(
+        cluster,
+        node_id,
+        pod_name,
+        reply,
+        AgentReply::Meta { pod: pod_name.to_owned(), meta: meta.clone(), net_us },
+    )
+    .is_err()
     {
-        // Manager gone: graceful abort (§4).
+        // Manager gone: graceful abort (§4). (A *partitioned* meta send
+        // is not an error here — the loss is invisible to the Agent, so
+        // it proceeds and its bounded `continue` wait does the rollback.)
         rollback("manager connection broken before meta-data");
         return;
     }
@@ -219,7 +288,14 @@ pub fn agent_checkpoint_ext(
         let waited = ctl.recv_timeout(ctl_timeout);
         sync_us = sync_span.end();
         match waited {
-            Ok(CtlMsg::Continue) => {}
+            Ok(CtlMsg::Continue(e)) if e >= cluster.epoch() => {}
+            Ok(CtlMsg::Continue(e)) => {
+                rollback(&format!(
+                    "fenced: stale continue epoch {e} (cluster at {})",
+                    cluster.epoch()
+                ));
+                return;
+            }
             Ok(CtlMsg::Abort) => {
                 rollback("aborted at barrier");
                 return;
@@ -308,7 +384,18 @@ pub fn agent_checkpoint_ext(
         let waited = ctl.recv_timeout(ctl_timeout);
         sync_us = sync_span.end();
         match waited {
-            Ok(CtlMsg::Continue) => {}
+            Ok(CtlMsg::Continue(e)) if e >= cluster.epoch() => {}
+            Ok(CtlMsg::Continue(e)) => {
+                // The `continue` came from a Manager that has since been
+                // superseded (a recovery bumped the epoch while this op
+                // was in flight): finishing the op would let a dead
+                // incarnation mutate post-recovery state.
+                rollback(&format!(
+                    "fenced: stale continue epoch {e} (cluster at {})",
+                    cluster.epoch()
+                ));
+                return;
+            }
             Ok(CtlMsg::Abort) => {
                 rollback("aborted while awaiting continue");
                 return;
@@ -366,7 +453,9 @@ pub fn agent_checkpoint_ext(
                 let chain_label = format!("{label}#g{seq}");
                 cluster.store.put_arc(label, Arc::clone(&image));
                 cluster.store.put_arc(&chain_label, Arc::clone(&image));
-                if finalize == Finalize::Resume {
+                // Lineage is Manager-epoch state: a stale op must not
+                // re-seed a chain a newer Manager's recovery just reset.
+                if finalize == Finalize::Resume && epoch >= cluster.epoch() {
                     cluster.set_lineage(
                         pod_name,
                         Lineage {
@@ -391,7 +480,6 @@ pub fn agent_checkpoint_ext(
             // `agent.node_dead`: the whole node dies — the pod dies with
             // it and *no reply is ever sent*; only the Manager's lease
             // table can notice.
-            let node_id = pod.node().id.0;
             if cluster.faults.hit("agent.node_dead", pod_name).is_some() {
                 cluster.health.kill(node_id);
                 cluster.destroy_pod(pod_name);
@@ -404,9 +492,29 @@ pub fn agent_checkpoint_ext(
                 send_done(Err("fault: agent crashed while staging image".to_owned()), None);
                 return;
             }
-            cluster.health.beat(node_id);
+            // Heartbeats only cross a working link: a partitioned node is
+            // alive but unheard, so its lease lapses exactly like a dead
+            // node's — which is all the Manager can ever observe.
+            if !cluster.partition.is_cut(node_id, MANAGER) {
+                cluster.health.beat(node_id);
+            }
+            // Epoch fence before staging: a newer Manager may have
+            // recovered (and GC'd this checkpoint's directory) while this
+            // op sat partitioned — its stale Agent must not re-litter the
+            // store.
+            if epoch < cluster.epoch() {
+                send_done(
+                    Err(format!(
+                        "fenced: staging refused, op epoch {epoch} is stale (cluster at {})",
+                        cluster.epoch()
+                    )),
+                    None,
+                );
+                return;
+            }
             match cluster.istore.put_image(*ckpt_id, pod_name, &image) {
                 Ok((r, d)) => {
+                    cluster.witness_epoch(node_id, epoch);
                     image_ref = r;
                     digest = d;
                     None
@@ -467,7 +575,18 @@ pub fn agent_restart(
 ) {
     let pod_name = inputs.my_meta.pod.clone();
     let send_done = |result: Result<PodStats, String>| {
-        let _ = reply.send(AgentReply::Done { pod: pod_name.clone(), result, image: None });
+        let _ = ctl_reply(
+            cluster,
+            inputs.node as u32,
+            &pod_name,
+            reply,
+            AgentReply::Done {
+                pod: pod_name.clone(),
+                result,
+                image: None,
+                epoch: cluster.epoch(),
+            },
+        );
     };
     match agent_restart_inner(cluster, &inputs, timeout) {
         Ok(stats) => send_done(Ok(stats)),

@@ -11,7 +11,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU16, AtomicU64, Ordering};
 use std::sync::Arc;
-use zapc_faults::FaultPlan;
+use zapc_faults::{FaultPlan, Partition};
 use zapc_store::ImageStore;
 use zapc_net::{Netfilter, Network, NetworkConfig};
 use zapc_pod::{pod_vip, Pod, PodConfig};
@@ -154,10 +154,16 @@ impl ClusterBuilder {
             obs.clone(),
         ));
         let health = HealthMonitor::new(Arc::clone(&clock), self.lease_ms);
+        // One partition schedule on cluster time, shared by every path: the
+        // wire consults it through the netfilter, the ctl RPC path and the
+        // migration stream consult it directly (Manager = pseudo-node).
+        let partition = Arc::new(Partition::with_clock(clock.ms_fn()));
+        net.filter().set_partition(Arc::clone(&partition));
         Cluster {
             net,
             fs,
             clock,
+            partition,
             nodes,
             pods: Mutex::new(HashMap::new()),
             store: MemStore::new(),
@@ -170,6 +176,8 @@ impl ClusterBuilder {
             ckpt: self.ckpt,
             lineage: Mutex::new(HashMap::new()),
             epoch: AtomicU64::new(1),
+            agent_epochs: Mutex::new(HashMap::new()),
+            fenced_replies: AtomicU64::new(0),
             obs,
         }
     }
@@ -183,6 +191,12 @@ pub struct Cluster {
     pub fs: Arc<SimFs>,
     /// The cluster wall clock.
     pub clock: Arc<ClusterClock>,
+    /// The link-level partition schedule (empty = fully connected). One
+    /// table partitions every path at once: the wire drops segments whose
+    /// endpoints' nodes are cut, the ctl RPC path eats Manager↔Agent
+    /// messages, and the migration stream refuses cut frames. Address the
+    /// Manager as [`zapc_faults::MANAGER`].
+    pub partition: Arc<Partition>,
     nodes: Vec<Arc<Node>>,
     pods: Mutex<HashMap<String, PodEntry>>,
     /// In-memory checkpoint image store.
@@ -210,6 +224,14 @@ pub struct Cluster {
     /// Manager epoch: bumped by every recovery so manifests record which
     /// incarnation of the Manager committed them.
     epoch: AtomicU64,
+    /// Highest Manager epoch each node's Agent has witnessed (by serving
+    /// an op stamped with it). A healed node whose witnessed epoch trails
+    /// the current one missed at least one failover and must
+    /// [`crate::rejoin_node`] before its state can be trusted.
+    agent_epochs: Mutex<HashMap<u32, u64>>,
+    /// Agent replies refused because their epoch trailed the cluster's —
+    /// the hard fencing check behind `late_replies` accounting.
+    fenced_replies: AtomicU64,
     /// The cluster-wide event observer (disabled unless installed via
     /// [`ClusterBuilder::observer`]).
     pub obs: zapc_obs::Observer,
@@ -266,6 +288,7 @@ impl Cluster {
     pub fn create_pod_with(&self, cfg: PodConfig, node: usize) -> Arc<Pod> {
         let pod = Pod::create(cfg, &self.nodes[node], &self.clock);
         self.net.set_route(pod.vip(), &self.nodes[node].stack);
+        self.filter().set_node_of(pod.vip(), node as u32);
         let prev = self
             .pods
             .lock()
@@ -279,6 +302,7 @@ impl Cluster {
     /// restored address spaces restart their generation counters at zero.
     pub fn register_restarted_pod(&self, pod: &Arc<Pod>, node: usize) {
         self.net.set_route(pod.vip(), &self.nodes[node].stack);
+        self.filter().set_node_of(pod.vip(), node as u32);
         self.lineage.lock().remove(&pod.name());
         self.pods.lock().insert(pod.name(), PodEntry { node, pod: Arc::clone(pod) });
     }
@@ -344,6 +368,36 @@ impl Cluster {
     /// new value.
     pub(crate) fn bump_epoch(&self) -> u64 {
         self.epoch.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Records that `node`'s Agent served an op stamped with `epoch`
+    /// (monotonic per node).
+    pub(crate) fn witness_epoch(&self, node: u32, epoch: u64) {
+        let mut map = self.agent_epochs.lock();
+        let e = map.entry(node).or_insert(0);
+        *e = (*e).max(epoch);
+    }
+
+    /// The highest Manager epoch `node`'s Agent has witnessed (0 = never
+    /// served an epoch-stamped op).
+    pub fn agent_epoch(&self, node: u32) -> u64 {
+        self.agent_epochs.lock().get(&node).copied().unwrap_or(0)
+    }
+
+    /// Counts one Agent reply refused for carrying a stale epoch.
+    pub(crate) fn note_fenced_reply(&self, pod: &str) {
+        self.fenced_replies.fetch_add(1, Ordering::Relaxed);
+        if self.obs.enabled() {
+            self.obs.counter(pod, "mgr.fenced_reply", 1);
+        }
+    }
+
+    /// Total Agent replies refused cluster-wide for carrying an epoch
+    /// older than the current one (stale Agents speaking across a healed
+    /// partition). These replies were *counted and dropped* — they never
+    /// mutated Manager state.
+    pub fn fenced_replies(&self) -> u64 {
+        self.fenced_replies.load(Ordering::Relaxed)
     }
 
     /// Materializes a standalone image from a (possibly incremental) image:

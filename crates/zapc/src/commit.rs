@@ -125,6 +125,15 @@ pub fn checkpoint_commit(
         nodes.insert((*p).to_owned(), n as u32);
     }
 
+    // Epoch snapshot at entry. The whole pipeline — every Agent op, the
+    // `continue`, the manifest — is stamped with this value, so a
+    // recovery that bumps the cluster epoch anywhere between here and the
+    // manifest rename deterministically fences this commit: the Agents
+    // refuse stale-stamped work and the store's fencing token refuses the
+    // stale-stamped manifest. (Reading the epoch *after* staging would
+    // leave a window where a racing recovery's bump is absorbed into the
+    // manifest and the loser's commit survives.)
+    let epoch = cluster.epoch();
     let ckpt_id = cluster.istore.next_ckpt_id();
     let targets: Vec<CheckpointTarget> = pods
         .iter()
@@ -141,12 +150,13 @@ pub fn checkpoint_commit(
     let ck_opts = CheckpointOptions {
         timeout: opts.timeout,
         retries: opts.retries,
+        epoch: Some(epoch),
         ..CheckpointOptions::default()
     };
     let report = match checkpoint_with(cluster, &targets, &ck_opts) {
         Ok(r) => r,
         Err(e) => {
-            rollback_staged(&cluster.istore, ckpt_id);
+            rollback_staged(&cluster.istore, ckpt_id, epoch);
             return Err(e);
         }
     };
@@ -156,7 +166,7 @@ pub fn checkpoint_commit(
     let mut entries: Vec<ManifestEntry> = Vec::with_capacity(report.pods.len());
     for pr in &report.pods {
         if pr.image_ref.is_empty() {
-            rollback_staged(&cluster.istore, ckpt_id);
+            rollback_staged(&cluster.istore, ckpt_id, epoch);
             return Err(ZapcError::Aborted(format!("pod {:?} staged no image", pr.pod)));
         }
         entries.push(ManifestEntry {
@@ -171,21 +181,45 @@ pub fn checkpoint_commit(
     }
     let manifest = Manifest {
         ckpt_id,
-        epoch: cluster.epoch(),
+        epoch,
         wall_ms: cluster.clock.now_ms(),
         entries,
     };
 
-    // Fault site: the Manager dies with everything staged but nothing
-    // committed. No cleanup — a dead Manager cleans nothing; its
-    // successor's recovery rolls this checkpoint back.
-    if cluster.faults.hit("manager.pre_manifest", "manager").is_some() {
-        return Err(ZapcError::Aborted("manager crashed before manifest commit".into()));
+    // Fault site: the Manager stalls (scripted `Delay`) or dies (any
+    // other action) with everything staged but nothing committed. The
+    // stall is the split-brain window — a second Manager's recovery runs
+    // during the sleep, bumps the epoch and the store fence, and this
+    // Manager's commit below loses deterministically. A death cleans
+    // nothing; the successor's recovery rolls this checkpoint back.
+    match cluster.faults.hit("manager.pre_manifest", "manager") {
+        Some(a) if a.delay().is_some() => {
+            std::thread::sleep(a.delay().expect("checked"));
+        }
+        Some(_) => {
+            return Err(ZapcError::Aborted("manager crashed before manifest commit".into()))
+        }
+        None => {}
     }
 
     let span = cluster.obs.span("manager", "mgr.manifest");
     let manifest_ref = match cluster.istore.commit_manifest(&manifest) {
         Ok(r) => r,
+        // The store's fencing token outranks this Manager: a recovery
+        // (new epoch) landed between our entry snapshot and the rename.
+        // The checkpoint does not exist; surface the typed loss.
+        Err(zapc_store::StoreError::Fenced { epoch: have, fence }) => {
+            span.end();
+            // No rollback: ownership of the store passed to the fencing
+            // Manager the moment the token moved. Its recovery already
+            // rolled this staging back (or will), and it may since have
+            // reused this checkpoint id for its *own* committed images —
+            // deleting `images/{ckpt_id}/` here would destroy the
+            // winner's checkpoint. `rollback_staged` re-checks the fence
+            // for exactly this reason; skip the call outright for
+            // clarity.
+            return Err(ZapcError::Fenced { have, fence });
+        }
         // A failed manifest write is a Manager death at the commit point:
         // the rename never happened, so the checkpoint does not exist. No
         // cleanup — the successor's recovery rolls the staging back.
@@ -217,6 +251,11 @@ pub fn checkpoint_commit(
 pub fn recover(cluster: &Cluster) -> RecoveryReport {
     let span = cluster.obs.span("manager", "mgr.recover");
     let epoch = cluster.bump_epoch();
+    // Raise the store's fencing token to the new epoch *before* touching
+    // durable state: from this line on, any older Manager's in-flight
+    // manifest rename loses at the store no matter how its threads are
+    // scheduled — split-brain resolves to exactly one committed writer.
+    cluster.istore.set_fence(epoch);
     // Generation counters lived only in the dead Manager's memory; any
     // chain state is untrustworthy, so the next checkpoint of every pod
     // writes a full base.
@@ -283,48 +322,68 @@ pub fn restart_from_manifest(
         cluster.destroy_pod(&e.pod);
     }
 
-    let mut attempt = 0;
-    loop {
-        let live = cluster.health.live_nodes(cluster.node_count());
-        if live.is_empty() {
-            return Err(ZapcError::Aborted("no live nodes to restart onto".into()));
-        }
-        let targets: Vec<RestartTarget> = m
-            .entries
-            .iter()
-            .enumerate()
-            .map(|(i, e)| RestartTarget {
-                pod: e.pod.clone(),
-                uri: Uri::Store { ckpt: id },
-                node: if cluster.health.is_alive(e.node) {
-                    e.node as usize
-                } else {
-                    // Dead home node: spread displaced pods round-robin
-                    // over the survivors.
-                    live[i % live.len()]
-                },
-            })
-            .collect();
-        match restart_with(cluster, &targets, timeout) {
-            Ok(r) => return Ok(r),
-            Err(e) if attempt == 0 => {
-                // A partial restart may have left some pods half-created.
-                // Images are immutable, so tear everything down and retry
-                // once with freshly computed placement.
-                attempt = 1;
+    // One retry with freshly computed placement: a partial restart may
+    // have left some pods half-created, and images are immutable, so
+    // tearing everything down and re-running is safe. An empty live set
+    // is terminal (a retry cannot conjure nodes). The exhaustion wrapper
+    // is unwrapped back to the raw error — this path's single retry is
+    // an internal detail, and callers predate the typed `Exhausted`.
+    const NO_NODES: &str = "no live nodes to restart onto";
+    let policy = crate::retry::RetryPolicy::new(1, Duration::from_millis(0));
+    policy
+        .run(
+            |_| {
+                let live = cluster.health.live_nodes(cluster.node_count());
+                if live.is_empty() {
+                    return Err(ZapcError::Aborted(NO_NODES.into()));
+                }
+                let targets: Vec<RestartTarget> = m
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .map(|(i, e)| RestartTarget {
+                        pod: e.pod.clone(),
+                        uri: Uri::Store { ckpt: id },
+                        node: if cluster.health.is_alive(e.node) {
+                            e.node as usize
+                        } else {
+                            // Dead home node: spread displaced pods
+                            // round-robin over the survivors.
+                            live[i % live.len()]
+                        },
+                    })
+                    .collect();
+                restart_with(cluster, &targets, timeout)
+            },
+            |e| {
+                if matches!(e, ZapcError::Aborted(why) if why == NO_NODES) {
+                    return false;
+                }
                 for entry in &m.entries {
                     cluster.destroy_pod(&entry.pod);
                 }
-                let _ = e;
-            }
-            Err(e) => return Err(e),
-        }
-    }
+                true
+            },
+        )
+        .map_err(|e| match e {
+            ZapcError::Exhausted { last, .. } => *last,
+            other => other,
+        })
 }
 
 /// Deletes every image staged under checkpoint `ckpt` plus abandoned tmp
 /// files — the rollback of a stage phase that will never commit.
-fn rollback_staged(store: &ImageStore, ckpt: u64) {
+///
+/// Guarded by the fencing token: if the store's fence has moved past
+/// `epoch` (the epoch this Manager stamped the stage with), a recovery
+/// superseded us mid-flight. The new owner's recovery rolls our staging
+/// back, and it may legitimately *reuse* our checkpoint id — so a
+/// superseded Manager deleting by id here could destroy the winner's
+/// committed images. A fenced loser must not touch the store at all.
+fn rollback_staged(store: &ImageStore, ckpt: u64, epoch: u64) {
+    if store.fence() > epoch {
+        return;
+    }
     let prefix = format!("images/{ckpt}/");
     for r in store.image_refs() {
         if r.starts_with(&prefix) {

@@ -23,6 +23,25 @@ use zapc_sim::ClusterClock;
 /// Default lease duration (ms of cluster wall-clock).
 pub const DEFAULT_LEASE_MS: u64 = 1_000;
 
+/// The Manager's view of one node, refining alive/dead with the state a
+/// partition produces: a node that stopped beating but was never killed
+/// is *leaseless* — very possibly alive on the far side of a partition.
+/// The Manager treats leaseless like dead for progress (it cannot wait on
+/// a node it cannot hear), but the distinction matters after a heal: a
+/// leaseless node holds live pods and stale lineage and must be
+/// [`crate::rejoin_node`]ed, not restarted over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeStatus {
+    /// Lease current (or node never tracked — liveness is opt-in).
+    Alive,
+    /// Lease lapsed without an explicit kill: dead *or* partitioned; the
+    /// Manager cannot tell which until the node is heard from again.
+    Leaseless,
+    /// Explicitly killed (fault injection or operator); sticky until
+    /// revived.
+    Dead,
+}
+
 #[derive(Debug, Clone, Copy)]
 enum NodeHealth {
     /// Last heartbeat at this cluster time (ms).
@@ -92,6 +111,21 @@ impl HealthMonitor {
     pub fn live_nodes(&self, count: usize) -> Vec<usize> {
         (0..count).filter(|&n| self.is_alive(n as u32)).collect()
     }
+
+    /// The three-way status of `node` (see [`NodeStatus`]).
+    pub fn status(&self, node: u32) -> NodeStatus {
+        match self.state.lock().get(&node) {
+            None => NodeStatus::Alive,
+            Some(NodeHealth::Dead) => NodeStatus::Dead,
+            Some(NodeHealth::Alive { last_beat_ms }) => {
+                if self.clock.now_ms().saturating_sub(*last_beat_ms) <= self.lease_ms {
+                    NodeStatus::Alive
+                } else {
+                    NodeStatus::Leaseless
+                }
+            }
+        }
+    }
 }
 
 impl std::fmt::Debug for HealthMonitor {
@@ -122,6 +156,21 @@ mod tests {
         assert!(!h.is_alive(1), "a zombie beat must not resurrect a killed node");
         h.revive(1);
         assert!(h.is_alive(1));
+    }
+
+    #[test]
+    fn status_distinguishes_leaseless_from_dead() {
+        let h = HealthMonitor::new(ClusterClock::new(), 10);
+        assert_eq!(h.status(0), NodeStatus::Alive, "untracked nodes are alive");
+        h.beat(0);
+        assert_eq!(h.status(0), NodeStatus::Alive);
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(h.status(0), NodeStatus::Leaseless, "lapsed but never killed");
+        assert!(!h.is_alive(0), "leaseless counts as not-alive for progress");
+        h.kill(0);
+        assert_eq!(h.status(0), NodeStatus::Dead);
+        h.revive(0);
+        assert_eq!(h.status(0), NodeStatus::Alive);
     }
 
     #[test]

@@ -65,6 +65,8 @@ pub mod commit;
 pub mod health;
 pub mod live;
 pub mod manager;
+pub mod rejoin;
+pub mod retry;
 pub mod uri;
 
 pub use cluster::{CheckpointOpts, Cluster, ClusterBuilder};
@@ -72,9 +74,12 @@ pub use commit::{
     checkpoint_commit, recover, restart_from_manifest, CommitOptions, CommitReport,
     RecoveryReport,
 };
-pub use health::HealthMonitor;
+pub use health::{HealthMonitor, NodeStatus};
 pub use live::{migrate_live, migrate_live_with, LiveMigrateReport, LivePodReport};
-pub use zapc_faults::{FaultAction, FaultPlan, TraceEvent};
+pub use rejoin::{rejoin_node, RejoinReport};
+pub use retry::RetryPolicy;
+pub use zapc_faults::{FaultAction, FaultPlan, Partition, TraceEvent, MANAGER};
+pub use zapc_store::{ImageStore, StoreError};
 pub use manager::{
     checkpoint, migrate, restart, CheckpointReport, CheckpointTarget, MigrateOptions, Phase,
     PhaseBreakdown, PodReport, RestartReport, RestartTarget,
@@ -102,6 +107,23 @@ pub enum ZapcError {
     /// The durable image store refused an operation (missing or torn
     /// file, digest mismatch, injected writer crash).
     Store(zapc_store::StoreError),
+    /// This Manager incarnation is stale: a newer Manager has recovered
+    /// (bumping the epoch/fencing token), so the operation was refused to
+    /// preserve at-most-one-commit across a split brain.
+    Fenced {
+        /// Epoch this Manager was operating under.
+        have: u64,
+        /// The fencing token it lost to.
+        fence: u64,
+    },
+    /// A retried operation failed on every attempt. Carries the error of
+    /// the final attempt.
+    Exhausted {
+        /// Total attempts made (initial try + retries).
+        attempts: u32,
+        /// The last attempt's error.
+        last: Box<ZapcError>,
+    },
 }
 
 impl std::fmt::Display for ZapcError {
@@ -115,6 +137,12 @@ impl std::fmt::Display for ZapcError {
             ZapcError::Decode(e) => write!(f, "image decode: {e}"),
             ZapcError::Sys(e) => write!(f, "kernel: {e}"),
             ZapcError::Store(e) => write!(f, "durable store: {e}"),
+            ZapcError::Fenced { have, fence } => {
+                write!(f, "fenced: manager epoch {have} lost to fencing token {fence}")
+            }
+            ZapcError::Exhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
         }
     }
 }

@@ -66,7 +66,9 @@
 
 use crate::cluster::Cluster;
 use crate::manager::MigrateOptions;
+use crate::retry::RetryPolicy;
 use crate::{ZapcError, ZapcResult};
+use zapc_faults::FaultAction;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TryRecvError};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -248,7 +250,7 @@ pub fn migrate_live_with(
             rcv_ctls.insert(pod.clone(), rctl_tx);
             let (src_reply, rcv_reply) = (reply_tx.clone(), reply_tx.clone());
             let node = *node;
-            scope.spawn(move || live_source(cluster, pod, opts, stream_tx, src_reply, sctl_rx));
+            scope.spawn(move || live_source(cluster, pod, node, opts, stream_tx, src_reply, sctl_rx));
             scope.spawn(move || {
                 live_receiver(cluster, pod, node, stream_rx, rcv_reply, rctl_rx, opts.timeout)
             });
@@ -497,9 +499,11 @@ impl LiveState<'_> {
 
 /// The source Agent of one live-migrated pod: pre-copy rounds while the
 /// pod runs, then the quiesced cutover. See the module docs.
+#[allow(clippy::too_many_arguments)]
 fn live_source(
     cluster: &Cluster,
     pod_name: &str,
+    dst_node: usize,
     opts: &MigrateOptions,
     stream: Sender<Vec<u8>>,
     reply: Sender<LiveReply>,
@@ -512,6 +516,9 @@ fn live_source(
         send_done(Err(format!("unknown pod {pod_name:?}")));
         return;
     };
+    // The Agent→Agent stream link this migration rides: consulted per
+    // frame against the cluster's partition schedule.
+    let link = (pod.node().id.0, dst_node as u32);
     let obs = &cluster.obs;
 
     // Reused across every round and the final cut: the frame writer is
@@ -563,8 +570,8 @@ fn live_source(
         fw.reset();
         fw.put_u32(rounds);
         let start = finish_frame(&mut fw, FRAME_ROUND_START);
-        if send_frame(cluster, pod_name, &stream, start).is_err() {
-            send_done(Err("stream receiver gone during pre-copy".into()));
+        if let Err(why) = send_frame(cluster, pod_name, link, &stream, start) {
+            send_done(Err(format!("{why} during pre-copy")));
             return;
         }
         let mut shipped = 0usize;
@@ -578,16 +585,20 @@ fn live_source(
             // The frame writer copied the payload; hand its buffer back
             // so the next round's capture reuses the allocation.
             p.recycle();
-            if send_frame(cluster, pod_name, &stream, finish_frame(&mut fw, FRAME_SECTION)).is_err() {
-                send_done(Err("stream receiver gone during pre-copy".into()));
+            if let Err(why) =
+                send_frame(cluster, pod_name, link, &stream, finish_frame(&mut fw, FRAME_SECTION))
+            {
+                send_done(Err(format!("{why} during pre-copy")));
                 return;
             }
         }
         fw.reset();
         fw.put_u32(rounds);
         fw.put_u64(shipped as u64);
-        if send_frame(cluster, pod_name, &stream, finish_frame(&mut fw, FRAME_ROUND_END)).is_err() {
-            send_done(Err("stream receiver gone during pre-copy".into()));
+        if let Err(why) =
+            send_frame(cluster, pod_name, link, &stream, finish_frame(&mut fw, FRAME_ROUND_END))
+        {
+            send_done(Err(format!("{why} during pre-copy")));
             return;
         }
         round_span.end();
@@ -694,12 +705,12 @@ fn live_source(
             fw.reset();
             fw.put_u16(s.tag as u16);
             fw.put_bytes(s.payload);
-            send_frame(cluster, pod_name, &stream, finish_frame(&mut fw, FRAME_SECTION))
-                .map_err(|_| "stream receiver gone at cutover".to_string())?;
+            send_frame(cluster, pod_name, link, &stream, finish_frame(&mut fw, FRAME_SECTION))
+                .map_err(|why| format!("{why} at cutover"))?;
         }
         fw.reset();
-        send_frame(cluster, pod_name, &stream, finish_frame(&mut fw, FRAME_COMMIT))
-            .map_err(|_| "stream receiver gone at cutover".to_string())
+        send_frame(cluster, pod_name, link, &stream, finish_frame(&mut fw, FRAME_COMMIT))
+            .map_err(|why| format!("{why} at cutover"))
     })();
     if let Err(why) = shipped {
         rollback(why);
@@ -719,17 +730,51 @@ fn live_source(
     }
 }
 
-/// Applies the `net.stream_torn` fault site to a frame and sends it.
+/// Applies the stream-path fault sites to a frame and sends it. The
+/// seeded `net.stream_torn` site mangles bytes (the receiver's CRC
+/// framing catches it), the seeded `net.partition` site eats (`Drop`) or
+/// postpones (`Delay`) the frame — an eaten frame is invisible to the
+/// sender, exactly like a real one-way cut, and surfaces as the
+/// receiver's stream timeout — and the time-driven partition schedule
+/// gates the `src → dst` link: a cut link is waited out under a bounded
+/// [`RetryPolicy`] (so a flapping link heals mid-backoff and the frame
+/// goes through), and only a link that stays cut fails the send.
 fn send_frame(
     cluster: &Cluster,
     pod_name: &str,
+    link: (u32, u32),
     stream: &Sender<Vec<u8>>,
     mut frame: Vec<u8>,
-) -> Result<(), ()> {
+) -> Result<(), String> {
     if let Some(a) = cluster.faults.hit("net.stream_torn", pod_name) {
         zapc_faults::FaultPlan::mangle(a, &mut frame);
     }
-    stream.send(frame).map_err(|_| ())
+    match cluster.faults.hit("net.partition", pod_name) {
+        Some(FaultAction::Drop) => return Ok(()),
+        Some(a) => {
+            if let Some(d) = a.delay() {
+                std::thread::sleep(d);
+            }
+        }
+        None => {}
+    }
+    if cluster.partition.is_cut(link.0, link.1) {
+        let policy = RetryPolicy::new(20, Duration::from_millis(5));
+        let healed = policy.run(
+            |_| {
+                if cluster.partition.is_cut(link.0, link.1) {
+                    Err(ZapcError::Aborted("link cut".into()))
+                } else {
+                    Ok(())
+                }
+            },
+            |_| true,
+        );
+        if healed.is_err() {
+            return Err(format!("stream link {} → {} stayed cut", link.0, link.1));
+        }
+    }
+    stream.send(frame).map_err(|_| "stream receiver gone".to_string())
 }
 
 /// The receiver Agent of one live-migrated pod: decodes frames as they

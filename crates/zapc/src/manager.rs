@@ -21,11 +21,12 @@ use crate::agent::{
     SyncPolicy,
 };
 use crate::cluster::{CheckpointOpts, Cluster};
+use crate::retry::RetryPolicy;
 use crate::uri::Uri;
 use crate::{ZapcError, ZapcResult};
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::{HashMap, HashSet};
-use zapc_faults::FaultAction;
+use zapc_faults::{FaultAction, MANAGER};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use zapc_netckpt::assign_roles;
@@ -208,6 +209,12 @@ pub struct CheckpointOptions {
     /// parallel serialization); `None` uses the cluster-wide defaults set
     /// via [`crate::ClusterBuilder::checkpoint_opts`].
     pub ckpt: Option<CheckpointOpts>,
+    /// Manager epoch to stamp the operation with. `None` reads the
+    /// current epoch at each attempt's start; [`crate::checkpoint_commit`]
+    /// pins the epoch it snapshotted at entry so a recovery racing the
+    /// commit deterministically fences the whole pipeline, not just the
+    /// manifest rename.
+    pub epoch: Option<u64>,
 }
 
 impl Default for CheckpointOptions {
@@ -220,6 +227,7 @@ impl Default for CheckpointOptions {
             retries: 0,
             backoff: Duration::from_millis(50),
             ckpt: None,
+            epoch: None,
         }
     }
 }
@@ -238,41 +246,28 @@ pub fn checkpoint_with(
     targets: &[CheckpointTarget],
     opts: &CheckpointOptions,
 ) -> ZapcResult<CheckpointReport> {
-    let mut attempt = 0;
     let mut late = 0u64;
-    loop {
-        match checkpoint_once(cluster, targets, opts, &mut late) {
-            Ok(mut report) => {
-                report.late_replies = late;
-                return Ok(report);
+    let policy = RetryPolicy { retries: opts.retries, backoff: opts.backoff, ..RetryPolicy::default() };
+    let mut report = policy.run(
+        |_| checkpoint_once(cluster, targets, opts, &mut late),
+        |e| {
+            // A failed attempt may have advanced *some* pods' incremental
+            // lineage (an Agent that delivered its image before the abort
+            // reached it). A later delta chained on that cut would
+            // restore a state no coordinated checkpoint ever captured —
+            // reset every target's lineage so the next attempt writes
+            // full bases. This runs for every failure, retried or not.
+            for t in targets {
+                cluster.reset_lineage(&t.pod);
             }
-            Err(e) => {
-                // A failed attempt may have advanced *some* pods'
-                // incremental lineage (an Agent that delivered its image
-                // before the abort reached it). A later delta chained on
-                // that cut would restore a state no coordinated
-                // checkpoint ever captured — reset every target's
-                // lineage so the next attempt writes full bases.
-                for t in targets {
-                    cluster.reset_lineage(&t.pod);
-                }
-                match e {
-                    // Retry only when the abort rolled every target back
-                    // to running — a partially-committed destroy cannot
-                    // be re-run.
-                    ZapcError::Aborted(why)
-                        if attempt < opts.retries
-                            && targets.iter().all(|t| cluster.pod(&t.pod).is_some()) =>
-                    {
-                        attempt += 1;
-                        std::thread::sleep(opts.backoff * attempt);
-                        let _ = why;
-                    }
-                    other => return Err(other),
-                }
-            }
-        }
-    }
+            // Retry only when the abort rolled every target back to
+            // running — a partially-committed destroy cannot be re-run.
+            matches!(e, ZapcError::Aborted(_))
+                && targets.iter().all(|t| cluster.pod(&t.pod).is_some())
+        },
+    )?;
+    report.late_replies = late;
+    Ok(report)
 }
 
 /// One coordinated-checkpoint attempt.
@@ -283,6 +278,13 @@ fn checkpoint_once(
     late: &mut u64,
 ) -> ZapcResult<CheckpointReport> {
     let t0 = Instant::now();
+    // The epoch every Agent op and the eventual `continue` are stamped
+    // with. `checkpoint_commit` pins its entry snapshot here; ad-hoc
+    // callers read the live epoch per attempt. A recovery bumping the
+    // cluster epoch mid-flight makes every stamp stale, so the Agents
+    // fence and the attempt aborts instead of committing for a Manager
+    // the cluster already declared dead.
+    let op_epoch = opts.epoch.unwrap_or_else(|| cluster.epoch());
     let (reply_tx, reply_rx) = unbounded::<AgentReply>();
     let mut ctls: HashMap<String, Sender<CtlMsg>> = HashMap::new();
 
@@ -302,8 +304,8 @@ fn checkpoint_once(
             let ckpt = opts.ckpt.unwrap_or(cluster.ckpt);
             scope.spawn(move || {
                 crate::agent::agent_checkpoint_ext(
-                    cluster, &t.pod, &t.uri, t.finalize, policy, fs_snapshot, ckpt, ctl_timeout,
-                    &reply_tx, &ctl_rx,
+                    cluster, &t.pod, &t.uri, t.finalize, policy, fs_snapshot, ckpt, op_epoch,
+                    ctl_timeout, &reply_tx, &ctl_rx,
                 );
             });
         }
@@ -331,6 +333,20 @@ fn checkpoint_once(
                     awaiting_meta.remove(&pod);
                     net_times.insert(pod, net_us);
                     meta.push(m);
+                }
+                // Hard epoch check: a `done` stamped with an epoch the
+                // cluster has since moved past is a stale Agent speaking
+                // across a healed partition (or a recovery raced this
+                // attempt). It must not count as progress — the attempt
+                // aborts and the reply is only tallied.
+                Ok(AgentReply::Done { pod, epoch, .. }) if epoch < cluster.epoch() => {
+                    cluster.note_fenced_reply(&pod);
+                    awaiting_done.remove(&pod);
+                    abort_all(&ctls);
+                    *late += drain_done(cluster, &reply_rx, awaiting_done.len(), opts.timeout);
+                    return Err(ZapcError::Aborted(format!(
+                        "agent for {pod} replied at fenced epoch {epoch}"
+                    )));
                 }
                 Ok(done @ AgentReply::Done { .. }) => {
                     // An Agent failed before reporting meta-data.
@@ -379,7 +395,7 @@ fn checkpoint_once(
         // `ctl.continue` fault site loses or delays individual messages;
         // the Agent's bounded wait turns a loss into a rollback.
         let sync_span = cluster.obs.span("manager", "mgr.sync");
-        send_continue(cluster, &ctls);
+        send_continue(cluster, &ctls, op_epoch);
         sync_span.end();
         let t_sync = Instant::now();
         let commit_span = cluster.obs.span("manager", "mgr.commit");
@@ -405,6 +421,14 @@ fn checkpoint_once(
         }
         while !awaiting_done.is_empty() {
             match recv_watching_health(cluster, &reply_rx, &nodes, &awaiting_done, opts.timeout) {
+                // Hard epoch check (see the meta loop): stale-epoch
+                // replies never mutate state — the attempt fails instead
+                // of quietly accepting a fenced Agent's report.
+                Ok(AgentReply::Done { pod, epoch, .. }) if epoch < cluster.epoch() => {
+                    cluster.note_fenced_reply(&pod);
+                    awaiting_done.remove(&pod);
+                    failure = Some(format!("{pod} replied at fenced epoch {epoch}"));
+                }
                 Ok(AgentReply::Done { pod, result, .. }) => {
                     awaiting_done.remove(&pod);
                     match result {
@@ -458,9 +482,13 @@ fn checkpoint_once(
     result
 }
 
-/// Sends `continue` to every Agent, subject to the `ctl.continue` fault
-/// site (keyed by pod): `Drop` loses the message, `Delay` postpones it.
-fn send_continue(cluster: &Cluster, ctls: &HashMap<String, Sender<CtlMsg>>) {
+/// Sends `continue` (stamped with the operation epoch) to every Agent,
+/// subject to the `ctl.continue` fault site (keyed by pod; `Drop` loses
+/// the message, `Delay` postpones it), then the seeded `ctl.partition`
+/// site, then the time-driven partition schedule for the
+/// `MANAGER → hosting node` link. A partitioned send is invisible to the
+/// Manager — the Agent's bounded wait turns the loss into a rollback.
+fn send_continue(cluster: &Cluster, ctls: &HashMap<String, Sender<CtlMsg>>, epoch: u64) {
     for (pod, ctl) in ctls {
         match cluster.faults.hit("ctl.continue", pod) {
             Some(FaultAction::Drop) => continue,
@@ -468,12 +496,24 @@ fn send_continue(cluster: &Cluster, ctls: &HashMap<String, Sender<CtlMsg>>) {
                 if let Some(d) = a.delay() {
                     std::thread::sleep(d);
                 }
-                let _ = ctl.send(CtlMsg::Continue);
             }
-            None => {
-                let _ = ctl.send(CtlMsg::Continue);
+            None => {}
+        }
+        match cluster.faults.hit("ctl.partition", pod) {
+            Some(FaultAction::Drop) => continue,
+            Some(a) => {
+                if let Some(d) = a.delay() {
+                    std::thread::sleep(d);
+                }
+            }
+            None => {}
+        }
+        if let Some(node) = cluster.pod_node(pod) {
+            if cluster.partition.is_cut(MANAGER, node as u32) {
+                continue;
             }
         }
+        let _ = ctl.send(CtlMsg::Continue(epoch));
     }
 }
 
@@ -551,9 +591,15 @@ fn drain_done(
     let mut late = 0u64;
     while pending > 0 {
         match rx.recv_timeout(timeout) {
-            Ok(AgentReply::Done { pod, .. }) => {
+            Ok(AgentReply::Done { pod, epoch, .. }) => {
                 pending -= 1;
                 late += 1;
+                if epoch < cluster.epoch() {
+                    // Drained *and* fenced: the reply crossed an epoch
+                    // bump (recovery raced the abort). Tally it so tests
+                    // can assert stale Agents were heard but ignored.
+                    cluster.note_fenced_reply(&pod);
+                }
                 if cluster.obs.enabled() {
                     cluster.obs.counter(&pod, "mgr.late_reply", 1);
                 }
@@ -811,25 +857,17 @@ pub fn migrate_with(
         .collect();
 
     let mut late = 0u64;
-    let (images, metas) = {
-        let mut attempt = 0;
-        loop {
-            match migrate_checkpoint_phase(cluster, &targets, opts, &mut late) {
-                // Retry only when every source pod survived the abort; a
-                // fault that struck after some Agents passed the sync
-                // point (and destroyed their pods) is final.
-                Err(ZapcError::Aborted(why))
-                    if attempt < opts.retries
-                        && targets.iter().all(|t| cluster.pod(&t.pod).is_some()) =>
-                {
-                    attempt += 1;
-                    std::thread::sleep(opts.backoff * attempt);
-                    let _ = why;
-                }
-                other => break other,
-            }
-        }
-    }?;
+    let policy = RetryPolicy { retries: opts.retries, backoff: opts.backoff, ..RetryPolicy::default() };
+    let (images, metas) = policy.run(
+        |_| migrate_checkpoint_phase(cluster, &targets, opts, &mut late),
+        // Retry only when every source pod survived the abort; a fault
+        // that struck after some Agents passed the sync point (and
+        // destroyed their pods) is final.
+        |e| {
+            matches!(e, ZapcError::Aborted(_))
+                && targets.iter().all(|t| cluster.pod(&t.pod).is_some())
+        },
+    )?;
 
     // Phase 2: restart at the destinations from the streamed images.
     let restart_targets: Vec<RestartTarget> = moves
@@ -866,6 +904,10 @@ fn migrate_checkpoint_phase(
     opts: &MigrateOptions,
     late: &mut u64,
 ) -> ZapcResult<StreamedParts> {
+    // Migrations always run under the live epoch: there is no durable
+    // commit to pin, and a recovery racing phase 1 should fence it the
+    // moment the bump lands.
+    let op_epoch = cluster.epoch();
     let (reply_tx, reply_rx) = unbounded::<AgentReply>();
     let mut ctls: HashMap<String, Sender<CtlMsg>> = HashMap::new();
     std::thread::scope(|scope| {
@@ -881,6 +923,7 @@ fn migrate_checkpoint_phase(
                     &t.uri,
                     t.finalize,
                     SyncPolicy::SingleSync,
+                    op_epoch,
                     ctl_timeout,
                     &reply_tx,
                     &ctl_rx,
@@ -892,6 +935,14 @@ fn migrate_checkpoint_phase(
             match reply_rx.recv_timeout(opts.timeout) {
                 Ok(AgentReply::Meta { pod, meta, .. }) => {
                     metas.insert(pod, meta);
+                }
+                Ok(AgentReply::Done { pod, epoch, .. }) if epoch < cluster.epoch() => {
+                    cluster.note_fenced_reply(&pod);
+                    abort_all(&ctls);
+                    *late += drain_done(cluster, &reply_rx, targets.len() - 1, opts.timeout);
+                    return Err(ZapcError::Aborted(format!(
+                        "{pod} replied at fenced epoch {epoch}"
+                    )));
                 }
                 Ok(AgentReply::Done { result: Err(why), .. }) => {
                     abort_all(&ctls);
@@ -913,7 +964,7 @@ fn migrate_checkpoint_phase(
             return Err(ZapcError::Aborted("manager crashed after meta-data".into()));
         }
 
-        send_continue(cluster, &ctls);
+        send_continue(cluster, &ctls, op_epoch);
 
         if cluster.faults.hit("manager.pre_done", "migrate").is_some() {
             ctls.clear();
@@ -925,7 +976,16 @@ fn migrate_checkpoint_phase(
         let mut pending = targets.len();
         while pending > 0 {
             match reply_rx.recv_timeout(opts.timeout) {
-                Ok(AgentReply::Done { pod, result: Ok(_), image }) => {
+                Ok(AgentReply::Done { pod, epoch, .. }) if epoch < cluster.epoch() => {
+                    pending -= 1;
+                    cluster.note_fenced_reply(&pod);
+                    abort_all(&ctls);
+                    *late += drain_done(cluster, &reply_rx, pending, opts.timeout);
+                    return Err(ZapcError::Aborted(format!(
+                        "{pod} replied at fenced epoch {epoch}"
+                    )));
+                }
+                Ok(AgentReply::Done { pod, result: Ok(_), image, .. }) => {
                     pending -= 1;
                     match image {
                         Some(img) => {

@@ -389,3 +389,106 @@ proptest! {
         prop_assert_eq!(again, metas);
     }
 }
+
+// ---- epoch fencing ---------------------------------------------------------
+
+use zapc::{recover, rejoin_node, Cluster, StoreError};
+use zapc_proto::Manifest;
+
+proptest! {
+    /// At-most-one-commit under any interleaving of {lease expiry, link
+    /// cut, heal/rejoin, epoch bump, manifest rename}: Manager A snapshots
+    /// its epoch and checkpoint id, arbitrary noise and zero or more
+    /// takeovers interleave, then A renames and the surviving Manager
+    /// renames. The store's fencing token must be the sole arbiter — A's
+    /// rename lands iff no takeover intervened, the survivor's rename
+    /// always lands, and the noise ops never change either verdict.
+    #[test]
+    fn epoch_fence_is_at_most_one_commit_under_any_interleaving(
+        pre in proptest::collection::vec(0u8..4, 0..5),
+        mid in proptest::collection::vec(0u8..4, 0..5),
+        post in proptest::collection::vec(0u8..4, 0..5),
+        bump in any::<bool>(),
+        double_takeover in any::<bool>(),
+    ) {
+        let c = Cluster::builder().nodes(2).build();
+        // Noise: health and link events that must never influence what
+        // the store commits (only the fence may decide).
+        let noise = |ops: &[u8]| {
+            for op in ops {
+                match op {
+                    0 => c.health.kill(1),
+                    1 => c.partition.isolate(1),
+                    2 => {
+                        // Rejoin attempt: refused while cut, reconciling
+                        // otherwise — either way store-invisible.
+                        let _ = rejoin_node(&c, 1);
+                    }
+                    _ => {
+                        c.partition.heal_all();
+                        c.health.revive(1);
+                    }
+                }
+            }
+        };
+
+        // Manager A at work: epoch snapshotted at entry, id reserved.
+        let a_epoch = c.epoch();
+        let a_id = c.istore.next_ckpt_id();
+
+        noise(&pre);
+        let mut fence_epoch = None;
+        if bump {
+            let mut r = recover(&c);
+            if double_takeover {
+                r = recover(&c);
+            }
+            fence_epoch = Some(r.epoch);
+        }
+        noise(&mid);
+
+        // A's manifest rename — the commit point.
+        let a_result = c.istore.commit_manifest(&Manifest {
+            ckpt_id: a_id,
+            epoch: a_epoch,
+            wall_ms: 0,
+            entries: vec![],
+        });
+        match (&fence_epoch, &a_result) {
+            (Some(f), Err(StoreError::Fenced { epoch, fence })) => {
+                prop_assert_eq!(*epoch, a_epoch);
+                prop_assert_eq!(fence, f);
+            }
+            (Some(_), other) => {
+                prop_assert!(false, "a takeover intervened; A must lose typed, got {:?}", other);
+            }
+            (None, Ok(_)) => {}
+            (None, other) => {
+                prop_assert!(false, "no takeover; A's rename must land, got {:?}", other);
+            }
+        }
+
+        noise(&post);
+
+        // The surviving Manager's rename always lands, whatever happened.
+        let b_id = c.istore.next_ckpt_id();
+        let b = c.istore.commit_manifest(&Manifest {
+            ckpt_id: b_id,
+            epoch: c.epoch(),
+            wall_ms: 0,
+            entries: vec![],
+        });
+        prop_assert!(b.is_ok(), "the live-epoch rename must never be fenced: {:?}", b);
+
+        // Exactly the expected winners, no duplicates, fence monotonic.
+        let expect = if bump { vec![b_id] } else { vec![a_id, b_id] };
+        prop_assert_eq!(c.istore.manifest_ids(), expect);
+        prop_assert_eq!(c.istore.fence(), fence_epoch.unwrap_or(0));
+        if !bump {
+            // While A's commit stands its id must never be reissued. (A
+            // *fenced* A is different: the takeover rolled its staging
+            // back, so the winner may legitimately reuse the id.)
+            prop_assert!(a_id != b_id, "id {} reused over a committed checkpoint", a_id);
+        }
+    }
+}
